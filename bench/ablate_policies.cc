@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Ablation: replacement policy and coherence protocol choices on the
+ * emulated shared cache (design choices DESIGN.md calls out).
+ *
+ *  - Replacement: LRU vs FIFO vs Random at equal geometry against
+ *    Zipf-hot OLTP traffic (one multi-configuration pass).
+ *  - Protocol: MSI vs MESI vs MOESI on a 2-node machine with
+ *    write-shared traffic: MESI's Exclusive state removes upgrade
+ *    traffic for private data; MOESI's Owned state keeps supplying
+ *    dirty lines cache-to-cache.
+ */
+
+#include <cstdio>
+
+#include "bench/benchutil.hh"
+#include "memories/memories.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace memories;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    bench::banner("Ablation: replacement policy & coherence protocol",
+                  "LRU vs FIFO vs Random; MSI vs MESI vs MOESI");
+
+    setLoggingQuiet(true);
+    const std::uint64_t refs = args.refsOrDefault(25.0);
+
+    {
+        std::printf("--- replacement policy (16MB 4-way, OLTP) ---\n");
+        workload::OltpParams oltp;
+        oltp.threads = 8;
+        oltp.dbBytes = static_cast<std::uint64_t>(args.scale * 512 *
+                                                  MiB);
+        workload::OltpWorkload wl(oltp);
+        host::HostMachine machine(host::s7aConfig(), wl);
+        ies::MemoriesBoard board(ies::makeMultiConfigBoard(
+            {cache::CacheConfig{16 * MiB, 4, 128,
+                                cache::ReplacementPolicy::LRU},
+             cache::CacheConfig{16 * MiB, 4, 128,
+                                cache::ReplacementPolicy::FIFO},
+             cache::CacheConfig{16 * MiB, 4, 128,
+                                cache::ReplacementPolicy::Random},
+             cache::CacheConfig{16 * MiB, 4, 128,
+                                cache::ReplacementPolicy::TreePLRU}},
+            8));
+        board.plugInto(machine.bus());
+        machine.run(refs);
+        board.drainAll();
+        std::printf("%-10s %10s\n", "policy", "miss ratio");
+        for (std::size_t n = 0; n < board.numNodes(); ++n) {
+            std::printf("%-10s %10.4f\n",
+                        cache::replacementPolicyName(
+                            board.node(n).config().cache.policy),
+                        board.node(n).stats().missRatio());
+        }
+    }
+
+    {
+        std::printf("\n--- coherence protocol (4 nodes x 2 CPUs, "
+                    "write-shared) ---\n");
+        std::printf("%-8s %12s %12s %12s %12s\n", "proto",
+                    "miss ratio", "mod-int", "shr-int", "dirty-evict");
+        // One pass per protocol over identical (same-seed) traffic:
+        // three four-node target machines exceed the two-board limit.
+        for (const char *proto : {"MSI", "MESI", "MOESI"}) {
+            // Write-shared hot region: reads migrate dirty lines
+            // between nodes, which is where Owned vs
+            // Shared-after-writeback and Exclusive vs Shared fills
+            // actually diverge.
+            workload::UniformWorkload wl(8, 512 * KiB, 0.5, 23);
+            host::HostMachine machine(host::s7aConfig(), wl);
+            ies::MemoriesBoard board(ies::makeUniformBoard(
+                4, 2,
+                cache::CacheConfig{16 * MiB, 4, 128,
+                                   cache::ReplacementPolicy::LRU},
+                proto));
+            board.plugInto(machine.bus());
+            machine.run(refs);
+            board.drainAll();
+
+            std::uint64_t lrefs = 0, miss = 0, mi = 0, si = 0, ev = 0;
+            for (unsigned n = 0; n < 4; ++n) {
+                const auto s = board.node(n).stats();
+                lrefs += s.localRefs;
+                miss += s.localMisses;
+                mi += s.satisfiedByModIntervention;
+                si += s.satisfiedByShrIntervention;
+                ev += s.evictionsDirty;
+            }
+            std::printf("%-8s %12.4f %12llu %12llu %12llu\n", proto,
+                        ratio(miss, lrefs),
+                        static_cast<unsigned long long>(mi),
+                        static_cast<unsigned long long>(si),
+                        static_cast<unsigned long long>(ev));
+        }
+        std::printf("\nfinding: residency is protocol-independent, "
+                    "but MOESI serves shared dirty data\nby repeated "
+                    "modified interventions where MSI/MESI push it "
+                    "back toward memory.\n");
+    }
+
+    return 0;
+}

@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Shared plumbing for the table/figure reproduction harnesses.
+ *
+ * Every bench accepts:
+ *   --refs=N      host references to run, in millions (default per
+ *                 bench; raise to approach paper-sized runs)
+ *   --scale=F     footprint scale factor relative to the bench default
+ *
+ * The harnesses print the same rows/series the paper's tables and
+ * figures report, alongside the paper's published values where they
+ * exist, so EXPERIMENTS.md can record paper-vs-measured shape checks.
+ */
+
+#ifndef MEMORIES_BENCH_BENCHUTIL_HH
+#define MEMORIES_BENCH_BENCHUTIL_HH
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+namespace memories::bench
+{
+
+/** Parsed common command-line options. */
+struct BenchArgs
+{
+    double refsMillions = 0;  //!< 0 = use the bench's default
+    double scale = 1.0;
+
+    static BenchArgs
+    parse(int argc, char **argv)
+    {
+        BenchArgs args;
+        for (int i = 1; i < argc; ++i) {
+            if (std::strncmp(argv[i], "--refs=", 7) == 0)
+                args.refsMillions = std::strtod(argv[i] + 7, nullptr);
+            else if (std::strncmp(argv[i], "--scale=", 8) == 0)
+                args.scale = std::strtod(argv[i] + 8, nullptr);
+            else
+                std::fprintf(stderr, "ignoring unknown option %s\n",
+                             argv[i]);
+        }
+        return args;
+    }
+
+    std::uint64_t
+    refsOrDefault(double default_millions) const
+    {
+        const double m =
+            refsMillions > 0 ? refsMillions : default_millions;
+        return static_cast<std::uint64_t>(m * 1e6);
+    }
+};
+
+/** Wall-clock stopwatch. */
+class Stopwatch
+{
+  public:
+    Stopwatch() : start_(clock::now()) {}
+
+    double
+    seconds() const
+    {
+        return std::chrono::duration<double>(clock::now() - start_)
+            .count();
+    }
+
+  private:
+    using clock = std::chrono::steady_clock;
+    clock::time_point start_;
+};
+
+/** Print a banner naming the experiment being reproduced. */
+inline void
+banner(const char *experiment, const char *paper_summary)
+{
+    std::printf("==============================================================\n");
+    std::printf("%s\n", experiment);
+    std::printf("paper: %s\n", paper_summary);
+    std::printf("==============================================================\n");
+}
+
+} // namespace memories::bench
+
+#endif // MEMORIES_BENCH_BENCHUTIL_HH

@@ -1,0 +1,124 @@
+/**
+ * @file
+ * Figure 9 reproduction: L3 miss ratio vs processors per shared L3
+ * (1, 2, 4, 8 of 8 processors; each L3 is 64MB), for a short trace
+ * (45M references) and a long trace (10B references).
+ *
+ * Shape: with the short trace, sharing an L3 among more processors
+ * *reduces* the measured miss ratio — the sharers prefetch shared
+ * data for each other while cold misses dominate. With the long
+ * trace the sign flips: in steady state each processor's private
+ * data set competes for the shared capacity, so more sharers mean a
+ * higher miss ratio. Design decisions made from the short trace
+ * would pick exactly the wrong configuration.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "bench/benchutil.hh"
+#include "memories/memories.hh"
+
+namespace
+{
+
+using namespace memories;
+
+struct Point
+{
+    double shortRatio = 0;
+    double longRatio = 0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace memories;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    bench::banner("Figure 9: miss ratio vs processors per 64MB L3",
+                  "short trace: fewer misses with more sharers; long "
+                  "trace: the opposite");
+
+    setLoggingQuiet(true);
+    const std::uint64_t long_refs = args.refsOrDefault(160.0);
+    const std::uint64_t short_refs = long_refs / 128;
+
+    const cache::CacheConfig l3{64 * MiB, 4, 128,
+                                cache::ReplacementPolicy::LRU};
+
+    std::vector<Point> points;
+    const unsigned sharings[] = {1, 2, 4, 8};
+    for (unsigned procs_per_l3 : sharings) {
+        // OLTP with a hot shared pool plus thread-affine regions whose
+        // union exceeds one 64MB L3.
+        // Sized so one thread's steady-state working set fits a
+        // private 64MB L3 while eight threads' union overflows it —
+        // the capacity side of the reversal. The hot shared pool
+        // provides the prefetch effect that dominates short traces.
+        workload::OltpParams oltp;
+        oltp.threads = 8;
+        oltp.dbBytes =
+            static_cast<std::uint64_t>(args.scale * 256 * MiB);
+        oltp.sharedFrac = 0.40;
+        oltp.sharedPoolFrac = 0.05;
+        oltp.theta = 0.85;
+        // Hot shared pages are read-mostly (index upper levels);
+        // heavy write sharing would drown the capacity effect in
+        // coherence misses at every sharing degree.
+        oltp.writeFrac = 0.02;
+        workload::OltpWorkload wl(oltp);
+        host::HostMachine machine(host::s7aConfig(), wl);
+        ies::MemoriesBoard board(
+            ies::makeUniformBoard(8 / procs_per_l3, procs_per_l3, l3));
+        board.plugInto(machine.bus());
+
+        auto totals = [&] {
+            std::pair<std::uint64_t, std::uint64_t> t{0, 0};
+            for (std::size_t n = 0; n < board.numNodes(); ++n) {
+                const auto s = board.node(n).stats();
+                t.first += s.localRefs;
+                t.second += s.localMisses;
+            }
+            return t;
+        };
+
+        Point p;
+        // Short trace: measured from cold, as a short trace is.
+        machine.run(short_refs);
+        board.drainAll();
+        const auto at_short = totals();
+        p.shortRatio = ratio(at_short.second, at_short.first);
+
+        // Long trace: at paper scale (10B refs) cold misses are
+        // negligible; at bench scale we estimate the long-trace value
+        // from the post-quarter delta so the emulated directories are
+        // past their fill transient at every sharing degree.
+        machine.run(long_refs / 4 - short_refs);
+        board.drainAll();
+        const auto at_quarter = totals();
+        machine.run(long_refs - long_refs / 4);
+        board.drainAll();
+        const auto at_end = totals();
+        p.longRatio = ratio(at_end.second - at_quarter.second,
+                            at_end.first - at_quarter.first);
+        points.push_back(p);
+    }
+
+    std::printf("%-14s %14s %14s\n", "procs per L3", "short trace",
+                "long trace");
+    for (std::size_t i = 0; i < points.size(); ++i)
+        std::printf("%-14u %14.4f %14.4f\n", sharings[i],
+                    points[i].shortRatio, points[i].longRatio);
+
+    const bool short_down =
+        points.back().shortRatio < points.front().shortRatio;
+    const bool long_up =
+        points.back().longRatio > points.front().longRatio;
+    std::printf("\nshape check: short trace trend with more sharing: "
+                "%s (paper: DOWN);\n             long trace trend: %s "
+                "(paper: UP).\n",
+                short_down ? "DOWN" : "UP", long_up ? "UP" : "DOWN");
+    return 0;
+}

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Table 6 reproduction: L2 miss rates (misses per thousand
+ * instructions) for the SPLASH2 apps at the original SPLASH2-paper
+ * problem sizes (1MB 4-way cache) vs this paper's realistic sizes
+ * (8MB 2-way L2).
+ *
+ * The headline shape: scaling problem sizes changes miss rates by
+ * large, app-specific factors — FMM/Ocean/Water/Barnes get *worse* at
+ * realistic sizes while blocked FFT gets dramatically *better* — so
+ * small-size results mislead design studies.
+ */
+
+#include <cstdio>
+
+#include "bench/benchutil.hh"
+#include "memories/memories.hh"
+
+namespace
+{
+
+using namespace memories;
+
+double
+missRateFor(const workload::SplashParams &params,
+            const cache::CacheConfig &l2, std::uint64_t refs)
+{
+    workload::SplashWorkload wl(params);
+    host::HostConfig cfg = host::s7aConfig();
+    cfg.l2 = l2;
+    host::HostMachine machine(cfg, wl);
+    // Warm up, then measure: the paper's runs last hours, so cold
+    // misses are a negligible fraction there.
+    machine.run(refs / 2);
+    machine.clearStats();
+    machine.run(refs);
+    const auto s = machine.totalStats();
+    const double instr = host::TimingModel::instructions(
+        s.refs, wl.refsPerInstruction());
+    return host::TimingModel::missesPerKiloInstruction(s.l2Misses,
+                                                       instr);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace memories;
+    const auto args = bench::BenchArgs::parse(argc, argv);
+    bench::banner("Table 6: miss rates per 1000 instructions",
+                  "SPLASH2 sizes @1MB 4-way vs paper sizes @8MB 2-way");
+
+    const double scale = args.scale / 64.0;
+    const std::uint64_t refs = args.refsOrDefault(8.0);
+
+    // Paper rows in suite order: small-size rate, large-size rate.
+    const double paper_small[] = {0.33, 5.5, 3.7, 0.073, 0.11};
+    const double paper_large[] = {0.7, 0.3, 8.2, 0.2, 0.3};
+
+    const cache::CacheConfig small_cache{1 * MiB, 4, 128,
+                                         cache::ReplacementPolicy::LRU};
+    const cache::CacheConfig large_cache{8 * MiB, 2, 128,
+                                         cache::ReplacementPolicy::LRU};
+
+    // SPLASH2-paper sizes keep their real footprints (they are tiny);
+    // only the realistic sizes are scaled.
+    const auto small_suite = workload::splash2SizeSuite(8, 1.0);
+    const auto large_suite = workload::paperSplashSuite(8, scale);
+
+    std::printf("%-8s | %12s %12s | %12s %12s | %s\n", "app",
+                "small m/Ki", "paper", "large m/Ki", "paper",
+                "direction (paper)");
+    for (std::size_t i = 0; i < large_suite.size(); ++i) {
+        const double small_rate =
+            missRateFor(small_suite[i], small_cache, refs);
+        const double large_rate =
+            missRateFor(large_suite[i], large_cache, refs);
+        const bool up = large_rate > small_rate;
+        const bool paper_up = paper_large[i] > paper_small[i];
+        std::printf("%-8s | %12.3f %12.3f | %12.3f %12.3f | "
+                    "%s (%s)%s\n",
+                    large_suite[i].name.c_str(), small_rate,
+                    paper_small[i], large_rate, paper_large[i],
+                    up ? "UP" : "DOWN", paper_up ? "UP" : "DOWN",
+                    up == paper_up ? "" : "  <-- MISMATCH");
+    }
+
+    std::printf("\nshape check: FFT's blocked large run drops its miss "
+                "rate sharply while the other\napps' rates rise with "
+                "realistic sizes - the paper's scaling warning.\n");
+    return 0;
+}

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Console-driven session: the workflow the paper's console PC runs —
+ * configure nodes over the command interface, initialize the board,
+ * let the host run, extract statistics, capture and dump a trace.
+ *
+ * Usage: console_session [refs_millions]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "memories/memories.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace memories;
+    const std::uint64_t refs =
+        (argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5) *
+        1'000'000ull;
+
+    workload::DssParams dss;
+    dss.threads = 8;
+    dss.factBytes = 512 * MiB;
+    dss.dimBytes = 64 * MiB;
+    workload::DssWorkload wl(dss);
+    host::HostMachine machine(host::s7aConfig(), wl);
+
+    ies::Console console(machine.bus());
+    const char *session[] = {
+        "node 0 cache 64MB 4 128B LRU",
+        "node 0 cpus 0,1,2,3",
+        "node 0 protocol MESI",
+        "node 1 cache 64MB 4 128B LRU",
+        "node 1 cpus 4,5,6,7",
+        "node 1 protocol MOESI",
+        "buffer 512",
+        "throughput 42",
+        "capture 1000000",
+        "init",
+    };
+    for (const char *cmd : session)
+        std::printf("> %s\n%s\n", cmd, console.execute(cmd).c_str());
+
+    std::printf("running %llu references...\n",
+                static_cast<unsigned long long>(refs));
+    machine.run(refs);
+    console.board()->drainAll();
+
+    std::printf("> stats\n%s\n", console.execute("stats").c_str());
+
+    const std::string trace_path = "/tmp/memories_console_trace.ies";
+    std::printf("> dump-trace %s\n%s\n", trace_path.c_str(),
+                console.execute("dump-trace " + trace_path).c_str());
+
+    // Replay the captured trace through the detailed C simulator —
+    // the validation loop the authors used for the board design.
+    trace::TraceReader reader(trace_path);
+    sim::DetailedParams detailed;
+    detailed.cache = cache::CacheConfig{64 * MiB, 4, 128,
+                                        cache::ReplacementPolicy::LRU};
+    sim::DetailedCacheSimulator csim(detailed);
+    const auto replayed = csim.runTrace(reader);
+    std::printf("replayed %llu records through the detailed simulator: "
+                "miss ratio %.4f (mean latency %.1f cycles)\n",
+                static_cast<unsigned long long>(replayed),
+                csim.stats().missRatio(),
+                csim.stats().meanLatencyCycles);
+    std::remove(trace_path.c_str());
+    return 0;
+}

@@ -1,0 +1,125 @@
+#include "bus/bus6xx.hh"
+
+#include <algorithm>
+
+namespace memories::bus
+{
+
+double
+BusStats::utilization(Cycle elapsed) const
+{
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(tenures) /
+                              static_cast<double>(elapsed);
+}
+
+double
+BusStats::dataUtilization(Cycle elapsed) const
+{
+    return elapsed == 0 ? 0.0
+                        : static_cast<double>(dataCycles) /
+                              static_cast<double>(elapsed);
+}
+
+void
+Bus6xx::setDataBusBytesPerBeat(unsigned bytes)
+{
+    dataBeatBytes_ = bytes == 0 ? 16 : bytes;
+}
+
+namespace
+{
+
+/** True for commands that move a full line of data on the data bus. */
+bool
+carriesData(BusOp op)
+{
+    switch (op) {
+      case BusOp::Read:
+      case BusOp::ReadIfetch:
+      case BusOp::Rwitm:
+      case BusOp::WriteBack:
+      case BusOp::WriteKill:
+        return true;
+      default:
+        return false;
+    }
+}
+
+} // namespace
+
+void
+Bus6xx::attach(BusSnooper *agent)
+{
+    snoopers_.push_back(agent);
+}
+
+void
+Bus6xx::detach(BusSnooper *agent)
+{
+    snoopers_.erase(std::remove(snoopers_.begin(), snoopers_.end(), agent),
+                    snoopers_.end());
+}
+
+void
+Bus6xx::attachObserver(BusObserver *observer)
+{
+    observers_.push_back(observer);
+}
+
+void
+Bus6xx::detachObserver(BusObserver *observer)
+{
+    observers_.erase(
+        std::remove(observers_.begin(), observers_.end(), observer),
+        observers_.end());
+}
+
+void
+Bus6xx::advanceTo(Cycle cycle)
+{
+    if (cycle > now_)
+        now_ = cycle;
+}
+
+SnoopResponse
+Bus6xx::issue(BusTransaction txn)
+{
+    txn.cycle = now_;
+    ++now_; // the address tenure occupies one bus cycle
+    ++stats_.tenures;
+    if (isMemoryOp(txn.op))
+        ++stats_.memoryOps;
+    else
+        ++stats_.filteredOps;
+
+    SnoopResponse combined = SnoopResponse::None;
+    for (auto *agent : snoopers_)
+        combined = combineSnoop(combined, agent->snoop(txn));
+
+    switch (combined) {
+      case SnoopResponse::Retry:
+        ++stats_.retries;
+        break;
+      case SnoopResponse::Modified:
+        ++stats_.modifiedResponses;
+        break;
+      case SnoopResponse::Shared:
+        ++stats_.sharedResponses;
+        break;
+      case SnoopResponse::None:
+        break;
+    }
+
+    // A retried tenure never reaches its data phase.
+    if (combined != SnoopResponse::Retry && carriesData(txn.op)) {
+        stats_.dataCycles +=
+            (txn.size + dataBeatBytes_ - 1) / dataBeatBytes_;
+    }
+
+    for (auto *observer : observers_)
+        observer->observeResult(txn, combined);
+    return combined;
+}
+
+} // namespace memories::bus

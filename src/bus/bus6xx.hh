@@ -1,0 +1,153 @@
+/**
+ * @file
+ * A split-transaction snooping memory bus in the style of the PowerPC 6xx
+ * bus used by RS/6000 S70-class servers.
+ *
+ * The bus is the seam between the host machine (which issues
+ * transactions) and every snooping agent, including the MemorIES board.
+ * Agents attach as BusSnooper devices; each transaction is broadcast to
+ * all of them and their snoop responses are combined with 6xx priority
+ * (Retry > Modified > Shared > None).
+ *
+ * Timing model: one address tenure occupies the address bus for one
+ * cycle (the bus is pipelined and split-transaction). The issuing side
+ * advances bus time explicitly with tick()/advanceTo(), so utilization
+ * (tenures / elapsed cycles) is under the caller's control — the paper's
+ * case studies run at 2-20% utilization.
+ */
+
+#ifndef MEMORIES_BUS_BUS6XX_HH
+#define MEMORIES_BUS_BUS6XX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bus/transaction.hh"
+#include "common/types.hh"
+
+namespace memories::bus
+{
+
+/** Interface every bus agent implements to observe address tenures. */
+class BusSnooper
+{
+  public:
+    virtual ~BusSnooper() = default;
+
+    /**
+     * Observe one transaction and drive a snoop response.
+     * Passive agents (like the MemorIES board in normal operation)
+     * return SnoopResponse::None; they may return Retry only under
+     * buffer overflow.
+     */
+    virtual SnoopResponse snoop(const BusTransaction &txn) = 0;
+
+    /** Name for diagnostics. */
+    virtual std::string snooperName() const = 0;
+};
+
+/**
+ * Second-phase interface: sees each tenure together with its combined
+ * snoop response (the 6xx response window). Passive monitors like the
+ * MemorIES board use this to discard tenures that were retried and will
+ * be replayed.
+ */
+class BusObserver
+{
+  public:
+    virtual ~BusObserver() = default;
+
+    /** Called once per tenure, after all snoop responses combined. */
+    virtual void observeResult(const BusTransaction &txn,
+                               SnoopResponse combined) = 0;
+};
+
+/** Aggregate statistics the bus itself maintains. */
+struct BusStats
+{
+    std::uint64_t tenures = 0;        //!< address tenures issued
+    std::uint64_t memoryOps = 0;      //!< cacheable-memory tenures
+    std::uint64_t filteredOps = 0;    //!< I/O, interrupt, sync tenures
+    std::uint64_t retries = 0;        //!< tenures answered with Retry
+    std::uint64_t sharedResponses = 0;
+    std::uint64_t modifiedResponses = 0;
+    /** Data-bus beats consumed by data-bearing transfers. */
+    std::uint64_t dataCycles = 0;
+
+    /** Mean address-bus utilization over elapsed cycles. */
+    double utilization(Cycle elapsed) const;
+
+    /**
+     * Mean data-bus utilization over elapsed cycles — the figure the
+     * paper's "2% to 20%" measurements correspond to (a 128B transfer
+     * occupies the data bus for several beats while the address bus is
+     * busy one cycle).
+     */
+    double dataUtilization(Cycle elapsed) const;
+};
+
+/** The host machine's snooping memory bus. */
+class Bus6xx
+{
+  public:
+    Bus6xx() = default;
+
+    /** Attach a snooping agent. The caller retains ownership. */
+    void attach(BusSnooper *agent);
+
+    /** Detach a previously attached agent (no-op if absent). */
+    void detach(BusSnooper *agent);
+
+    /** Attach a second-phase observer. The caller retains ownership. */
+    void attachObserver(BusObserver *observer);
+
+    /** Detach an observer (no-op if absent). */
+    void detachObserver(BusObserver *observer);
+
+    /**
+     * Broadcast one transaction at the current bus cycle.
+     *
+     * The transaction's cycle field is stamped by the bus. Returns the
+     * combined snoop response; on Retry the tenure still happened (and
+     * counts toward utilization) but the requester must re-issue.
+     */
+    SnoopResponse issue(BusTransaction txn);
+
+    /** Advance bus time by @p cycles idle cycles. */
+    void tick(Cycle cycles) { now_ += cycles; }
+
+    /** Advance bus time to an absolute cycle (no-op if in the past). */
+    void advanceTo(Cycle cycle);
+
+    /** Current bus cycle. */
+    Cycle now() const { return now_; }
+
+    const BusStats &stats() const { return stats_; }
+
+    /** Reset statistics (time keeps running). */
+    void clearStats() { stats_ = BusStats{}; }
+
+    /** Number of attached snoopers. */
+    std::size_t snooperCount() const { return snoopers_.size(); }
+
+    /**
+     * Width of the data bus in bytes per beat (6xx: 16B). Data-bearing
+     * transactions consume size/width data beats, tracked in
+     * BusStats::dataCycles. The address bus stays one cycle per tenure
+     * (split-transaction).
+     */
+    void setDataBusBytesPerBeat(unsigned bytes);
+    unsigned dataBusBytesPerBeat() const { return dataBeatBytes_; }
+
+  private:
+    std::vector<BusSnooper *> snoopers_;
+    std::vector<BusObserver *> observers_;
+    Cycle now_ = 0;
+    unsigned dataBeatBytes_ = 16;
+    BusStats stats_;
+};
+
+} // namespace memories::bus
+
+#endif // MEMORIES_BUS_BUS6XX_HH

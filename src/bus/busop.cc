@@ -1,0 +1,39 @@
+#include "bus/busop.hh"
+
+#include <array>
+
+#include "common/logging.hh"
+
+namespace memories::bus
+{
+
+namespace
+{
+
+constexpr std::array<std::string_view, numBusOps> opNames = {
+    "READ",   "IFETCH",  "RWITM", "DCLAIM", "WB",   "WKILL", "FLUSH",
+    "CLEAN",  "KILL",    "IORD",  "IOWR",   "INTR", "SYNC",
+};
+
+} // namespace
+
+std::string_view
+busOpName(BusOp op)
+{
+    auto idx = static_cast<std::size_t>(op);
+    if (idx >= numBusOps)
+        MEMORIES_PANIC("bad BusOp ", idx);
+    return opNames[idx];
+}
+
+BusOp
+busOpFromName(std::string_view name)
+{
+    for (std::size_t i = 0; i < numBusOps; ++i) {
+        if (opNames[i] == name)
+            return static_cast<BusOp>(i);
+    }
+    fatal("unknown bus op mnemonic '", std::string(name), "'");
+}
+
+} // namespace memories::bus

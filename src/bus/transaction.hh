@@ -1,0 +1,74 @@
+/**
+ * @file
+ * One transaction as observed on the 6xx bus, and the snoop responses
+ * other bus agents can drive in reply.
+ */
+
+#ifndef MEMORIES_BUS_TRANSACTION_HH
+#define MEMORIES_BUS_TRANSACTION_HH
+
+#include <cstdint>
+
+#include "bus/busop.hh"
+#include "common/types.hh"
+
+namespace memories::bus
+{
+
+/**
+ * Snoop response lines of the 6xx bus, in increasing priority order.
+ * When several agents respond, the bus presents the strongest response.
+ */
+enum class SnoopResponse : std::uint8_t
+{
+    /** No agent holds the line. */
+    None = 0,
+    /** Some agent holds a clean/shared copy. */
+    Shared,
+    /** Some agent holds the line modified and will intervene. */
+    Modified,
+    /** An agent cannot service the snoop now: requester must retry. */
+    Retry,
+};
+
+/** Short mnemonic for a snoop response. */
+constexpr const char *
+snoopResponseName(SnoopResponse r)
+{
+    switch (r) {
+      case SnoopResponse::None:     return "none";
+      case SnoopResponse::Shared:   return "shared";
+      case SnoopResponse::Modified: return "modified";
+      case SnoopResponse::Retry:    return "retry";
+    }
+    return "?";
+}
+
+/** Combine two snoop responses: the stronger (higher priority) wins. */
+constexpr SnoopResponse
+combineSnoop(SnoopResponse a, SnoopResponse b)
+{
+    return static_cast<std::uint8_t>(a) >= static_cast<std::uint8_t>(b)
+               ? a : b;
+}
+
+/** One address-bus tenure on the 6xx bus. */
+struct BusTransaction
+{
+    /** Physical address (byte granularity; the board aligns to lines). */
+    Addr addr = 0;
+    /** Bus cycle at which the address tenure occurred. */
+    Cycle cycle = 0;
+    /** Command. */
+    BusOp op = BusOp::Read;
+    /** Bus ID of the requesting processor. */
+    CpuId cpu = 0;
+    /** Transfer size in bytes (host L2 line for cacheable ops). */
+    std::uint16_t size = 128;
+    /** True when this tenure is a retry replay of an earlier one. */
+    bool isRetryReplay = false;
+};
+
+} // namespace memories::bus
+
+#endif // MEMORIES_BUS_TRANSACTION_HH

@@ -1,0 +1,84 @@
+#include "cache/config.hh"
+
+#include <sstream>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace memories::cache
+{
+
+const char *
+replacementPolicyName(ReplacementPolicy p)
+{
+    switch (p) {
+      case ReplacementPolicy::LRU:    return "LRU";
+      case ReplacementPolicy::FIFO:   return "FIFO";
+      case ReplacementPolicy::Random: return "Random";
+      case ReplacementPolicy::TreePLRU: return "TreePLRU";
+    }
+    return "?";
+}
+
+ConfigBounds
+boardBounds()
+{
+    return ConfigBounds{2 * MiB, 8 * GiB, 1, 8, 128, 16 * KiB};
+}
+
+ConfigBounds
+hostBounds()
+{
+    return ConfigBounds{4 * KiB, 8 * GiB, 1, 16, 16, 16 * KiB};
+}
+
+std::uint64_t
+CacheConfig::numSets() const
+{
+    return sizeBytes / (lineSize * assoc);
+}
+
+void
+CacheConfig::validate(const ConfigBounds &bounds) const
+{
+    if (!isPowerOf2(sizeBytes))
+        fatal("cache size ", formatByteSize(sizeBytes),
+              " is not a power of two");
+    if (!isPowerOf2(lineSize))
+        fatal("cache line size ", formatByteSize(lineSize),
+              " is not a power of two");
+    if (sizeBytes < bounds.minSize || sizeBytes > bounds.maxSize)
+        fatal("cache size ", formatByteSize(sizeBytes),
+              " outside supported range [", formatByteSize(bounds.minSize),
+              ", ", formatByteSize(bounds.maxSize), "]");
+    if (assoc < bounds.minAssoc || assoc > bounds.maxAssoc)
+        fatal("associativity ", assoc, " outside supported range [",
+              bounds.minAssoc, ", ", bounds.maxAssoc, "]");
+    if (lineSize < bounds.minLine || lineSize > bounds.maxLine)
+        fatal("line size ", formatByteSize(lineSize),
+              " outside supported range [", formatByteSize(bounds.minLine),
+              ", ", formatByteSize(bounds.maxLine), "]");
+    if (sizeBytes < static_cast<std::uint64_t>(assoc) * lineSize)
+        fatal("cache size ", formatByteSize(sizeBytes),
+              " smaller than one set (", assoc, " x ",
+              formatByteSize(lineSize), ")");
+    if (!isPowerOf2(numSets()))
+        fatal("geometry yields non-power-of-two set count ", numSets());
+}
+
+std::string
+CacheConfig::describe() const
+{
+    std::ostringstream os;
+    os << formatByteSize(sizeBytes) << ' ';
+    if (assoc == 1)
+        os << "direct-mapped";
+    else
+        os << assoc << "-way";
+    os << ' ' << formatByteSize(lineSize) << ' '
+       << replacementPolicyName(policy);
+    return os.str();
+}
+
+} // namespace memories::cache

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Cache geometry configuration and validation.
+ *
+ * The board's node controllers accept the parameter ranges of Table 2 of
+ * the paper: capacity 2MB-8GB, direct-mapped to 8-way associative, line
+ * size 128B-16KB, and 1-8 processors per shared-cache node. The same
+ * CacheConfig type also describes host L1/L2 caches, which use laxer
+ * bounds (hostBounds()).
+ */
+
+#ifndef MEMORIES_CACHE_CONFIG_HH
+#define MEMORIES_CACHE_CONFIG_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace memories::cache
+{
+
+/** Victim-selection policy of a tag store. */
+enum class ReplacementPolicy : std::uint8_t
+{
+    LRU = 0,
+    FIFO,
+    Random,
+    /**
+     * Tree pseudo-LRU: one bit per internal node of a binary tree
+     * over the ways — the classic FPGA/SRAM-friendly approximation
+     * (true LRU needs a full ordering; the tree needs assoc-1 bits).
+     * Requires power-of-two associativity.
+     */
+    TreePLRU,
+};
+
+/** Mnemonic for a replacement policy. */
+const char *replacementPolicyName(ReplacementPolicy p);
+
+/** Inclusive bounds a CacheConfig must satisfy. */
+struct ConfigBounds
+{
+    std::uint64_t minSize;
+    std::uint64_t maxSize;
+    unsigned minAssoc;
+    unsigned maxAssoc;
+    std::uint64_t minLine;
+    std::uint64_t maxLine;
+};
+
+/** Table 2 bounds for caches emulated on the board. */
+ConfigBounds boardBounds();
+
+/** Permissive bounds for host-machine L1/L2 models. */
+ConfigBounds hostBounds();
+
+/** Geometry and policy of one cache. */
+struct CacheConfig
+{
+    std::uint64_t sizeBytes = 64 * MiB;
+    unsigned assoc = 4;
+    std::uint64_t lineSize = 128;
+    ReplacementPolicy policy = ReplacementPolicy::LRU;
+
+    /** Number of sets implied by the geometry. */
+    std::uint64_t numSets() const;
+
+    /** Number of line frames (sets * assoc). */
+    std::uint64_t numLines() const { return sizeBytes / lineSize; }
+
+    /**
+     * Validate against @p bounds: power-of-two size/line, associativity
+     * range, size >= assoc * line. fatal() with a precise message on any
+     * violation.
+     */
+    void validate(const ConfigBounds &bounds) const;
+
+    /** "64MB 4-way 128B LRU" for logs and tables. */
+    std::string describe() const;
+
+    /**
+     * Bytes of directory SDRAM one node controller needs for this
+     * geometry. The board stores tag+state+LRU in 4 bytes per frame, so
+     * an emulated cache must satisfy directoryBytes() <= the node's
+     * 256MB SDRAM budget.
+     */
+    std::uint64_t directoryBytes() const { return numLines() * 4; }
+};
+
+/** Per-node SDRAM directory budget on the current board revision. */
+inline constexpr std::uint64_t nodeSdramBudget = 256 * MiB;
+
+} // namespace memories::cache
+
+#endif // MEMORIES_CACHE_CONFIG_HH

@@ -1,0 +1,214 @@
+#include "cache/tagstore.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+
+namespace memories::cache
+{
+
+TagStore::TagStore(const CacheConfig &config, std::uint64_t seed)
+    : config_(config),
+      lineSize_(config.lineSize),
+      lineShift_(log2i(config.lineSize)),
+      numSets_(config.numSets()),
+      setMask_(numSets_ - 1),
+      assoc_(config.assoc),
+      tags_(numSets_ * assoc_, 0),
+      states_(numSets_ * assoc_, invalidState),
+      stamps_(numSets_ * assoc_, 0),
+      rng_(seed)
+{
+    if (!isPowerOf2(numSets_))
+        MEMORIES_PANIC("TagStore built from unvalidated config");
+    if (config.policy == ReplacementPolicy::TreePLRU) {
+        if (!isPowerOf2(assoc_))
+            fatal("TreePLRU requires power-of-two associativity, got ",
+                  assoc_);
+        plruBits_.assign(numSets_, 0);
+    }
+}
+
+void
+TagStore::plruTouch(std::uint64_t set, unsigned way)
+{
+    // Walk root->leaf along the touched way, pointing every node bit
+    // away from it (0 = victim path goes left, 1 = right).
+    std::uint8_t bits = plruBits_[set];
+    unsigned node = 1;
+    for (unsigned span = assoc_ / 2; span >= 1; span /= 2) {
+        const unsigned dir = (way / span) & 1u ? 1u : 0u;
+        if (dir)
+            bits &= static_cast<std::uint8_t>(~(1u << node));
+        else
+            bits |= static_cast<std::uint8_t>(1u << node);
+        node = 2 * node + dir;
+        if (span == 1)
+            break;
+    }
+    plruBits_[set] = bits;
+}
+
+unsigned
+TagStore::plruVictim(std::uint64_t set) const
+{
+    const std::uint8_t bits = plruBits_[set];
+    unsigned node = 1;
+    unsigned way = 0;
+    for (unsigned span = assoc_ / 2; span >= 1; span /= 2) {
+        const unsigned dir = (bits >> node) & 1u;
+        way += dir * span;
+        node = 2 * node + dir;
+        if (span == 1)
+            break;
+    }
+    return way;
+}
+
+LookupResult
+TagStore::lookup(Addr addr)
+{
+    const std::uint64_t line = addr >> lineShift_;
+    const std::uint64_t base = setIndex(line) * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const std::uint64_t f = base + w;
+        if (states_[f] != invalidState && tags_[f] == line) {
+            // LRU touch; FIFO keeps its insertion stamp.
+            if (config_.policy == ReplacementPolicy::LRU)
+                stamps_[f] = ++tick_;
+            else if (config_.policy == ReplacementPolicy::TreePLRU &&
+                     assoc_ > 1)
+                plruTouch(setIndex(line), w);
+            return LookupResult{true, w, states_[f]};
+        }
+    }
+    return LookupResult{};
+}
+
+LookupResult
+TagStore::probe(Addr addr) const
+{
+    const std::uint64_t line = addr >> lineShift_;
+    const std::uint64_t base = setIndex(line) * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const std::uint64_t f = base + w;
+        if (states_[f] != invalidState && tags_[f] == line)
+            return LookupResult{true, w, states_[f]};
+    }
+    return LookupResult{};
+}
+
+unsigned
+TagStore::victimWay(std::uint64_t set)
+{
+    const std::uint64_t base = set * assoc_;
+    // An invalid frame is always the first choice.
+    for (unsigned w = 0; w < assoc_; ++w) {
+        if (states_[base + w] == invalidState)
+            return w;
+    }
+    switch (config_.policy) {
+      case ReplacementPolicy::LRU:
+      case ReplacementPolicy::FIFO: {
+        unsigned victim = 0;
+        std::uint64_t oldest = stamps_[base];
+        for (unsigned w = 1; w < assoc_; ++w) {
+            if (stamps_[base + w] < oldest) {
+                oldest = stamps_[base + w];
+                victim = w;
+            }
+        }
+        return victim;
+      }
+      case ReplacementPolicy::Random:
+        return static_cast<unsigned>(rng_.nextBounded(assoc_));
+      case ReplacementPolicy::TreePLRU:
+        return assoc_ == 1 ? 0 : plruVictim(set);
+    }
+    MEMORIES_PANIC("unreachable replacement policy");
+}
+
+Eviction
+TagStore::allocate(Addr addr, LineStateRaw state)
+{
+    if (state == invalidState)
+        MEMORIES_PANIC("allocate with Invalid state");
+
+    const std::uint64_t line = addr >> lineShift_;
+    const std::uint64_t set = setIndex(line);
+    const unsigned way = victimWay(set);
+    const std::uint64_t f = set * assoc_ + way;
+
+    Eviction ev;
+    if (states_[f] != invalidState) {
+        ev.valid = true;
+        ev.lineAddr = tags_[f] << lineShift_;
+        ev.state = states_[f];
+    } else {
+        ++occupancy_;
+    }
+
+    tags_[f] = line;
+    states_[f] = state;
+    stamps_[f] = ++tick_;
+    if (config_.policy == ReplacementPolicy::TreePLRU && assoc_ > 1)
+        plruTouch(set, way);
+    return ev;
+}
+
+void
+TagStore::setState(Addr addr, LineStateRaw state)
+{
+    if (state == invalidState) {
+        if (!invalidate(addr))
+            MEMORIES_PANIC("setState(Invalid) on non-resident line");
+        return;
+    }
+    const std::uint64_t line = addr >> lineShift_;
+    const std::uint64_t base = setIndex(line) * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const std::uint64_t f = base + w;
+        if (states_[f] != invalidState && tags_[f] == line) {
+            states_[f] = state;
+            return;
+        }
+    }
+    MEMORIES_PANIC("setState on non-resident line");
+}
+
+bool
+TagStore::invalidate(Addr addr)
+{
+    const std::uint64_t line = addr >> lineShift_;
+    const std::uint64_t base = setIndex(line) * assoc_;
+    for (unsigned w = 0; w < assoc_; ++w) {
+        const std::uint64_t f = base + w;
+        if (states_[f] != invalidState && tags_[f] == line) {
+            states_[f] = invalidState;
+            --occupancy_;
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+TagStore::forEachValid(
+    const std::function<void(Addr, LineStateRaw)> &fn) const
+{
+    for (std::uint64_t f = 0; f < states_.size(); ++f) {
+        if (states_[f] != invalidState)
+            fn(tags_[f] << lineShift_, states_[f]);
+    }
+}
+
+void
+TagStore::reset()
+{
+    std::fill(states_.begin(), states_.end(), invalidState);
+    std::fill(stamps_.begin(), stamps_.end(), 0);
+    std::fill(plruBits_.begin(), plruBits_.end(), 0);
+    occupancy_ = 0;
+    tick_ = 0;
+}
+
+} // namespace memories::cache

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Set-associative tag/state store.
+ *
+ * This is the software equivalent of the board's SDRAM tag directory:
+ * it holds, per line frame, the line address tag, an opaque 8-bit
+ * protocol state (0 is Invalid by convention across the project), and
+ * replacement metadata. No data is stored — MemorIES only tracks tags
+ * and states, which is what lets 1GB of SDRAM describe an 8GB cache.
+ *
+ * The hot path (lookup/fill) is deliberately branch-light: the whole
+ * "real-time" property of the tool rests on this path being cheap.
+ */
+
+#ifndef MEMORIES_CACHE_TAGSTORE_HH
+#define MEMORIES_CACHE_TAGSTORE_HH
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cache/config.hh"
+#include "common/random.hh"
+#include "common/types.hh"
+
+namespace memories::cache
+{
+
+/** Opaque line state; 0 always means Invalid. */
+using LineStateRaw = std::uint8_t;
+
+/** State value meaning "frame empty". */
+inline constexpr LineStateRaw invalidState = 0;
+
+/** Result of looking up an address. */
+struct LookupResult
+{
+    bool hit = false;
+    /** Way within the set (valid only on hit). */
+    unsigned way = 0;
+    /** State of the hit line (invalidState on miss). */
+    LineStateRaw state = invalidState;
+};
+
+/** What allocate() displaced, if anything. */
+struct Eviction
+{
+    bool valid = false;
+    Addr lineAddr = 0;        //!< line-aligned byte address of the victim
+    LineStateRaw state = invalidState;
+};
+
+/** Set-associative tag+state array with pluggable replacement. */
+class TagStore
+{
+  public:
+    /**
+     * Build a tag store for @p config (which the caller has validated
+     * against the appropriate bounds).
+     * @param seed Seed for the Random replacement policy.
+     */
+    explicit TagStore(const CacheConfig &config, std::uint64_t seed = 1);
+
+    /** Line-aligned address of @p addr under this geometry. */
+    Addr lineAlign(Addr addr) const { return addr & ~(lineSize_ - 1); }
+
+    /** Look up @p addr and update replacement metadata on hit. */
+    LookupResult lookup(Addr addr);
+
+    /** Look up without touching replacement metadata (snoop path). */
+    LookupResult probe(Addr addr) const;
+
+    /**
+     * Install @p addr with @p state, evicting a victim if the set is
+     * full. The returned Eviction describes the displaced line (its
+     * valid flag is false when an empty frame was used).
+     */
+    Eviction allocate(Addr addr, LineStateRaw state);
+
+    /** Set the state of a resident line; panics if @p addr misses. */
+    void setState(Addr addr, LineStateRaw state);
+
+    /** Invalidate @p addr if resident. @return true when it was. */
+    bool invalidate(Addr addr);
+
+    /** Number of valid frames currently held. */
+    std::uint64_t occupancy() const { return occupancy_; }
+
+    /** Visit every valid line as (lineAddr, state). */
+    void forEachValid(
+        const std::function<void(Addr, LineStateRaw)> &fn) const;
+
+    /** Drop every line (console reset). */
+    void reset();
+
+    const CacheConfig &config() const { return config_; }
+
+  private:
+    std::uint64_t setIndex(Addr line_addr) const
+    {
+        return line_addr & setMask_;
+    }
+
+    unsigned victimWay(std::uint64_t set);
+
+    CacheConfig config_;
+    std::uint64_t lineSize_;
+    unsigned lineShift_;
+    std::uint64_t numSets_;
+    std::uint64_t setMask_;
+    unsigned assoc_;
+
+    /** Per-frame line number (addr >> lineShift); valid iff state != 0. */
+    std::vector<std::uint64_t> tags_;
+    std::vector<LineStateRaw> states_;
+    /** LRU / FIFO stamp per frame. */
+    std::vector<std::uint64_t> stamps_;
+    /** Tree-PLRU bits, one byte per set (assoc-1 bits used). */
+    std::vector<std::uint8_t> plruBits_;
+
+    void plruTouch(std::uint64_t set, unsigned way);
+    unsigned plruVictim(std::uint64_t set) const;
+
+    std::uint64_t tick_ = 0;
+    std::uint64_t occupancy_ = 0;
+    Rng rng_;
+};
+
+} // namespace memories::cache
+
+#endif // MEMORIES_CACHE_TAGSTORE_HH

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Small power-of-two and alignment helpers used by every address-indexed
+ * structure (tag stores, directories, hot-spot tables).
+ */
+
+#ifndef MEMORIES_COMMON_BITOPS_HH
+#define MEMORIES_COMMON_BITOPS_HH
+
+#include <bit>
+#include <cstdint>
+
+namespace memories
+{
+
+/** True when @p v is a power of two (zero is not). */
+constexpr bool
+isPowerOf2(std::uint64_t v)
+{
+    return v != 0 && (v & (v - 1)) == 0;
+}
+
+/** Floor of log2(v); log2i(0) is defined as 0 for convenience. */
+constexpr unsigned
+log2i(std::uint64_t v)
+{
+    return v == 0 ? 0u : 63u - static_cast<unsigned>(std::countl_zero(v));
+}
+
+/** Smallest power of two >= v (v==0 maps to 1). */
+constexpr std::uint64_t
+ceilPowerOf2(std::uint64_t v)
+{
+    return v <= 1 ? 1 : std::uint64_t{1} << (log2i(v - 1) + 1);
+}
+
+/** Align @p addr down to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignDown(std::uint64_t addr, std::uint64_t align)
+{
+    return addr & ~(align - 1);
+}
+
+/** Align @p addr up to a multiple of power-of-two @p align. */
+constexpr std::uint64_t
+alignUp(std::uint64_t addr, std::uint64_t align)
+{
+    return (addr + align - 1) & ~(align - 1);
+}
+
+/** Extract bits [lo, lo+width) of @p v. */
+constexpr std::uint64_t
+bits(std::uint64_t v, unsigned lo, unsigned width)
+{
+    return width >= 64 ? (v >> lo)
+                       : (v >> lo) & ((std::uint64_t{1} << width) - 1);
+}
+
+/** A mask with the low @p width bits set. */
+constexpr std::uint64_t
+lowMask(unsigned width)
+{
+    return width >= 64 ? ~std::uint64_t{0}
+                       : (std::uint64_t{1} << width) - 1;
+}
+
+} // namespace memories
+
+#endif // MEMORIES_COMMON_BITOPS_HH

@@ -1,0 +1,64 @@
+#include "common/counters.hh"
+
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace memories
+{
+
+CounterBank::Handle
+CounterBank::add(std::string_view name)
+{
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name)
+            return static_cast<Handle>(i);
+    }
+    names_.emplace_back(name);
+    counters_.emplace_back();
+    return static_cast<Handle>(names_.size() - 1);
+}
+
+bool
+CounterBank::has(std::string_view name) const
+{
+    for (const auto &n : names_) {
+        if (n == name)
+            return true;
+    }
+    return false;
+}
+
+CounterBank::Handle
+CounterBank::handle(std::string_view name) const
+{
+    for (std::size_t i = 0; i < names_.size(); ++i) {
+        if (names_[i] == name)
+            return static_cast<Handle>(i);
+    }
+    fatal("no counter named '", std::string(name), "'");
+}
+
+std::uint64_t
+CounterBank::valueByName(std::string_view name) const
+{
+    return counters_[handle(name)].value();
+}
+
+void
+CounterBank::clearAll()
+{
+    for (auto &c : counters_)
+        c.clear();
+}
+
+std::string
+CounterBank::dump() const
+{
+    std::ostringstream os;
+    for (std::size_t i = 0; i < counters_.size(); ++i)
+        os << names_[i] << ' ' << counters_[i].value() << '\n';
+    return os.str();
+}
+
+} // namespace memories

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Event counters modelled on the MemorIES board's counter fabric.
+ *
+ * The board implements more than 400 counters, each 40 bits wide; at 20%
+ * utilization of a 100 MHz bus a 40-bit counter holds more than 30 hours
+ * of events before wrapping (paper section 3). Counter40 reproduces that
+ * width exactly, including wraparound, and CounterBank groups named
+ * counters for one FPGA/node so the console can dump them.
+ */
+
+#ifndef MEMORIES_COMMON_COUNTERS_HH
+#define MEMORIES_COMMON_COUNTERS_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace memories
+{
+
+/** A single 40-bit hardware event counter; increments wrap at 2^40. */
+class Counter40
+{
+  public:
+    static constexpr std::uint64_t widthBits = 40;
+    static constexpr std::uint64_t mask = (std::uint64_t{1} << widthBits) - 1;
+
+    Counter40() = default;
+
+    /** Add @p n events (default one), wrapping at 40 bits. */
+    void add(std::uint64_t n = 1) { value_ = (value_ + n) & mask; }
+
+    /** Raw 40-bit value. */
+    std::uint64_t value() const { return value_; }
+
+    /** Reset to zero (console "clear counters" command). */
+    void clear() { value_ = 0; }
+
+  private:
+    std::uint64_t value_ = 0;
+};
+
+/**
+ * A set of named 40-bit counters with stable integer handles.
+ *
+ * Handles are allocated up front (when the FPGA personality is
+ * configured) so the per-event hot path is a plain array increment.
+ */
+class CounterBank
+{
+  public:
+    using Handle = std::uint32_t;
+
+    /**
+     * Register a counter and return its handle.
+     * Registering a duplicate name returns the existing handle.
+     */
+    Handle add(std::string_view name);
+
+    /** Increment counter @p h by @p n. */
+    void bump(Handle h, std::uint64_t n = 1) { counters_[h].add(n); }
+
+    /** Value of counter @p h. */
+    std::uint64_t value(Handle h) const { return counters_[h].value(); }
+
+    /** Look up a counter value by name; fatal() if absent. */
+    std::uint64_t valueByName(std::string_view name) const;
+
+    /** True when a counter with @p name exists. */
+    bool has(std::string_view name) const;
+
+    /** Handle for @p name; fatal() if absent. */
+    Handle handle(std::string_view name) const;
+
+    /** Number of registered counters. */
+    std::size_t size() const { return counters_.size(); }
+
+    /** Name of counter @p h. */
+    const std::string &name(Handle h) const { return names_[h]; }
+
+    /** Zero every counter. */
+    void clearAll();
+
+    /** Render "name value" lines, one per counter, for console dumps. */
+    std::string dump() const;
+
+  private:
+    std::vector<Counter40> counters_;
+    std::vector<std::string> names_;
+};
+
+} // namespace memories
+
+#endif // MEMORIES_COMMON_COUNTERS_HH

@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Error and status reporting in the gem5 idiom.
+ *
+ * panic()  - an internal invariant was violated: a bug in MemorIES itself.
+ *            Aborts so a debugger/core dump can catch it.
+ * fatal()  - the user asked for something impossible (bad configuration,
+ *            out-of-range cache geometry...). Throws FatalError so library
+ *            users and tests can catch it; main() wrappers turn it into
+ *            exit(1).
+ * warn()   - something works but not as well as it should.
+ * inform() - plain status for the console.
+ */
+
+#ifndef MEMORIES_COMMON_LOGGING_HH
+#define MEMORIES_COMMON_LOGGING_HH
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace memories
+{
+
+/** Exception thrown by fatal(): user-correctable misconfiguration. */
+class FatalError : public std::runtime_error
+{
+  public:
+    explicit FatalError(const std::string &msg) : std::runtime_error(msg) {}
+};
+
+namespace detail
+{
+
+/** Fold a parameter pack into one message string via ostringstream. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+[[noreturn]] void fatalImpl(const std::string &msg);
+void warnImpl(const std::string &msg);
+void informImpl(const std::string &msg);
+
+} // namespace detail
+
+/** Abort on an internal MemorIES bug. Never catchable by design. */
+#define MEMORIES_PANIC(...)                                                 \
+    ::memories::detail::panicImpl(__FILE__, __LINE__,                      \
+                                  ::memories::detail::concat(__VA_ARGS__))
+
+/** Report a user error by throwing FatalError. */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report a suspicious-but-survivable condition to stderr. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::warnImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Report normal operating status to stdout. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::informImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Silence or restore warn()/inform() output (tests use this). */
+void setLoggingQuiet(bool quiet);
+
+} // namespace memories
+
+#endif // MEMORIES_COMMON_LOGGING_HH

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Aggregate statistics used when post-processing counter dumps.
+ *
+ * The board itself only counts events; ratios, histograms, and interval
+ * time-series (the miss-ratio-over-hours profile of Figure 10) are
+ * computed console-side. These helpers live in common so benches, tests
+ * and examples share one implementation.
+ */
+
+#ifndef MEMORIES_COMMON_STATS_HH
+#define MEMORIES_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace memories
+{
+
+/** Safe ratio: returns 0 when the denominator is 0. */
+double ratio(std::uint64_t numer, std::uint64_t denom);
+
+/**
+ * Fixed-width histogram over [lo, hi) with uniform buckets plus
+ * underflow/overflow bins. Used for e.g. burst-length distributions.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void record(double v);
+
+    std::uint64_t bucketCount(std::size_t i) const { return counts_[i]; }
+    std::uint64_t underflow() const { return underflow_; }
+    std::uint64_t overflow() const { return overflow_; }
+    std::uint64_t samples() const { return samples_; }
+    std::size_t buckets() const { return counts_.size(); }
+    double mean() const;
+    double min() const { return min_; }
+    double max() const { return max_; }
+
+  private:
+    double lo_;
+    double hi_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t underflow_ = 0;
+    std::uint64_t overflow_ = 0;
+    std::uint64_t samples_ = 0;
+    double sum_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Interval time-series of a ratio: record (numer, denom) deltas per fixed
+ * interval and emit the per-interval ratio sequence. This is exactly how
+ * the Figure 10 miss-ratio profile is produced from the board's counters:
+ * the console polls cumulative counters every interval and differences
+ * them.
+ */
+class IntervalSeries
+{
+  public:
+    /** @param interval_refs References per sampling interval. */
+    explicit IntervalSeries(std::uint64_t interval_refs);
+
+    /** Feed one observation: @p denom_inc events of which @p numer_inc hit. */
+    void record(std::uint64_t numer_inc, std::uint64_t denom_inc);
+
+    /** Close any partial interval (call once at end of run). */
+    void finish();
+
+    /** Per-interval ratio values in order. */
+    const std::vector<double> &points() const { return points_; }
+
+    std::uint64_t intervalRefs() const { return interval_; }
+
+  private:
+    std::uint64_t interval_;
+    std::uint64_t numer_ = 0;
+    std::uint64_t denom_ = 0;
+    std::vector<double> points_;
+};
+
+/** Render a small ASCII sparkline of a series (console visualisation). */
+std::string sparkline(const std::vector<double> &points);
+
+} // namespace memories
+
+#endif // MEMORIES_COMMON_STATS_HH

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Fundamental scalar types shared by every MemorIES module.
+ *
+ * The conventions mirror the hardware the paper describes: physical
+ * addresses on the 6xx bus are 64-bit, bus time is counted in bus cycles
+ * (100 MHz on the S7A host), and processors/nodes are identified by the
+ * small integer IDs that appear on the bus.
+ */
+
+#ifndef MEMORIES_COMMON_TYPES_HH
+#define MEMORIES_COMMON_TYPES_HH
+
+#include <cstdint>
+
+namespace memories
+{
+
+/** Physical address as seen on the 6xx memory bus. */
+using Addr = std::uint64_t;
+
+/** Bus-cycle count. One cycle is 10 ns at the 100 MHz bus of the paper. */
+using Cycle = std::uint64_t;
+
+/** Bus ID of a requesting processor (the paper partitions these). */
+using CpuId = std::uint8_t;
+
+/** Index of an emulated shared-cache node (the board supports 0..3). */
+using NodeId = std::uint8_t;
+
+/** An invalid/unknown address marker. */
+inline constexpr Addr invalidAddr = ~static_cast<Addr>(0);
+
+/** Maximum processors on the host bus (S70-class machines top at 12). */
+inline constexpr unsigned maxHostCpus = 16;
+
+/** Maximum emulated shared-cache nodes on one board. */
+inline constexpr unsigned maxBoardNodes = 4;
+
+/** 6xx bus frequency modelled throughout (Hz). */
+inline constexpr std::uint64_t busFrequencyHz = 100'000'000;
+
+/** Byte-size convenience literals. */
+inline constexpr std::uint64_t KiB = 1024;
+inline constexpr std::uint64_t MiB = 1024 * KiB;
+inline constexpr std::uint64_t GiB = 1024 * MiB;
+
+} // namespace memories
+
+#endif // MEMORIES_COMMON_TYPES_HH

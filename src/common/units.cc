@@ -1,0 +1,85 @@
+#include "common/units.hh"
+
+#include <cctype>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace memories
+{
+
+std::uint64_t
+parseByteSize(std::string_view text)
+{
+    if (text.empty())
+        fatal("empty byte-size string");
+
+    std::size_t pos = 0;
+    std::uint64_t value = 0;
+    bool have_digit = false;
+    while (pos < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[pos]))) {
+        value = value * 10 + static_cast<std::uint64_t>(text[pos] - '0');
+        have_digit = true;
+        ++pos;
+    }
+    if (!have_digit)
+        fatal("byte-size string '", std::string(text),
+              "' does not start with a number");
+
+    std::string_view unit = text.substr(pos);
+    std::uint64_t scale = 1;
+    if (unit.empty() || unit == "B" || unit == "b") {
+        scale = 1;
+    } else if (unit == "KB" || unit == "KiB" || unit == "K" || unit == "kB") {
+        scale = KiB;
+    } else if (unit == "MB" || unit == "MiB" || unit == "M") {
+        scale = MiB;
+    } else if (unit == "GB" || unit == "GiB" || unit == "G") {
+        scale = GiB;
+    } else {
+        fatal("unknown byte-size unit '", std::string(unit), "'");
+    }
+    return value * scale;
+}
+
+std::string
+formatByteSize(std::uint64_t bytes)
+{
+    char buf[32];
+    if (bytes >= GiB && bytes % GiB == 0)
+        std::snprintf(buf, sizeof(buf), "%lluGB",
+                      static_cast<unsigned long long>(bytes / GiB));
+    else if (bytes >= MiB && bytes % MiB == 0)
+        std::snprintf(buf, sizeof(buf), "%lluMB",
+                      static_cast<unsigned long long>(bytes / MiB));
+    else if (bytes >= KiB && bytes % KiB == 0)
+        std::snprintf(buf, sizeof(buf), "%lluKB",
+                      static_cast<unsigned long long>(bytes / KiB));
+    else
+        std::snprintf(buf, sizeof(buf), "%lluB",
+                      static_cast<unsigned long long>(bytes));
+    return buf;
+}
+
+std::string
+formatSeconds(double seconds)
+{
+    char buf[48];
+    if (seconds < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.2f us", seconds * 1e6);
+    else if (seconds < 1.0)
+        std::snprintf(buf, sizeof(buf), "%.2f ms", seconds * 1e3);
+    else if (seconds < 120.0)
+        std::snprintf(buf, sizeof(buf), "%.2f s", seconds);
+    else if (seconds < 7200.0)
+        std::snprintf(buf, sizeof(buf), "%.1f min", seconds / 60.0);
+    else if (seconds < 2.0 * 86400.0)
+        std::snprintf(buf, sizeof(buf), "%.1f hours", seconds / 3600.0);
+    else
+        std::snprintf(buf, sizeof(buf), "%.1f days", seconds / 86400.0);
+    return buf;
+}
+
+} // namespace memories

@@ -1,0 +1,34 @@
+/**
+ * @file
+ * Human-readable byte sizes and durations.
+ *
+ * The console software configures the board with strings like "64MB" or
+ * "1GB"; these helpers parse and print them. Sizes are binary (MB == MiB),
+ * matching the paper's usage.
+ */
+
+#ifndef MEMORIES_COMMON_UNITS_HH
+#define MEMORIES_COMMON_UNITS_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace memories
+{
+
+/**
+ * Parse a byte-size string such as "128B", "2KB", "64MB", "8GB".
+ * A bare number is taken as bytes. Throws FatalError on malformed input.
+ */
+std::uint64_t parseByteSize(std::string_view text);
+
+/** Format a byte count using the largest exact binary unit. */
+std::string formatByteSize(std::uint64_t bytes);
+
+/** Format a duration given in seconds like the paper's tables do. */
+std::string formatSeconds(double seconds);
+
+} // namespace memories
+
+#endif // MEMORIES_COMMON_UNITS_HH

@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Private L1/L2 hierarchy of one host processor.
+ *
+ * The S7A host machine runs MESI coherence between the processors' L2
+ * caches over the 6xx bus. The board never sees L1/L2 hits — only the
+ * bus transactions L2 misses, upgrades and cast-outs produce — so the
+ * fidelity of this hierarchy determines the fidelity of everything the
+ * board measures.
+ *
+ * The hierarchy is inclusive (paper section 5.3 relies on that: "the L1
+ * and L2 caches in our system are fully inclusive"): an L2 eviction or
+ * snoop-invalidation also removes the line from L1.
+ */
+
+#ifndef MEMORIES_HOST_HOSTCACHE_HH
+#define MEMORIES_HOST_HOSTCACHE_HH
+
+#include <optional>
+
+#include "bus/busop.hh"
+#include "bus/transaction.hh"
+#include "cache/config.hh"
+#include "cache/tagstore.hh"
+#include "protocol/state.hh"
+
+namespace memories::host
+{
+
+/** Per-hierarchy event counts. */
+struct HierarchyStats
+{
+    std::uint64_t refs = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t l1Hits = 0;
+    std::uint64_t l2Hits = 0;       //!< L1 miss, satisfied by L2
+    std::uint64_t l2Misses = 0;     //!< required a bus read/RWITM
+    std::uint64_t l2Upgrades = 0;   //!< DClaim (S->M without data)
+    std::uint64_t writebacks = 0;   //!< dirty cast-outs
+    std::uint64_t snoopInvalidations = 0;
+    std::uint64_t snoopDowngrades = 0;
+};
+
+/** What an access needs from the bus. */
+struct BusNeed
+{
+    /** Transaction the L2 must issue first (Read/Rwitm/DClaim). */
+    bus::BusOp op = bus::BusOp::Read;
+    /** Line-aligned address. */
+    Addr lineAddr = 0;
+};
+
+/** Result of a CPU-side access attempt. */
+struct AccessResult
+{
+    /** True when the access completed without any bus transaction. */
+    bool hit = false;
+    /** Set when the L2 must go to the bus before completing. */
+    std::optional<BusNeed> need;
+    /** Dirty victim to cast out (issued as a WriteBack after the fill). */
+    std::optional<Addr> writebackAddr;
+};
+
+/** Inclusive two-level private cache hierarchy. */
+class HostCacheHierarchy
+{
+  public:
+    /**
+     * @param l1 L1 geometry (validated against hostBounds()).
+     * @param l2 L2 geometry, or std::nullopt to run with the L2
+     *           switched off (the boot-time option the paper uses to
+     *           emulate L2 rather than L3 caches on the board).
+     */
+    HostCacheHierarchy(const cache::CacheConfig &l1,
+                       const std::optional<cache::CacheConfig> &l2,
+                       std::uint64_t seed = 1);
+
+    /**
+     * Attempt a CPU access. If the result carries a BusNeed, the caller
+     * must issue that transaction on the bus and hand the combined
+     * snoop response to completeFill().
+     */
+    AccessResult access(Addr addr, bool write);
+
+    /**
+     * Finish a miss after its bus transaction: install/upgrade the line
+     * given the snoop outcome. Returns a dirty victim cast-out address
+     * if the fill displaced one.
+     */
+    std::optional<Addr> completeFill(const BusNeed &need, bool write,
+                                     bus::SnoopResponse response);
+
+    /**
+     * Apply a remote transaction (MESI snooper side). Returns the
+     * response this hierarchy drives on the bus, and invalidates /
+     * downgrades L1/L2 as needed.
+     */
+    bus::SnoopResponse snoop(const bus::BusTransaction &txn);
+
+    const HierarchyStats &stats() const { return stats_; }
+    void clearStats() { stats_ = HierarchyStats{}; }
+
+    /** True when an L2 is configured. */
+    bool hasL2() const { return l2_.has_value(); }
+
+    /** Line size presented to the bus (L2's, or L1's without an L2). */
+    std::uint64_t busLineSize() const;
+
+    /** Probe for residency (tests). */
+    bool residentInL1(Addr addr) const;
+    bool residentInL2(Addr addr) const;
+
+    /**
+     * Coherence state of @p addr at the bus-facing level (Invalid if
+     * absent) — used by invariant checkers.
+     */
+    protocol::LineState busLevelState(Addr addr) const;
+
+  private:
+    using LS = protocol::LineState;
+
+    static cache::LineStateRaw raw(LS s)
+    {
+        return static_cast<cache::LineStateRaw>(s);
+    }
+    static LS fromRaw(cache::LineStateRaw r)
+    {
+        return static_cast<LS>(r);
+    }
+
+    /** The outer (bus-facing) level: L2 when present, else L1. */
+    cache::TagStore &busLevel() { return l2_ ? *l2_ : l1_; }
+    const cache::TagStore &busLevel() const { return l2_ ? *l2_ : l1_; }
+
+    cache::TagStore l1_;
+    std::optional<cache::TagStore> l2_;
+    HierarchyStats stats_;
+};
+
+} // namespace memories::host
+
+#endif // MEMORIES_HOST_HOSTCACHE_HH

@@ -1,0 +1,159 @@
+#include "host/machine.hh"
+
+#include "common/logging.hh"
+
+namespace memories::host
+{
+
+HostConfig
+s7aConfig()
+{
+    return HostConfig{};
+}
+
+HostConfig
+s7aConfig1MbDirectMapped()
+{
+    HostConfig cfg;
+    cfg.l2 = cache::CacheConfig{1 * MiB, 1, 128,
+                                cache::ReplacementPolicy::LRU};
+    return cfg;
+}
+
+HostConfig
+s7aConfigNoL2()
+{
+    HostConfig cfg;
+    cfg.l2.reset();
+    return cfg;
+}
+
+HostProcessor::HostProcessor(CpuId id, const HostConfig &config,
+                             bus::Bus6xx &bus, workload::Workload &wl)
+    : id_(id), bus_(bus), workload_(wl),
+      hierarchy_(config.l1, config.l2, config.seed + id * 1000003),
+      busLine_(hierarchy_.busLineSize())
+{
+}
+
+std::string
+HostProcessor::snooperName() const
+{
+    return "cpu" + std::to_string(id_);
+}
+
+bus::SnoopResponse
+HostProcessor::snoop(const bus::BusTransaction &txn)
+{
+    // A processor never snoops its own tenure.
+    if (txn.cpu == id_)
+        return bus::SnoopResponse::None;
+    return hierarchy_.snoop(txn);
+}
+
+void
+HostProcessor::issueWithRetry(bus::BusTransaction txn,
+                              bus::SnoopResponse &final_response)
+{
+    // A retried tenure is replayed after a short backoff. The MemorIES
+    // buffers drain at 42% of bus bandwidth, so a small fixed backoff
+    // converges quickly; the cap catches livelock bugs.
+    constexpr int max_retries = 100000;
+    for (int attempt = 0; attempt < max_retries; ++attempt) {
+        final_response = bus_.issue(txn);
+        if (final_response != bus::SnoopResponse::Retry)
+            return;
+        ++retriesSeen_;
+        txn.isRetryReplay = true;
+        bus_.tick(8);
+    }
+    MEMORIES_PANIC("bus livelock: transaction retried ", max_retries,
+                   " times");
+}
+
+void
+HostProcessor::step()
+{
+    const workload::MemRef ref = workload_.next(id_);
+    const AccessResult res = hierarchy_.access(ref.addr, ref.write);
+    if (res.hit)
+        return;
+
+    bus::BusTransaction txn;
+    txn.addr = res.need->lineAddr;
+    txn.op = res.need->op;
+    txn.cpu = id_;
+    txn.size = static_cast<std::uint16_t>(busLine_);
+
+    bus::SnoopResponse resp = bus::SnoopResponse::None;
+    issueWithRetry(txn, resp);
+
+    const auto victim = hierarchy_.completeFill(*res.need, ref.write,
+                                                resp);
+    if (victim) {
+        bus::BusTransaction wb;
+        wb.addr = *victim;
+        wb.op = bus::BusOp::WriteBack;
+        wb.cpu = id_;
+        wb.size = static_cast<std::uint16_t>(busLine_);
+        bus::SnoopResponse wb_resp = bus::SnoopResponse::None;
+        issueWithRetry(wb, wb_resp);
+    }
+}
+
+HostMachine::HostMachine(const HostConfig &config, workload::Workload &wl)
+    : config_(config), workload_(wl)
+{
+    if (config.numCpus == 0 || config.numCpus > maxHostCpus)
+        fatal("host machine supports 1-", maxHostCpus, " CPUs, got ",
+              config.numCpus);
+    if (wl.threads() < config.numCpus)
+        fatal("workload has ", wl.threads(), " threads but the machine "
+              "has ", config.numCpus, " CPUs");
+    for (unsigned i = 0; i < config.numCpus; ++i) {
+        cpus_.push_back(std::make_unique<HostProcessor>(
+            static_cast<CpuId>(i), config, bus_, wl));
+        bus_.attach(cpus_.back().get());
+    }
+}
+
+void
+HostMachine::run(std::uint64_t refs)
+{
+    for (std::uint64_t i = 0; i < refs; ++i) {
+        cpus_[nextCpu_]->step();
+        bus_.tick(config_.cyclesPerRef);
+        nextCpu_ = (nextCpu_ + 1) % cpus_.size();
+    }
+    refsExecuted_ += refs;
+}
+
+void
+HostMachine::clearStats()
+{
+    for (auto &cpu : cpus_)
+        cpu->clearStats();
+    bus_.clearStats();
+}
+
+HierarchyStats
+HostMachine::totalStats() const
+{
+    HierarchyStats total;
+    for (const auto &cpu : cpus_) {
+        const auto &s = cpu->stats();
+        total.refs += s.refs;
+        total.reads += s.reads;
+        total.writes += s.writes;
+        total.l1Hits += s.l1Hits;
+        total.l2Hits += s.l2Hits;
+        total.l2Misses += s.l2Misses;
+        total.l2Upgrades += s.l2Upgrades;
+        total.writebacks += s.writebacks;
+        total.snoopInvalidations += s.snoopInvalidations;
+        total.snoopDowngrades += s.snoopDowngrades;
+    }
+    return total;
+}
+
+} // namespace memories::host

@@ -1,0 +1,134 @@
+/**
+ * @file
+ * The host SMP machine: processors, their cache hierarchies, and the
+ * 6xx bus the MemorIES board snoops.
+ *
+ * This stands in for the paper's 8-way IBM S7A (262 MHz Northstar
+ * processors, 8MB 4-way L2s, L2 reconfigurable at boot to 1MB
+ * direct-mapped or off). The board attaches to the machine's bus as a
+ * passive snooper; the machine never knows it is there.
+ */
+
+#ifndef MEMORIES_HOST_MACHINE_HH
+#define MEMORIES_HOST_MACHINE_HH
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "bus/bus6xx.hh"
+#include "host/hostcache.hh"
+#include "workload/workload.hh"
+
+namespace memories::host
+{
+
+/** Boot-time configuration of the host machine. */
+struct HostConfig
+{
+    unsigned numCpus = 8;
+    cache::CacheConfig l1{64 * KiB, 4, 128,
+                          cache::ReplacementPolicy::LRU};
+    /** nullopt runs with L2s switched off (board then emulates L2). */
+    std::optional<cache::CacheConfig> l2 =
+        cache::CacheConfig{8 * MiB, 4, 128,
+                           cache::ReplacementPolicy::LRU};
+    /**
+     * Mean bus cycles elapsing per CPU memory reference; sets the bus
+     * utilization level (the paper observed 2-20%; one cycle per
+     * reference with typical L2 miss rates lands in that band).
+     */
+    Cycle cyclesPerRef = 1;
+    std::uint64_t seed = 1;
+};
+
+/** S7A preset: 8 CPUs, 8MB 4-way set-associative L2. */
+HostConfig s7aConfig();
+
+/** S7A booted with 1MB direct-mapped L2s (Table 5's second column). */
+HostConfig s7aConfig1MbDirectMapped();
+
+/** S7A booted with L2s switched off (board emulates L2, not L3). */
+HostConfig s7aConfigNoL2();
+
+/** One processor: a workload thread driving a private hierarchy. */
+class HostProcessor : public bus::BusSnooper
+{
+  public:
+    HostProcessor(CpuId id, const HostConfig &config, bus::Bus6xx &bus,
+                  workload::Workload &wl);
+
+    /** Execute one workload reference (issuing bus traffic as needed). */
+    void step();
+
+    CpuId cpuId() const { return id_; }
+    const HierarchyStats &stats() const { return hierarchy_.stats(); }
+    void clearStats() { hierarchy_.clearStats(); }
+    HostCacheHierarchy &hierarchy() { return hierarchy_; }
+
+    /** BusSnooper: react to other CPUs' transactions. */
+    bus::SnoopResponse snoop(const bus::BusTransaction &txn) override;
+    std::string snooperName() const override;
+
+  private:
+    void issueWithRetry(bus::BusTransaction txn,
+                        bus::SnoopResponse &final_response);
+
+    CpuId id_;
+    bus::Bus6xx &bus_;
+    workload::Workload &workload_;
+    HostCacheHierarchy hierarchy_;
+    std::uint64_t busLine_;
+    std::uint64_t retriesSeen_ = 0;
+};
+
+/** The whole SMP. */
+class HostMachine
+{
+  public:
+    HostMachine(const HostConfig &config, workload::Workload &wl);
+
+    /**
+     * Run @p refs workload references, interleaved round-robin across
+     * the CPUs (one reference per CPU per turn), advancing bus time by
+     * cyclesPerRef for each.
+     */
+    void run(std::uint64_t refs);
+
+    bus::Bus6xx &bus() { return bus_; }
+    const bus::Bus6xx &bus() const { return bus_; }
+
+    unsigned numCpus() const
+    {
+        return static_cast<unsigned>(cpus_.size());
+    }
+    HostProcessor &cpu(unsigned i) { return *cpus_[i]; }
+
+    /** Sum of per-CPU hierarchy stats. */
+    HierarchyStats totalStats() const;
+
+    /**
+     * Zero every CPU's hierarchy stats and the bus stats, keeping all
+     * cache contents warm — call after a warmup phase so measurements
+     * exclude cold-start effects (the long-trace methodology of the
+     * paper's case studies).
+     */
+    void clearStats();
+
+    /** Total references executed so far. */
+    std::uint64_t refsExecuted() const { return refsExecuted_; }
+
+    const HostConfig &config() const { return config_; }
+
+  private:
+    HostConfig config_;
+    workload::Workload &workload_;
+    bus::Bus6xx bus_;
+    std::vector<std::unique_ptr<HostProcessor>> cpus_;
+    std::uint64_t refsExecuted_ = 0;
+    unsigned nextCpu_ = 0;
+};
+
+} // namespace memories::host
+
+#endif // MEMORIES_HOST_MACHINE_HH

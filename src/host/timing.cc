@@ -1,0 +1,44 @@
+#include "host/timing.hh"
+
+namespace memories::host
+{
+
+double
+TimingModel::estimateRuntimeSeconds(const HierarchyStats &stats,
+                                    double refs_per_instruction,
+                                    unsigned cpus) const
+{
+    return estimateRuntimeWithL3(stats, refs_per_instruction, 0.0, cpus);
+}
+
+double
+TimingModel::estimateRuntimeWithL3(const HierarchyStats &stats,
+                                   double refs_per_instruction,
+                                   double l3_hit_ratio,
+                                   unsigned cpus) const
+{
+    const double instr = instructions(stats.refs, refs_per_instruction);
+    const double l1_misses =
+        static_cast<double>(stats.l2Hits + stats.l2Misses);
+    const double l2_misses = static_cast<double>(stats.l2Misses);
+    const double l2_to_l3 = l2_misses * l3_hit_ratio;
+    const double l2_to_mem = l2_misses - l2_to_l3;
+
+    const double cycles = instr * cpiBase +
+                          l1_misses * l1PenaltyCycles +
+                          l2_to_l3 * l3HitPenaltyCycles +
+                          l2_to_mem * l2PenaltyCycles;
+    // All CPUs run concurrently: wall time is per-CPU work.
+    return cycles / (cpuFreqHz * (cpus == 0 ? 1 : cpus));
+}
+
+double
+TimingModel::missesPerKiloInstruction(std::uint64_t misses,
+                                      double instructions)
+{
+    return instructions <= 0.0
+               ? 0.0
+               : static_cast<double>(misses) * 1000.0 / instructions;
+}
+
+} // namespace memories::host

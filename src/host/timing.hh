@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Runtime estimation model for the host machine.
+ *
+ * The paper reports wall-clock runtimes measured on the S7A (Table 5)
+ * and uses per-instruction miss rates (Table 6). A software host has no
+ * wall clock of its own, so runtimes are estimated with the standard
+ * CPI decomposition: cycles = instructions * cpiBase + misses at each
+ * level * that level's penalty. The same arithmetic also powers the
+ * paper's 2-25% L3-benefit estimate in Case Study 3 ("preliminary
+ * calculations based on latencies and miss ratios").
+ */
+
+#ifndef MEMORIES_HOST_TIMING_HH
+#define MEMORIES_HOST_TIMING_HH
+
+#include <cstdint>
+
+#include "host/hostcache.hh"
+
+namespace memories::host
+{
+
+/** Latency/CPI parameters of the 262 MHz Northstar host. */
+struct TimingModel
+{
+    double cpuFreqHz = 262e6;
+    /** Base CPI with an infinite cache. */
+    double cpiBase = 1.3;
+    /** Extra CPU cycles for an L1 miss that hits in L2. */
+    double l1PenaltyCycles = 12;
+    /** Extra CPU cycles for an L2 miss satisfied by memory. */
+    double l2PenaltyCycles = 90;
+    /** Extra CPU cycles for an L2 miss satisfied by an L3 hit. */
+    double l3HitPenaltyCycles = 35;
+
+    /**
+     * Instructions implied by @p refs data references at @p
+     * refs_per_instruction.
+     */
+    static double
+    instructions(std::uint64_t refs, double refs_per_instruction)
+    {
+        return static_cast<double>(refs) / refs_per_instruction;
+    }
+
+    /**
+     * Estimated runtime in seconds without any L3 (all L2 misses pay
+     * the memory penalty).
+     */
+    double estimateRuntimeSeconds(const HierarchyStats &stats,
+                                  double refs_per_instruction,
+                                  unsigned cpus = 1) const;
+
+    /**
+     * Estimated runtime when a fraction @p l3_hit_ratio of L2 misses
+     * hit in an (emulated) L3 instead of paying the memory penalty.
+     * @p stats may aggregate several CPUs; pass their count so wall
+     * time reflects parallel execution.
+     */
+    double estimateRuntimeWithL3(const HierarchyStats &stats,
+                                 double refs_per_instruction,
+                                 double l3_hit_ratio,
+                                 unsigned cpus = 1) const;
+
+    /** Miss rate in misses per thousand instructions (Table 6 metric). */
+    static double missesPerKiloInstruction(std::uint64_t misses,
+                                           double instructions);
+};
+
+} // namespace memories::host
+
+#endif // MEMORIES_HOST_TIMING_HH

@@ -1,0 +1,126 @@
+#include "ies/analysis.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+
+namespace memories::ies
+{
+
+std::vector<CurvePoint>
+missRatioCurve(const MemoriesBoard &board)
+{
+    std::vector<CurvePoint> curve;
+    for (std::size_t n = 0; n < board.numNodes(); ++n) {
+        const auto &node = board.node(n);
+        const auto s = node.stats();
+        CurvePoint p;
+        p.label = node.config().cache.describe();
+        p.sizeBytes = node.config().cache.sizeBytes;
+        p.refs = s.localRefs;
+        p.misses = s.localMisses;
+        p.missRatio = s.missRatio();
+        curve.push_back(std::move(p));
+    }
+    std::sort(curve.begin(), curve.end(),
+              [](const CurvePoint &a, const CurvePoint &b) {
+                  return a.sizeBytes < b.sizeBytes;
+              });
+    return curve;
+}
+
+BoardReport
+BoardReport::capture(const MemoriesBoard &board)
+{
+    BoardReport report;
+    const auto &g = board.globalCounters();
+    report.memoryTenures = g.valueByName("global.tenures.memory");
+    report.committed = g.valueByName("global.tenures.committed");
+    report.filtered = g.valueByName("global.tenures.filtered");
+    report.retriesPosted = g.valueByName("global.retries_posted");
+    report.bufferHighWater = board.bufferHighWater();
+    for (std::size_t n = 0; n < board.numNodes(); ++n) {
+        const auto &node = board.node(n);
+        report.nodeLabels.push_back(
+            node.config().label.empty() ? node.config().cache.describe()
+                                        : node.config().label);
+        report.nodes.push_back(node.stats());
+    }
+    return report;
+}
+
+std::string
+BoardReport::toCsv() const
+{
+    std::ostringstream os;
+    os << "node,refs,hits,misses,miss_ratio,sat_cache,sat_modint,"
+          "sat_shrint,sat_memory,fills,evictions_clean,"
+          "evictions_dirty,remote_invalidations,supplied_modified,"
+          "supplied_shared,global_tenures,global_committed,"
+          "global_filtered,retries_posted\n";
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+        const auto &s = nodes[n];
+        os << nodeLabels[n] << ',' << s.localRefs << ',' << s.localHits
+           << ',' << s.localMisses << ',' << s.missRatio() << ','
+           << s.satisfiedByCache << ','
+           << s.satisfiedByModIntervention << ','
+           << s.satisfiedByShrIntervention << ','
+           << s.satisfiedByMemory << ',' << s.fills << ','
+           << s.evictionsClean << ',' << s.evictionsDirty << ','
+           << s.remoteInvalidations << ',' << s.suppliedModified << ','
+           << s.suppliedShared << ',' << memoryTenures << ','
+           << committed << ',' << filtered << ',' << retriesPosted
+           << '\n';
+    }
+    return os.str();
+}
+
+std::string
+BoardReport::toText() const
+{
+    std::ostringstream os;
+    os << "memory tenures " << memoryTenures << ", committed "
+       << committed << ", filtered " << filtered << ", retries "
+       << retriesPosted << ", buffer high-water " << bufferHighWater
+       << "\n";
+    for (std::size_t n = 0; n < nodes.size(); ++n) {
+        const auto &s = nodes[n];
+        os << "  " << nodeLabels[n] << ": refs " << s.localRefs
+           << " miss-ratio " << s.missRatio() << " (cache "
+           << s.satisfiedByCache << " / mod-int "
+           << s.satisfiedByModIntervention << " / shr-int "
+           << s.satisfiedByShrIntervention << " / memory "
+           << s.satisfiedByMemory << ")\n";
+    }
+    return os.str();
+}
+
+std::string
+countersToCsv(const CounterBank &bank)
+{
+    std::ostringstream os;
+    os << "counter,value\n";
+    for (std::size_t i = 0; i < bank.size(); ++i) {
+        os << bank.name(static_cast<CounterBank::Handle>(i)) << ','
+           << bank.value(static_cast<CounterBank::Handle>(i)) << '\n';
+    }
+    return os.str();
+}
+
+double
+l3SpeedupEstimate(double l2_miss_cycles_fraction, double l3_hit_ratio,
+                  double l3_cycles, double memory_cycles)
+{
+    if (l2_miss_cycles_fraction < 0.0 || l2_miss_cycles_fraction > 1.0)
+        fatal("miss-cycle fraction must be in [0,1]");
+    if (l3_hit_ratio < 0.0 || l3_hit_ratio > 1.0)
+        fatal("L3 hit ratio must be in [0,1]");
+    // Fraction of miss cycles removed: hits move from memory latency
+    // to L3 latency.
+    const double saved_per_miss =
+        l3_hit_ratio * (1.0 - l3_cycles / memory_cycles);
+    return l2_miss_cycles_fraction * saved_per_miss;
+}
+
+} // namespace memories::ies

@@ -1,0 +1,356 @@
+#include "ies/board.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/stats.hh"
+
+namespace memories::ies
+{
+
+MemoriesBoard::MemoriesBoard(const BoardConfig &config, std::uint64_t seed)
+    : config_(config),
+      buffer_(config.bufferEntries, config.sdramThroughputPercent)
+{
+    config_.validate();
+    for (std::size_t i = 0; i < config_.nodes.size(); ++i) {
+        nodes_.push_back(std::make_unique<NodeController>(
+            static_cast<NodeId>(i), config_.nodes[i], seed));
+    }
+    if (config_.traceCapture)
+        capture_.emplace(config_.traceCaptureRecords);
+
+    hTenures_ = global_.add("global.tenures.memory");
+    hCommitted_ = global_.add("global.tenures.committed");
+    hFiltered_ = global_.add("global.tenures.filtered");
+    hDroppedRetry_ = global_.add("global.tenures.dropped_retry");
+    hReads_ = global_.add("global.reads");
+    hWrites_ = global_.add("global.writes");
+    hWritebacks_ = global_.add("global.writebacks");
+    hRetriesPosted_ = global_.add("global.retries_posted");
+}
+
+MemoriesBoard::~MemoriesBoard() = default;
+
+void
+MemoriesBoard::plugInto(bus::Bus6xx &bus)
+{
+    bus.attach(this);
+    bus.attachObserver(this);
+}
+
+void
+MemoriesBoard::unplug(bus::Bus6xx &bus)
+{
+    bus.detach(this);
+    bus.detachObserver(this);
+}
+
+std::uint64_t
+MemoriesBoard::retriesPosted() const
+{
+    return global_.value(hRetriesPosted_);
+}
+
+void
+MemoriesBoard::drainDue(Cycle now)
+{
+    while (auto txn = buffer_.drain(now))
+        emulate(*txn);
+}
+
+bus::SnoopResponse
+MemoriesBoard::snoop(const bus::BusTransaction &txn)
+{
+    // Address-filter FPGA: non-emulation operations (I/O register
+    // accesses, interrupts, syncs) are dropped before they consume any
+    // buffer space.
+    if (bus::isFilteredOp(txn.op)) {
+        global_.bump(hFiltered_);
+        return bus::SnoopResponse::None;
+    }
+    global_.bump(hTenures_);
+    if (bus::isReadOp(txn.op))
+        global_.bump(hReads_);
+    if (bus::isWriteIntentOp(txn.op))
+        global_.bump(hWrites_);
+    if (txn.op == bus::BusOp::WriteBack)
+        global_.bump(hWritebacks_);
+
+    // Let the SDRAM side catch up to this bus cycle before judging
+    // buffer fullness.
+    drainDue(txn.cycle);
+
+    if (buffer_.size() >= buffer_.capacity()) {
+        // The one non-passive behaviour the board has.
+        global_.bump(hRetriesPosted_);
+        pendingRetried_ = true;
+        pending_.reset();
+        return bus::SnoopResponse::Retry;
+    }
+
+    pending_ = txn;
+    pendingRetried_ = false;
+    return bus::SnoopResponse::None;
+}
+
+void
+MemoriesBoard::observeResult(const bus::BusTransaction &txn,
+                             bus::SnoopResponse combined)
+{
+    if (bus::isFilteredOp(txn.op))
+        return;
+    if (pendingRetried_) {
+        // We retried it ourselves; the replay will come back.
+        pendingRetried_ = false;
+        return;
+    }
+    if (!pending_)
+        return;
+
+    if (combined == bus::SnoopResponse::Retry) {
+        // Some other agent retried the tenure: it did not complete, so
+        // the filter drops it (the replay will be processed instead).
+        global_.bump(hDroppedRetry_);
+        pending_.reset();
+        return;
+    }
+
+    global_.bump(hCommitted_);
+    if (capture_)
+        capture_->record(*pending_);
+    const bool ok = buffer_.push(*pending_);
+    if (!ok) {
+        // Cannot happen: snoop() checked capacity in the same tenure.
+        MEMORIES_PANIC("transaction buffer overflowed between snoop and "
+                       "response window");
+    }
+    pending_.reset();
+}
+
+void
+MemoriesBoard::drainAll()
+{
+    while (auto txn = buffer_.drainUnpaced())
+        emulate(*txn);
+}
+
+void
+MemoriesBoard::emulate(const bus::BusTransaction &txn)
+{
+    // Lock-step emulation step: group nodes by target machine; within
+    // each machine the non-owning nodes snoop first (their combined
+    // emulated response is the "resulting state from other cache
+    // nodes" input of the requester's protocol table), then the owning
+    // node applies its requester transition.
+    for (std::size_t first = 0; first < nodes_.size(); ++first) {
+        const unsigned machine = nodes_[first]->targetMachine();
+        bool is_first_of_machine = true;
+        for (std::size_t j = 0; j < first; ++j) {
+            if (nodes_[j]->targetMachine() == machine) {
+                is_first_of_machine = false;
+                break;
+            }
+        }
+        if (!is_first_of_machine)
+            continue;
+
+        NodeController *owner = nullptr;
+        auto emu_resp = bus::SnoopResponse::None;
+        for (auto &node : nodes_) {
+            if (node->targetMachine() != machine)
+                continue;
+            if (node->ownsCpu(txn.cpu)) {
+                owner = node.get();
+            } else {
+                emu_resp = bus::combineSnoop(emu_resp,
+                                             node->snoopRemote(txn));
+            }
+        }
+        if (owner)
+            owner->processLocal(txn, emu_resp);
+    }
+}
+
+void
+MemoriesBoard::clearCounters()
+{
+    global_.clearAll();
+    for (auto &node : nodes_)
+        node->clearCounters();
+}
+
+void
+MemoriesBoard::reset()
+{
+    clearCounters();
+    for (auto &node : nodes_)
+        node->resetDirectory();
+    if (capture_)
+        capture_->reset();
+}
+
+std::string
+MemoriesBoard::dumpStats() const
+{
+    std::ostringstream os;
+    os << "=== MemorIES board ===\n";
+    os << "memory tenures " << global_.value(hTenures_)
+       << " committed " << global_.value(hCommitted_)
+       << " filtered " << global_.value(hFiltered_)
+       << " dropped-on-retry " << global_.value(hDroppedRetry_)
+       << " retries-posted " << global_.value(hRetriesPosted_) << "\n";
+    os << "buffer high-water " << buffer_.highWater() << "/"
+       << buffer_.capacity() << "\n";
+    for (const auto &node : nodes_) {
+        const NodeStats s = node->stats();
+        os << "node " << static_cast<unsigned>(node->id());
+        if (!node->config().label.empty())
+            os << " (" << node->config().label << ")";
+        os << " [" << node->config().cache.describe() << ", "
+           << node->config().protocol.name() << "]\n";
+        os << "  refs " << s.localRefs << " hits " << s.localHits
+           << " misses " << s.localMisses << " miss-ratio "
+           << s.missRatio() << "\n";
+        os << "  satisfied: cache " << s.satisfiedByCache << " mod-int "
+           << s.satisfiedByModIntervention << " shr-int "
+           << s.satisfiedByShrIntervention << " memory "
+           << s.satisfiedByMemory << "\n";
+        os << "  fills " << s.fills << " evictions clean "
+           << s.evictionsClean << " dirty " << s.evictionsDirty
+           << " remote-inv " << s.remoteInvalidations << "\n";
+    }
+    return os.str();
+}
+
+namespace
+{
+constexpr std::uint64_t stateMagic = 0x4945535354415445ull; // IESSTATE
+constexpr std::uint64_t stateVersion = 1;
+} // namespace
+
+void
+MemoriesBoard::saveState(const std::string &path) const
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot create state file '", path, "'");
+    auto put64 = [&](std::uint64_t v) {
+        if (std::fwrite(&v, sizeof(v), 1, f) != 1) {
+            std::fclose(f);
+            fatal("failed writing state file '", path, "'");
+        }
+    };
+    put64(stateMagic);
+    put64(stateVersion);
+    put64(nodes_.size());
+    for (const auto &node : nodes_) {
+        put64(node->geometrySignature());
+        // Count first, then the lines.
+        std::uint64_t count = 0;
+        node->exportDirectory(
+            [&](Addr, cache::LineStateRaw) { ++count; });
+        put64(count);
+        bool io_ok = true;
+        node->exportDirectory([&](Addr addr, cache::LineStateRaw s) {
+            io_ok = io_ok &&
+                    std::fwrite(&addr, sizeof(addr), 1, f) == 1 &&
+                    std::fwrite(&s, sizeof(s), 1, f) == 1;
+        });
+        if (!io_ok) {
+            std::fclose(f);
+            fatal("failed writing state file '", path, "'");
+        }
+    }
+    std::fclose(f);
+}
+
+void
+MemoriesBoard::loadState(const std::string &path)
+{
+    std::FILE *f = std::fopen(path.c_str(), "rb");
+    if (!f)
+        fatal("cannot open state file '", path, "'");
+    auto get64 = [&]() {
+        std::uint64_t v = 0;
+        if (std::fread(&v, sizeof(v), 1, f) != 1) {
+            std::fclose(f);
+            fatal("truncated state file '", path, "'");
+        }
+        return v;
+    };
+    if (get64() != stateMagic) {
+        std::fclose(f);
+        fatal("'", path, "' is not a MemorIES state file");
+    }
+    if (get64() != stateVersion) {
+        std::fclose(f);
+        fatal("unsupported state file version in '", path, "'");
+    }
+    if (get64() != nodes_.size()) {
+        std::fclose(f);
+        fatal("state file '", path,
+              "' was taken from a different node configuration");
+    }
+    for (auto &node : nodes_) {
+        if (get64() != node->geometrySignature()) {
+            std::fclose(f);
+            fatal("state file '", path, "' geometry mismatch at node ",
+                  static_cast<unsigned>(node->id()));
+        }
+        node->resetDirectory();
+        const std::uint64_t count = get64();
+        for (std::uint64_t i = 0; i < count; ++i) {
+            Addr addr = 0;
+            cache::LineStateRaw state = 0;
+            if (std::fread(&addr, sizeof(addr), 1, f) != 1 ||
+                std::fread(&state, sizeof(state), 1, f) != 1) {
+                std::fclose(f);
+                fatal("truncated state file '", path, "'");
+            }
+            node->importLine(addr, state);
+        }
+    }
+    std::fclose(f);
+}
+
+BoardConfig
+makeUniformBoard(std::size_t node_count, unsigned cpus_per_node,
+                 const cache::CacheConfig &cache,
+                 const std::string &protocol_name)
+{
+    BoardConfig cfg;
+    CpuId next_cpu = 0;
+    for (std::size_t n = 0; n < node_count; ++n) {
+        NodeConfig node;
+        node.cache = cache;
+        node.protocol = protocol::makeBuiltinTable(protocol_name);
+        node.targetMachine = 0;
+        node.label = "node" + std::to_string(n);
+        for (unsigned c = 0; c < cpus_per_node; ++c)
+            node.cpus.push_back(next_cpu++);
+        cfg.nodes.push_back(std::move(node));
+    }
+    return cfg;
+}
+
+BoardConfig
+makeMultiConfigBoard(const std::vector<cache::CacheConfig> &caches,
+                     unsigned cpus, const std::string &protocol_name)
+{
+    BoardConfig cfg;
+    for (std::size_t i = 0; i < caches.size(); ++i) {
+        NodeConfig node;
+        node.cache = caches[i];
+        node.protocol = protocol::makeBuiltinTable(protocol_name);
+        node.targetMachine = static_cast<unsigned>(i);
+        node.label = caches[i].describe();
+        for (unsigned c = 0; c < cpus; ++c)
+            node.cpus.push_back(static_cast<CpuId>(c));
+        cfg.nodes.push_back(std::move(node));
+    }
+    return cfg;
+}
+
+} // namespace memories::ies

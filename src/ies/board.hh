@@ -1,0 +1,158 @@
+/**
+ * @file
+ * The MemorIES board: address filter, global event counters,
+ * transaction buffering, and up to four (logically eight) lock-stepped
+ * node controllers, plugged into the host's 6xx bus as a passive
+ * snooper.
+ *
+ * Passivity is structural: the board receives transactions through the
+ * BusSnooper/BusObserver interfaces and holds no reference to any host
+ * cache. Its only possible effect on the host is the retry it posts
+ * when its transaction buffers overflow (paper section 3.3 — never
+ * observed below 42% sustained utilization).
+ */
+
+#ifndef MEMORIES_IES_BOARD_HH
+#define MEMORIES_IES_BOARD_HH
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bus/bus6xx.hh"
+#include "common/counters.hh"
+#include "ies/boardconfig.hh"
+#include "ies/nodecontroller.hh"
+#include "ies/txnbuffer.hh"
+#include "trace/capture.hh"
+
+namespace memories::ies
+{
+
+/** The complete emulation board. */
+class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
+{
+  public:
+    explicit MemoriesBoard(const BoardConfig &config,
+                           std::uint64_t seed = 1);
+    ~MemoriesBoard() override;
+
+    MemoriesBoard(const MemoriesBoard &) = delete;
+    MemoriesBoard &operator=(const MemoriesBoard &) = delete;
+
+    /** Attach to the host bus (snoop + response-window observer). */
+    void plugInto(bus::Bus6xx &bus);
+
+    /** Detach from the host bus. */
+    void unplug(bus::Bus6xx &bus);
+
+    /** BusSnooper: filter, pace, and Retry only on buffer overflow. */
+    bus::SnoopResponse snoop(const bus::BusTransaction &txn) override;
+    std::string snooperName() const override { return "memories-board"; }
+
+    /** BusObserver: commit or drop the tenure once responses combine. */
+    void observeResult(const bus::BusTransaction &txn,
+                       bus::SnoopResponse combined) override;
+
+    /**
+     * Process everything still sitting in the transaction buffers
+     * (call at the end of a measurement; the host has gone quiet so
+     * the SDRAM side catches up).
+     */
+    void drainAll();
+
+    std::size_t numNodes() const { return nodes_.size(); }
+    NodeController &node(std::size_t i) { return *nodes_[i]; }
+    const NodeController &node(std::size_t i) const { return *nodes_[i]; }
+
+    /** Board-level (global-events FPGA) counters. */
+    const CounterBank &globalCounters() const { return global_; }
+
+    /** Retries the board itself posted (should stay 0 below 42% util). */
+    std::uint64_t retriesPosted() const;
+
+    /** Deepest buffer occupancy seen. */
+    std::size_t bufferHighWater() const { return buffer_.highWater(); }
+
+    /** Trace-capture buffer, when the mode is enabled. */
+    trace::CaptureBuffer *captureBuffer()
+    {
+        return capture_ ? &*capture_ : nullptr;
+    }
+
+    /** Clear all counters (node + global); keeps directories warm. */
+    void clearCounters();
+
+    /** Cold-start every directory and clear counters. */
+    void reset();
+
+    /** Multi-line human-readable statistics dump (console "stats"). */
+    std::string dumpStats() const;
+
+    /**
+     * Checkpoint every node's directory contents to @p path.
+     *
+     * Section 4.2 notes that, unlike Embra, the hardware board cannot
+     * checkpoint and reposition a workload. A software board can:
+     * saving warm directories lets a study resume measurement at an
+     * interesting point without replaying hours of warmup. Replacement
+     * recency is not preserved (the directories come back warm but
+     * freshly-ordered), which perturbs only the first evictions per
+     * set.
+     */
+    void saveState(const std::string &path) const;
+
+    /**
+     * Restore directories checkpointed by saveState(). The board
+     * configuration (node count and geometries) must match; fatal()
+     * otherwise. Counters are left untouched.
+     */
+    void loadState(const std::string &path);
+
+    const BoardConfig &config() const { return config_; }
+
+  private:
+    void emulate(const bus::BusTransaction &txn);
+    void drainDue(Cycle now);
+
+    BoardConfig config_;
+    std::vector<std::unique_ptr<NodeController>> nodes_;
+    TransactionBuffer buffer_;
+    std::optional<trace::CaptureBuffer> capture_;
+
+    /** Tenure seen by snoop() awaiting its response window. */
+    std::optional<bus::BusTransaction> pending_;
+    bool pendingRetried_ = false;
+
+    CounterBank global_;
+    CounterBank::Handle hTenures_, hCommitted_, hFiltered_,
+        hDroppedRetry_, hReads_, hWrites_, hWritebacks_, hRetriesPosted_;
+};
+
+/**
+ * Build the common single-target-machine configuration: @p node_count
+ * nodes, @p cpus_per_node CPUs each (CPU IDs assigned round-robin
+ * contiguously), every node with geometry @p cache and protocol
+ * @p protocol_name.
+ */
+BoardConfig makeUniformBoard(std::size_t node_count,
+                             unsigned cpus_per_node,
+                             const cache::CacheConfig &cache,
+                             const std::string &protocol_name = "MESI");
+
+/**
+ * Build the Figure 4 style multi-configuration board: every entry of
+ * @p caches becomes one node emulating the *same* target node (all
+ * CPUs 0..cpus-1 local) in its own target-machine group, so several
+ * geometries are measured against identical traffic in one run.
+ */
+BoardConfig makeMultiConfigBoard(const std::vector<cache::CacheConfig>
+                                     &caches,
+                                 unsigned cpus,
+                                 const std::string &protocol_name =
+                                     "MESI");
+
+} // namespace memories::ies
+
+#endif // MEMORIES_IES_BOARD_HH

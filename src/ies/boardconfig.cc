@@ -1,0 +1,70 @@
+#include "ies/boardconfig.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace memories::ies
+{
+
+void
+BoardConfig::validate() const
+{
+    if (nodes.empty())
+        fatal("board configured with no emulated nodes");
+    if (nodes.size() > 2 * maxBoardNodes)
+        fatal("at most ", 2 * maxBoardNodes,
+              " emulated nodes supported (two lock-stepped boards)");
+    if (nodes.size() > maxBoardNodes) {
+        warn("configuration uses ", nodes.size(), " nodes; one physical "
+             "board has ", maxBoardNodes,
+             " node controllers - emulating two lock-stepped boards");
+    }
+    if (bufferEntries == 0)
+        fatal("transaction buffer depth must be nonzero");
+    if (sdramThroughputPercent == 0 || sdramThroughputPercent > 100)
+        fatal("SDRAM throughput percent must be in (0, 100]");
+
+    for (std::size_t i = 0; i < nodes.size(); ++i) {
+        const NodeConfig &node = nodes[i];
+        node.cache.validate(cache::boardBounds());
+        if (node.setSamplingShift > 8)
+            fatal("node ", i, " set-sampling shift ",
+                  node.setSamplingShift, " is implausibly deep");
+        if (node.setSamplingShift > 0 &&
+            (node.cache.numSets() >> node.setSamplingShift) == 0) {
+            fatal("node ", i, " set sampling leaves no sets");
+        }
+        const std::uint64_t dir_bytes =
+            node.cache.directoryBytes() >> node.setSamplingShift;
+        if (dir_bytes > cache::nodeSdramBudget) {
+            fatal("node ", i, " (", node.cache.describe(),
+                  ") needs ", formatByteSize(dir_bytes),
+                  " of directory SDRAM but each node controller has ",
+                  formatByteSize(cache::nodeSdramBudget));
+        }
+        if (node.cpus.empty())
+            fatal("node ", i, " has no CPUs assigned");
+        if (node.cpus.size() > 8)
+            fatal("node ", i, " has ", node.cpus.size(),
+                  " CPUs; the board supports 1-8 processors per shared "
+                  "cache node");
+        node.protocol.validate();
+
+        // Within one target machine, a CPU may belong to only one node.
+        for (std::size_t j = 0; j < i; ++j) {
+            if (nodes[j].targetMachine != node.targetMachine)
+                continue;
+            for (CpuId a : node.cpus) {
+                for (CpuId b : nodes[j].cpus) {
+                    if (a == b) {
+                        fatal("CPU ", static_cast<unsigned>(a),
+                              " assigned to nodes ", j, " and ", i,
+                              " of target machine ", node.targetMachine);
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace memories::ies

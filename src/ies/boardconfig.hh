@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Configuration of a MemorIES board: which emulated shared-cache nodes
+ * exist, which host CPUs each one serves, and the pacing parameters of
+ * the buffering fabric.
+ */
+
+#ifndef MEMORIES_IES_BOARDCONFIG_HH
+#define MEMORIES_IES_BOARDCONFIG_HH
+
+#include <string>
+#include <vector>
+
+#include "cache/config.hh"
+#include "common/types.hh"
+#include "protocol/table.hh"
+
+namespace memories::ies
+{
+
+/** One emulated shared-cache node (one node-controller FPGA). */
+struct NodeConfig
+{
+    /** Cache geometry (validated against Table 2's boardBounds()). */
+    cache::CacheConfig cache{64 * MiB, 4, 128,
+                             cache::ReplacementPolicy::LRU};
+    /** Coherence protocol this node controller runs. */
+    protocol::ProtocolTable protocol = protocol::makeMesiTable();
+    /** Host CPU IDs whose references this node treats as local. */
+    std::vector<CpuId> cpus;
+    /**
+     * Target-machine group (Figure 4): nodes in different groups are
+     * alternative emulations of the same workload and never exchange
+     * emulated snoops; nodes in the same group form one coherent
+     * emulated machine.
+     */
+    unsigned targetMachine = 0;
+    /**
+     * Set-sampling shift: track only one of every 2^shift cache sets
+     * and estimate ratios from the sample. 0 (default) tracks every
+     * set, exactly like the real board. Sampling stretches the
+     * directory SDRAM budget to geometries beyond Table 2's 8GB
+     * ceiling — an extension the paper's design permits naturally
+     * because set behaviour is independent under set-associative
+     * indexing.
+     */
+    unsigned setSamplingShift = 0;
+    /** Label for statistics dumps. */
+    std::string label;
+};
+
+/** Whole-board configuration. */
+struct BoardConfig
+{
+    std::vector<NodeConfig> nodes;
+    /**
+     * Node-controller transaction-buffer depth; the current board
+     * revision has 512 entries (paper section 3.3).
+     */
+    std::size_t bufferEntries = 512;
+    /**
+     * SDRAM directory throughput as a percentage of full bus bandwidth
+     * (paper: "roughly 42% of the maximum 6xx bus bandwidth").
+     */
+    unsigned sdramThroughputPercent = 42;
+    /** Capture committed tenures into an on-board trace buffer. */
+    bool traceCapture = false;
+    /** Trace-capture capacity in records (board max: 1G records). */
+    std::uint64_t traceCaptureRecords = 1u << 20;
+
+    /** Validate every node and the board-level budgets; fatal() on error. */
+    void validate() const;
+};
+
+} // namespace memories::ies
+
+#endif // MEMORIES_IES_BOARDCONFIG_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * Bus-profiling firmware personality.
+ *
+ * Another "reprogram the FPGAs" use of the board (paper section 2.3
+ * lists several): instead of emulating caches, profile the bus itself
+ * — utilization over time, burst-length distribution, per-command and
+ * per-CPU load. This is the measurement behind section 3.3's "maximum
+ * bus utilization with 8 CPUs always varied between 2% to 20%", which
+ * justified the 42% SDRAM design point.
+ */
+
+#ifndef MEMORIES_IES_BUSPROFILER_HH
+#define MEMORIES_IES_BUSPROFILER_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bus/bus6xx.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+
+namespace memories::ies
+{
+
+/** Configuration of the profiler personality. */
+struct BusProfilerConfig
+{
+    /** Cycles per utilization sample window. */
+    Cycle windowCycles = 100'000;
+    /** A burst ends after this many idle cycles. */
+    Cycle burstGapCycles = 8;
+};
+
+/** Passive bus-utilization profiler. */
+class BusProfiler : public bus::BusSnooper, public bus::BusObserver
+{
+  public:
+    explicit BusProfiler(const BusProfilerConfig &config = {});
+
+    void plugInto(bus::Bus6xx &bus);
+    void unplug(bus::Bus6xx &bus);
+
+    bus::SnoopResponse snoop(const bus::BusTransaction &) override
+    {
+        return bus::SnoopResponse::None;
+    }
+    std::string snooperName() const override { return "bus-profiler"; }
+    void observeResult(const bus::BusTransaction &txn,
+                       bus::SnoopResponse combined) override;
+
+    /** Close the current window/burst (end of measurement). */
+    void finish();
+
+    /** Per-window utilization (tenures / window cycles). */
+    const std::vector<double> &utilizationSeries() const
+    {
+        return windows_;
+    }
+
+    /** Peak window utilization seen. */
+    double peakUtilization() const;
+
+    /** Mean utilization over all complete windows. */
+    double meanUtilization() const;
+
+    /** Burst-length distribution (consecutive back-to-back tenures). */
+    const Histogram &burstHistogram() const { return burstHist_; }
+
+    /** Tenure count per bus command. */
+    std::uint64_t opCount(bus::BusOp op) const
+    {
+        return opCounts_[static_cast<std::size_t>(op)];
+    }
+
+    /** Tenure count per requesting CPU. */
+    std::uint64_t cpuCount(CpuId cpu) const { return cpuCounts_[cpu]; }
+
+    std::uint64_t totalTenures() const { return tenures_; }
+
+    void clear();
+
+  private:
+    BusProfilerConfig config_;
+    std::vector<double> windows_;
+    Cycle windowStart_ = 0;
+    std::uint64_t windowTenures_ = 0;
+
+    Histogram burstHist_;
+    Cycle lastTenureCycle_ = 0;
+    std::uint64_t burstLength_ = 0;
+
+    std::array<std::uint64_t, bus::numBusOps> opCounts_{};
+    std::array<std::uint64_t, maxHostCpus> cpuCounts_{};
+    std::uint64_t tenures_ = 0;
+    bool sawAny_ = false;
+};
+
+} // namespace memories::ies
+
+#endif // MEMORIES_IES_BUSPROFILER_HH

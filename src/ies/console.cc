@@ -1,0 +1,324 @@
+#include "ies/console.hh"
+
+#include <cstdio>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "ies/analysis.hh"
+
+namespace memories::ies
+{
+
+namespace
+{
+
+std::vector<std::string>
+tokenize(const std::string &line)
+{
+    std::vector<std::string> tokens;
+    std::istringstream is(line);
+    std::string tok;
+    while (is >> tok)
+        tokens.push_back(tok);
+    return tokens;
+}
+
+/** Parse an unsigned decimal token; fatal() on anything else. */
+std::uint64_t
+parseNumber(const std::string &token)
+{
+    if (token.empty() || token[0] == '-')
+        fatal("'", token, "' is not a non-negative number");
+    try {
+        std::size_t pos = 0;
+        const auto value = std::stoull(token, &pos, 10);
+        if (pos != token.size())
+            fatal("'", token, "' is not a number");
+        return value;
+    } catch (const FatalError &) {
+        throw;
+    } catch (const std::exception &) {
+        fatal("'", token, "' is not a number");
+    }
+}
+
+std::vector<CpuId>
+parseCpuList(const std::string &text)
+{
+    std::vector<CpuId> cpus;
+    std::istringstream is(text);
+    std::string part;
+    while (std::getline(is, part, ',')) {
+        if (part.empty())
+            fatal("empty CPU id in list '", text, "'");
+        cpus.push_back(static_cast<CpuId>(parseNumber(part)));
+    }
+    if (cpus.empty())
+        fatal("empty CPU list");
+    return cpus;
+}
+
+} // namespace
+
+Console::Console(bus::Bus6xx &bus) : bus_(bus)
+{
+}
+
+Console::~Console()
+{
+    if (board_)
+        board_->unplug(bus_);
+}
+
+NodeConfig &
+Console::nodeFor(std::size_t index)
+{
+    if (index >= 2 * maxBoardNodes)
+        fatal("node index ", index, " out of range");
+    while (staged_.nodes.size() <= index)
+        staged_.nodes.emplace_back();
+    return staged_.nodes[index];
+}
+
+std::string
+Console::execute(const std::string &command_line)
+{
+    try {
+        return handle(tokenize(command_line));
+    } catch (const FatalError &err) {
+        return std::string("error: ") + err.what();
+    }
+}
+
+std::string
+Console::handle(const std::vector<std::string> &tokens)
+{
+    if (tokens.empty())
+        return "";
+    const std::string &cmd = tokens[0];
+
+    auto require_staged = [&] {
+        if (board_)
+            fatal("'", cmd, "' is only legal before init");
+    };
+    auto require_board = [&]() -> MemoriesBoard & {
+        if (!board_)
+            fatal("'", cmd, "' requires an initialized board");
+        return *board_;
+    };
+
+    if (cmd == "node") {
+        require_staged();
+        if (tokens.size() < 3)
+            fatal("usage: node <i> <subcommand> ...");
+        NodeConfig &node = nodeFor(parseNumber(tokens[1]));
+        const std::string &sub = tokens[2];
+        if (sub == "cache") {
+            if (tokens.size() < 6)
+                fatal("usage: node <i> cache <size> <assoc> <line> "
+                      "[policy]");
+            node.cache.sizeBytes = parseByteSize(tokens[3]);
+            node.cache.assoc =
+                static_cast<unsigned>(parseNumber(tokens[4]));
+            node.cache.lineSize = parseByteSize(tokens[5]);
+            if (tokens.size() > 6) {
+                const std::string &pol = tokens[6];
+                if (pol == "LRU")
+                    node.cache.policy = cache::ReplacementPolicy::LRU;
+                else if (pol == "FIFO")
+                    node.cache.policy = cache::ReplacementPolicy::FIFO;
+                else if (pol == "Random")
+                    node.cache.policy =
+                        cache::ReplacementPolicy::Random;
+                else if (pol == "TreePLRU")
+                    node.cache.policy =
+                        cache::ReplacementPolicy::TreePLRU;
+                else
+                    fatal("unknown replacement policy '", pol, "'");
+            }
+            node.cache.validate(cache::boardBounds());
+            return "node cache set to " + node.cache.describe();
+        }
+        if (sub == "cpus") {
+            if (tokens.size() != 4)
+                fatal("usage: node <i> cpus <id>[,<id>...]");
+            node.cpus = parseCpuList(tokens[3]);
+            return "node cpus set (" + std::to_string(node.cpus.size()) +
+                   " processors)";
+        }
+        if (sub == "protocol") {
+            if (tokens.size() != 4)
+                fatal("usage: node <i> protocol <name>");
+            node.protocol = protocol::makeBuiltinTable(tokens[3]);
+            return "node protocol set to " + node.protocol.name();
+        }
+        if (sub == "protocol-file") {
+            if (tokens.size() != 4)
+                fatal("usage: node <i> protocol-file <path>");
+            node.protocol = protocol::loadMapFile(tokens[3]);
+            return "node protocol loaded: " + node.protocol.name();
+        }
+        if (sub == "machine") {
+            if (tokens.size() != 4)
+                fatal("usage: node <i> machine <m>");
+            node.targetMachine =
+                static_cast<unsigned>(parseNumber(tokens[3]));
+            return "node target machine set";
+        }
+        fatal("unknown node subcommand '", sub, "'");
+    }
+
+    if (cmd == "buffer") {
+        require_staged();
+        if (tokens.size() != 2)
+            fatal("usage: buffer <entries>");
+        staged_.bufferEntries = parseNumber(tokens[1]);
+        return "buffer depth set";
+    }
+    if (cmd == "throughput") {
+        require_staged();
+        if (tokens.size() != 2)
+            fatal("usage: throughput <percent>");
+        staged_.sdramThroughputPercent =
+            static_cast<unsigned>(parseNumber(tokens[1]));
+        return "SDRAM throughput set";
+    }
+    if (cmd == "capture") {
+        require_staged();
+        if (tokens.size() != 2)
+            fatal("usage: capture <records>");
+        staged_.traceCapture = true;
+        staged_.traceCaptureRecords = parseNumber(tokens[1]);
+        return "trace capture armed";
+    }
+    if (cmd == "init") {
+        require_staged();
+        staged_.validate();
+        board_ = std::make_unique<MemoriesBoard>(staged_);
+        board_->plugInto(bus_);
+        return "board initialized: " +
+               std::to_string(board_->numNodes()) + " node(s) attached";
+    }
+    if (cmd == "stats")
+        return require_board().dumpStats();
+    if (cmd == "counters") {
+        auto &board = require_board();
+        std::string out = board.globalCounters().dump();
+        for (std::size_t i = 0; i < board.numNodes(); ++i)
+            out += board.node(i).counters().dump();
+        return out;
+    }
+    if (cmd == "clear") {
+        require_board().clearCounters();
+        return "counters cleared";
+    }
+    if (cmd == "reset") {
+        require_board().reset();
+        return "board reset";
+    }
+    if (cmd == "dump-trace") {
+        if (tokens.size() != 2)
+            fatal("usage: dump-trace <path>");
+        auto &board = require_board();
+        auto *capture = board.captureBuffer();
+        if (!capture)
+            fatal("trace capture was not armed before init");
+        capture->dumpToFile(tokens[1]);
+        return "wrote " + std::to_string(capture->size()) +
+               " records to " + tokens[1];
+    }
+    if (cmd == "save-state") {
+        if (tokens.size() != 2)
+            fatal("usage: save-state <path>");
+        require_board().saveState(tokens[1]);
+        return "directory state saved to " + tokens[1];
+    }
+    if (cmd == "load-state") {
+        if (tokens.size() != 2)
+            fatal("usage: load-state <path>");
+        require_board().loadState(tokens[1]);
+        return "directory state restored from " + tokens[1];
+    }
+    if (cmd == "save-protocol") {
+        if (tokens.size() != 3)
+            fatal("usage: save-protocol <node> <path>");
+        const std::size_t index = parseNumber(tokens[1]);
+        const protocol::ProtocolTable *table = nullptr;
+        if (board_) {
+            if (index >= board_->numNodes())
+                fatal("node index ", index, " out of range");
+            table = &board_->node(index).config().protocol;
+        } else {
+            if (index >= staged_.nodes.size())
+                fatal("node index ", index, " out of range");
+            table = &staged_.nodes[index].protocol;
+        }
+        std::FILE *f = std::fopen(tokens[2].c_str(), "wb");
+        if (!f)
+            fatal("cannot create '", tokens[2], "'");
+        const std::string text = table->toMapText();
+        const bool ok =
+            std::fwrite(text.data(), 1, text.size(), f) == text.size();
+        std::fclose(f);
+        if (!ok)
+            fatal("failed writing '", tokens[2], "'");
+        return "saved protocol " + table->name() + " to " + tokens[2];
+    }
+    if (cmd == "export-csv") {
+        if (tokens.size() != 2)
+            fatal("usage: export-csv <path>");
+        auto &board = require_board();
+        std::FILE *f = std::fopen(tokens[1].c_str(), "wb");
+        if (!f)
+            fatal("cannot create '", tokens[1], "'");
+        const std::string csv = BoardReport::capture(board).toCsv();
+        const bool ok =
+            std::fwrite(csv.data(), 1, csv.size(), f) == csv.size();
+        std::fclose(f);
+        if (!ok)
+            fatal("failed writing '", tokens[1], "'");
+        return "exported statistics to " + tokens[1];
+    }
+    if (cmd == "script") {
+        if (tokens.size() != 2)
+            fatal("usage: script <path>");
+        std::FILE *f = std::fopen(tokens[1].c_str(), "rb");
+        if (!f)
+            fatal("cannot open script '", tokens[1], "'");
+        std::string text;
+        char buf[4096];
+        std::size_t got;
+        while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
+            text.append(buf, got);
+        std::fclose(f);
+
+        std::string output;
+        std::istringstream lines(text);
+        std::string line;
+        while (std::getline(lines, line)) {
+            if (line.empty() || line[0] == '#')
+                continue;
+            const std::string reply = execute(line);
+            output += "> " + line + "\n";
+            if (!reply.empty())
+                output += reply + "\n";
+            if (reply.rfind("error:", 0) == 0)
+                break; // stop the script at the first error
+        }
+        return output;
+    }
+    if (cmd == "shutdown") {
+        auto &board = require_board();
+        board.unplug(bus_);
+        board_.reset();
+        return "board detached";
+    }
+    if (cmd == "help") {
+        return "commands: node buffer throughput capture init stats "
+               "counters clear reset dump-trace shutdown";
+    }
+    fatal("unknown command '", cmd, "'");
+}
+
+} // namespace memories::ies

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * The console interface: what the paper's Windows PC + AMCC parallel
+ * port card does — power-up initialization, cache parameter setting and
+ * statistics extraction — as a text-command front end over the board.
+ *
+ * Commands (one per call, tokens space-separated):
+ *
+ *   node <i> cache <size> <assoc> <line> [LRU|FIFO|Random]
+ *   node <i> cpus <id>[,<id>...]
+ *   node <i> protocol <MSI|MESI|MOESI>
+ *   node <i> protocol-file <path>
+ *   node <i> machine <m>
+ *   buffer <entries>
+ *   throughput <percent>
+ *   capture <records>
+ *   init                     -- build the board and plug into the bus
+ *   stats                    -- human-readable statistics
+ *   counters                 -- raw 40-bit counter dump
+ *   clear                    -- zero all counters
+ *   reset                    -- cold-start directories + counters
+ *   dump-trace <path>        -- write the capture buffer to disk
+ *   save-protocol <i> <path> -- write node i's table as a map file
+ *   export-csv <path>        -- write per-node statistics as CSV
+ *   script <path>            -- execute commands from a file
+ *   shutdown                 -- unplug from the bus
+ *
+ * Configuration commands are only legal before init; fatal() errors
+ * come back as "error: ..." strings, like a console status line.
+ */
+
+#ifndef MEMORIES_IES_CONSOLE_HH
+#define MEMORIES_IES_CONSOLE_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bus/bus6xx.hh"
+#include "ies/board.hh"
+
+namespace memories::ies
+{
+
+/** Text-command console controlling one board on one host bus. */
+class Console
+{
+  public:
+    /** @param bus Host bus the board will be plugged into at init. */
+    explicit Console(bus::Bus6xx &bus);
+
+    ~Console();
+
+    /** Execute one command line; returns the console's reply text. */
+    std::string execute(const std::string &command_line);
+
+    /** True once init has built and attached the board. */
+    bool initialized() const { return board_ != nullptr; }
+
+    /** The live board (nullptr before init). */
+    MemoriesBoard *board() { return board_.get(); }
+
+  private:
+    std::string handle(const std::vector<std::string> &tokens);
+    NodeConfig &nodeFor(std::size_t index);
+
+    bus::Bus6xx &bus_;
+    BoardConfig staged_;
+    std::unique_ptr<MemoriesBoard> board_;
+};
+
+} // namespace memories::ies
+
+#endif // MEMORIES_IES_CONSOLE_HH

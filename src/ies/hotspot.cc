@@ -1,0 +1,125 @@
+#include "ies/hotspot.hh"
+
+#include <algorithm>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+#include "cache/config.hh"
+
+namespace memories::ies
+{
+
+HotSpotTracker::HotSpotTracker(const HotSpotConfig &config)
+    : config_(config)
+{
+    if (!isPowerOf2(config.granularityBytes) ||
+        config.granularityBytes < 128) {
+        fatal("hot-spot granularity must be a power of two >= 128B");
+    }
+    if (config.regionBytes == 0 ||
+        config.regionBytes % config.granularityBytes != 0) {
+        fatal("tracked region must be a nonzero multiple of the "
+              "granularity");
+    }
+    const std::uint64_t cells =
+        config.regionBytes / config.granularityBytes;
+    // Hardware bound: 8 bytes of counter per cell in 256MB of SDRAM.
+    if (cells * sizeof(Cell) > cache::nodeSdramBudget) {
+        fatal("hot-spot table (", formatByteSize(cells * sizeof(Cell)),
+              ") exceeds the node SDRAM budget (",
+              formatByteSize(cache::nodeSdramBudget),
+              "); use a coarser granularity or smaller region");
+    }
+    table_.resize(cells);
+}
+
+void
+HotSpotTracker::plugInto(bus::Bus6xx &bus)
+{
+    bus.attach(this);
+    bus.attachObserver(this);
+}
+
+void
+HotSpotTracker::unplug(bus::Bus6xx &bus)
+{
+    bus.detach(this);
+    bus.detachObserver(this);
+}
+
+bus::SnoopResponse
+HotSpotTracker::snoop(const bus::BusTransaction &)
+{
+    // Purely passive: all work happens in the response window.
+    return bus::SnoopResponse::None;
+}
+
+void
+HotSpotTracker::observeResult(const bus::BusTransaction &txn,
+                              bus::SnoopResponse combined)
+{
+    if (combined == bus::SnoopResponse::Retry)
+        return;
+    if (!bus::isMemoryOp(txn.op))
+        return;
+    if (txn.addr < config_.regionBase ||
+        txn.addr >= config_.regionBase + config_.regionBytes) {
+        ++untracked_;
+        return;
+    }
+    ++tracked_;
+    const std::uint64_t cell =
+        (txn.addr - config_.regionBase) / config_.granularityBytes;
+    if (bus::isWriteIntentOp(txn.op) || txn.op == bus::BusOp::WriteBack)
+        ++table_[cell].writes;
+    else
+        ++table_[cell].reads;
+}
+
+HotSpotEntry
+HotSpotTracker::countsFor(Addr addr) const
+{
+    HotSpotEntry entry;
+    if (addr < config_.regionBase ||
+        addr >= config_.regionBase + config_.regionBytes)
+        return entry;
+    const std::uint64_t cell =
+        (addr - config_.regionBase) / config_.granularityBytes;
+    entry.base = config_.regionBase + cell * config_.granularityBytes;
+    entry.reads = table_[cell].reads;
+    entry.writes = table_[cell].writes;
+    return entry;
+}
+
+std::vector<HotSpotEntry>
+HotSpotTracker::topN(std::size_t n) const
+{
+    std::vector<HotSpotEntry> entries;
+    for (std::size_t i = 0; i < table_.size(); ++i) {
+        if (table_[i].reads == 0 && table_[i].writes == 0)
+            continue;
+        HotSpotEntry e;
+        e.base = config_.regionBase + i * config_.granularityBytes;
+        e.reads = table_[i].reads;
+        e.writes = table_[i].writes;
+        entries.push_back(e);
+    }
+    std::sort(entries.begin(), entries.end(),
+              [](const HotSpotEntry &a, const HotSpotEntry &b) {
+                  return a.total() > b.total();
+              });
+    if (entries.size() > n)
+        entries.resize(n);
+    return entries;
+}
+
+void
+HotSpotTracker::clear()
+{
+    std::fill(table_.begin(), table_.end(), Cell{});
+    tracked_ = 0;
+    untracked_ = 0;
+}
+
+} // namespace memories::ies

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Hot-spot identification firmware personality (paper section 2.3):
+ * "The FPGAs can be programmed to treat their private 256MB memory as
+ * a table of memory read/write frequency counters either on cache line
+ * basis or page basis."
+ *
+ * The tracker direct-maps a tracked address region onto a counter
+ * table, one (reads, writes) pair per line or page, bounded by the
+ * node's SDRAM budget just like the hardware.
+ */
+
+#ifndef MEMORIES_IES_HOTSPOT_HH
+#define MEMORIES_IES_HOTSPOT_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "bus/bus6xx.hh"
+#include "common/types.hh"
+
+namespace memories::ies
+{
+
+/** Configuration of the hot-spot tracking personality. */
+struct HotSpotConfig
+{
+    /** Base of the tracked physical region. */
+    Addr regionBase = 0;
+    /** Size of the tracked region. */
+    std::uint64_t regionBytes = 1 * GiB;
+    /** Counter granularity: 128 for line-basis, 4096 for page-basis. */
+    std::uint64_t granularityBytes = 4096;
+};
+
+/** One entry of a hot-spot report. */
+struct HotSpotEntry
+{
+    Addr base = 0;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+
+    std::uint64_t total() const { return reads + writes; }
+};
+
+/** Frequency-counter personality; plugs into the bus like the board. */
+class HotSpotTracker : public bus::BusSnooper, public bus::BusObserver
+{
+  public:
+    explicit HotSpotTracker(const HotSpotConfig &config);
+
+    void plugInto(bus::Bus6xx &bus);
+    void unplug(bus::Bus6xx &bus);
+
+    bus::SnoopResponse snoop(const bus::BusTransaction &txn) override;
+    std::string snooperName() const override { return "hotspot"; }
+    void observeResult(const bus::BusTransaction &txn,
+                       bus::SnoopResponse combined) override;
+
+    /** Read/write counts for the block containing @p addr. */
+    HotSpotEntry countsFor(Addr addr) const;
+
+    /** The @p n hottest blocks, sorted by total accesses descending. */
+    std::vector<HotSpotEntry> topN(std::size_t n) const;
+
+    /** References observed inside the tracked region. */
+    std::uint64_t tracked() const { return tracked_; }
+
+    /** References outside the tracked region (ignored). */
+    std::uint64_t untracked() const { return untracked_; }
+
+    void clear();
+
+    const HotSpotConfig &config() const { return config_; }
+
+  private:
+    struct Cell
+    {
+        std::uint32_t reads = 0;
+        std::uint32_t writes = 0;
+    };
+
+    HotSpotConfig config_;
+    std::vector<Cell> table_;
+    std::uint64_t tracked_ = 0;
+    std::uint64_t untracked_ = 0;
+};
+
+} // namespace memories::ies
+
+#endif // MEMORIES_IES_HOTSPOT_HH

@@ -1,0 +1,167 @@
+/**
+ * @file
+ * One node-controller FPGA: an emulated shared cache (L2/L3/remote)
+ * serving a subset of the host CPUs.
+ *
+ * The controller keeps only tags and states in its directory (never
+ * data), drives every transition through its loaded ProtocolTable, and
+ * counts events in 40-bit counters exactly as the board does. Local
+ * tenures (from CPUs this node owns) walk the requester map; tenures
+ * from other nodes of the same target machine walk the snooper map and
+ * produce the *emulated* snoop responses the requester map keys on.
+ */
+
+#ifndef MEMORIES_IES_NODECONTROLLER_HH
+#define MEMORIES_IES_NODECONTROLLER_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "bus/transaction.hh"
+#include "cache/tagstore.hh"
+#include "common/counters.hh"
+#include "ies/boardconfig.hh"
+#include "protocol/table.hh"
+
+namespace memories::ies
+{
+
+/** Digest of a node's counters in ready-to-plot form. */
+struct NodeStats
+{
+    std::uint64_t localRefs = 0;   //!< Read/Ifetch/Rwitm/DClaim tenures
+    std::uint64_t localHits = 0;
+    std::uint64_t localMisses = 0;
+    /** L2-miss service-point breakdown (Figure 12). */
+    std::uint64_t satisfiedByCache = 0;     //!< hit in this shared cache
+    std::uint64_t satisfiedByModIntervention = 0;
+    std::uint64_t satisfiedByShrIntervention = 0;
+    std::uint64_t satisfiedByMemory = 0;
+    std::uint64_t fills = 0;
+    std::uint64_t evictionsClean = 0;
+    std::uint64_t evictionsDirty = 0;
+    std::uint64_t remoteInvalidations = 0;
+    std::uint64_t suppliedModified = 0;     //!< we intervened (dirty)
+    std::uint64_t suppliedShared = 0;       //!< we intervened (clean)
+
+    /** Miss ratio over local cacheable references. */
+    double missRatio() const
+    {
+        return localRefs == 0
+                   ? 0.0
+                   : static_cast<double>(localMisses) /
+                         static_cast<double>(localRefs);
+    }
+};
+
+/** One emulated shared-cache node. */
+class NodeController
+{
+  public:
+    NodeController(NodeId id, const NodeConfig &config,
+                   std::uint64_t seed = 1);
+
+    /** True when @p cpu is one of this node's local processors. */
+    bool ownsCpu(CpuId cpu) const
+    {
+        return (cpuMask_ & (std::uint64_t{1} << cpu)) != 0;
+    }
+
+    unsigned targetMachine() const { return config_.targetMachine; }
+    NodeId id() const { return id_; }
+    const NodeConfig &config() const { return config_; }
+
+    /**
+     * Local-requester path: apply the requester map given the combined
+     * emulated snoop response @p emu_resp of the other nodes in this
+     * target machine.
+     */
+    void processLocal(const bus::BusTransaction &txn,
+                      bus::SnoopResponse emu_resp);
+
+    /**
+     * Remote-snoop path: apply the snooper map and return the emulated
+     * response this node drives.
+     */
+    bus::SnoopResponse snoopRemote(const bus::BusTransaction &txn);
+
+    /** Raw 40-bit counters ("console read"). */
+    const CounterBank &counters() const { return counters_; }
+
+    /** Digest for tables and plots. */
+    NodeStats stats() const;
+
+    /** Clear counters without touching the directory. */
+    void clearCounters() { counters_.clearAll(); }
+
+    /** Cold-start the directory (console reset). */
+    void resetDirectory() { directory_.reset(); }
+
+    /** Valid lines currently in the directory. */
+    std::uint64_t directoryOccupancy() const
+    {
+        return directory_.occupancy();
+    }
+
+    /** Probe for tests: state of a line (Invalid if absent). */
+    protocol::LineState probeState(Addr addr) const;
+
+    /** Set-sampling shift this node runs with (0 = every set). */
+    unsigned samplingShift() const { return config_.setSamplingShift; }
+
+    /** Visit every valid directory line (checkpointing). */
+    void exportDirectory(
+        const std::function<void(Addr, cache::LineStateRaw)> &fn) const
+    {
+        directory_.forEachValid(fn);
+    }
+
+    /** Reinsert one exported line (checkpoint restore). */
+    void importLine(Addr addr, cache::LineStateRaw state)
+    {
+        directory_.allocate(addr, state);
+    }
+
+    /** Geometry fingerprint used to validate checkpoints. */
+    std::uint64_t geometrySignature() const;
+
+    /** References that fell outside the sampled sets. */
+    std::uint64_t unsampledRefs() const
+    {
+        return counters_.value(hUnsampled_);
+    }
+
+  private:
+    /** True when @p addr falls in a tracked (sampled) set. */
+    bool inSample(Addr addr) const;
+
+    /** Map an address into the reduced directory's index space. */
+    Addr sampleAddr(Addr addr) const;
+    using LS = protocol::LineState;
+
+    NodeId id_;
+    NodeConfig config_;
+    std::uint64_t cpuMask_ = 0;
+    cache::TagStore directory_;
+    protocol::ProtocolTable protocol_;
+    CounterBank counters_;
+
+    /** Cached counter handles, hot-path indexed. */
+    CounterBank::Handle hLocalHit_[bus::numBusOps];
+    CounterBank::Handle hLocalMiss_[bus::numBusOps];
+    CounterBank::Handle hRemoteSeen_[bus::numBusOps];
+    CounterBank::Handle hSatCache_, hSatModInt_, hSatShrInt_, hSatMem_;
+    CounterBank::Handle hFills_, hEvClean_, hEvDirty_;
+    CounterBank::Handle hRemoteInv_, hRemoteDowngrade_;
+    CounterBank::Handle hSupplyMod_, hSupplyShr_;
+    CounterBank::Handle hLocalRefs_, hRemoteRefs_;
+    CounterBank::Handle hUnsampled_;
+
+    unsigned lineShift_ = 0;
+    std::uint64_t sampleMask_ = 0; //!< low set-index bits that must be 0
+};
+
+} // namespace memories::ies
+
+#endif // MEMORIES_IES_NODECONTROLLER_HH

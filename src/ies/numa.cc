@@ -1,0 +1,323 @@
+#include "ies/numa.hh"
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace memories::ies
+{
+
+const char *
+directorySchemeName(DirectoryScheme scheme)
+{
+    switch (scheme) {
+      case DirectoryScheme::FullMap:        return "full-map";
+      case DirectoryScheme::CoarseVector:   return "coarse-vector";
+      case DirectoryScheme::LimitedPointer: return "limited-pointer";
+    }
+    return "?";
+}
+
+void
+NumaConfig::validate() const
+{
+    if (scheme == DirectoryScheme::CoarseVector &&
+        (coarseGroupNodes == 0 || coarseGroupNodes > numNodes)) {
+        fatal("coarse-vector group size must be in [1, numNodes]");
+    }
+    if (numNodes == 0 || numNodes > maxBoardNodes)
+        fatal("NUMA emulation supports 1-", maxBoardNodes, " nodes");
+    if (cpusPerNode == 0 || numNodes * cpusPerNode > maxHostCpus)
+        fatal("NUMA CPU assignment exceeds the host bus");
+    l3.validate(cache::boardBounds());
+    if (!isPowerOf2(sparseEntries) || sparseEntries < sparseAssoc)
+        fatal("sparse directory entries must be a power of two >= "
+              "associativity");
+    if (sparseAssoc == 0 || !isPowerOf2(sparseEntries / sparseAssoc))
+        fatal("sparse directory sets must be a power of two");
+    if (!isPowerOf2(homeGranularityBytes) || homeGranularityBytes < 128)
+        fatal("home granularity must be a power of two >= 128B");
+    if (remoteCacheEnabled)
+        remoteCache.validate(cache::boardBounds());
+
+    // SDRAM budget: the L3 directory, the home sparse directory and
+    // (optionally) the remote-cache directory share one node's 256MB.
+    const std::uint64_t sparse_bytes = sparseEntries * 4;
+    std::uint64_t need = l3.directoryBytes() + sparse_bytes;
+    if (remoteCacheEnabled)
+        need += remoteCache.directoryBytes();
+    if (need > cache::nodeSdramBudget) {
+        fatal("NUMA personality needs ", formatByteSize(need),
+              " of directory SDRAM per node; budget is ",
+              formatByteSize(cache::nodeSdramBudget));
+    }
+}
+
+NumaEmulator::NumaEmulator(const NumaConfig &config, std::uint64_t seed)
+    : config_(config)
+{
+    config.validate();
+
+    cache::CacheConfig sparse_cfg;
+    sparse_cfg.lineSize = config.l3.lineSize;
+    sparse_cfg.assoc = config.sparseAssoc;
+    sparse_cfg.sizeBytes = config.sparseEntries * config.l3.lineSize;
+    sparse_cfg.policy = cache::ReplacementPolicy::LRU;
+
+    for (unsigned n = 0; n < config.numNodes; ++n) {
+        l3_.emplace_back(config.l3, seed + n);
+        sparse_.emplace_back(sparse_cfg, seed + 100 + n);
+        if (config.remoteCacheEnabled)
+            remote_.emplace_back(config.remoteCache, seed + 200 + n);
+    }
+
+    hLocal_ = counters_.add("numa.requests.local");
+    hRemote_ = counters_.add("numa.requests.remote");
+    hL3Hit_ = counters_.add("numa.l3.hits");
+    hL3Miss_ = counters_.add("numa.l3.misses");
+    hRemoteCacheHit_ = counters_.add("numa.remote_cache.hits");
+    hSparseEvict_ = counters_.add("numa.sparse.evictions");
+    hInvalSent_ = counters_.add("numa.sparse.invalidations_sent");
+    hWriteInval_ = counters_.add("numa.write.invalidations");
+    hOverInval_ = counters_.add("numa.over_invalidations");
+}
+
+namespace
+{
+/** LimitedPointer encoding: low 3 bits = node+1, bit 7 = broadcast. */
+constexpr std::uint8_t lpBroadcast = 0x80;
+} // namespace
+
+std::uint8_t
+NumaEmulator::soleSharer(unsigned node) const
+{
+    switch (config_.scheme) {
+      case DirectoryScheme::FullMap:
+        return static_cast<std::uint8_t>(1u << node);
+      case DirectoryScheme::CoarseVector:
+        return static_cast<std::uint8_t>(
+            1u << (node / config_.coarseGroupNodes));
+      case DirectoryScheme::LimitedPointer:
+        return static_cast<std::uint8_t>(node + 1);
+    }
+    return 0;
+}
+
+std::uint8_t
+NumaEmulator::addSharer(std::uint8_t repr, unsigned node) const
+{
+    switch (config_.scheme) {
+      case DirectoryScheme::FullMap:
+        return repr | static_cast<std::uint8_t>(1u << node);
+      case DirectoryScheme::CoarseVector:
+        return repr | static_cast<std::uint8_t>(
+                          1u << (node / config_.coarseGroupNodes));
+      case DirectoryScheme::LimitedPointer:
+        if (repr & lpBroadcast)
+            return repr;
+        if (repr == node + 1)
+            return repr;
+        // Second distinct sharer: the single pointer overflows.
+        return lpBroadcast | repr;
+    }
+    return repr;
+}
+
+void
+NumaEmulator::forEachPossibleSharer(
+    std::uint8_t repr, const std::function<void(unsigned)> &fn) const
+{
+    switch (config_.scheme) {
+      case DirectoryScheme::FullMap:
+        for (unsigned n = 0; n < config_.numNodes; ++n) {
+            if (repr & (1u << n))
+                fn(n);
+        }
+        return;
+      case DirectoryScheme::CoarseVector:
+        for (unsigned n = 0; n < config_.numNodes; ++n) {
+            if (repr & (1u << (n / config_.coarseGroupNodes)))
+                fn(n);
+        }
+        return;
+      case DirectoryScheme::LimitedPointer:
+        if (repr & lpBroadcast) {
+            for (unsigned n = 0; n < config_.numNodes; ++n)
+                fn(n);
+            return;
+        }
+        if ((repr & 0x7f) >= 1)
+            fn((repr & 0x7f) - 1);
+        return;
+    }
+}
+
+void
+NumaEmulator::invalidateSharers(std::uint8_t repr, int except,
+                                Addr line_addr,
+                                CounterBank::Handle reason)
+{
+    forEachPossibleSharer(repr, [&](unsigned n) {
+        if (static_cast<int>(n) == except)
+            return;
+        const bool held = l3_[n].invalidate(line_addr);
+        if (held)
+            counters_.bump(reason);
+        else
+            counters_.bump(hOverInval_);
+        if (config_.remoteCacheEnabled)
+            remote_[n].invalidate(line_addr);
+    });
+}
+
+void
+NumaEmulator::plugInto(bus::Bus6xx &bus)
+{
+    bus.attach(this);
+    bus.attachObserver(this);
+}
+
+void
+NumaEmulator::unplug(bus::Bus6xx &bus)
+{
+    bus.detach(this);
+    bus.detachObserver(this);
+}
+
+bus::SnoopResponse
+NumaEmulator::snoop(const bus::BusTransaction &)
+{
+    // Passive, like the paper notes: it cannot invalidate real L1/L2s,
+    // so sparse-directory behaviour is an approximation best taken with
+    // the host L2 switched off or shrunk.
+    return bus::SnoopResponse::None;
+}
+
+void
+NumaEmulator::observeResult(const bus::BusTransaction &txn,
+                            bus::SnoopResponse combined)
+{
+    if (combined == bus::SnoopResponse::Retry)
+        return;
+    if (!bus::isMemoryOp(txn.op))
+        return;
+    if (nodeOfCpu(txn.cpu) >= config_.numNodes)
+        return; // unmapped bus master (I/O bridge)
+    process(txn);
+}
+
+void
+NumaEmulator::process(const bus::BusTransaction &txn)
+{
+    const unsigned node = nodeOfCpu(txn.cpu);
+    const unsigned home = homeOf(txn.addr);
+    const bool write_intent = bus::isWriteIntentOp(txn.op);
+    const bool data_request = bus::isReadOp(txn.op);
+
+    if (!data_request && !write_intent)
+        return; // cast-outs and cache ops do not consult the directory
+
+    counters_.bump(node == home ? hLocal_ : hRemote_);
+
+    cache::TagStore &l3 = l3_[node];
+    const Addr line = l3.lineAlign(txn.addr);
+    const auto hit = l3.lookup(line);
+
+    if (hit.hit) {
+        counters_.bump(hL3Hit_);
+        if (write_intent)
+            sparseTrack(home, node, line, true);
+        return;
+    }
+    counters_.bump(hL3Miss_);
+
+    // Remote-home misses may be caught by the node's remote cache.
+    if (config_.remoteCacheEnabled && node != home) {
+        cache::TagStore &rc = remote_[node];
+        if (rc.lookup(line).hit)
+            counters_.bump(hRemoteCacheHit_);
+        else
+            rc.allocate(line, 1);
+    }
+
+    l3.allocate(line, 1);
+    sparseTrack(home, node, line, write_intent);
+}
+
+void
+NumaEmulator::sparseTrack(unsigned home, unsigned requester,
+                          Addr line_addr, bool write_intent)
+{
+    cache::TagStore &dir = sparse_[home];
+    const std::uint8_t mine = soleSharer(requester);
+
+    const auto entry = dir.lookup(line_addr);
+    if (entry.hit) {
+        std::uint8_t presence = entry.state;
+        if (write_intent) {
+            // Invalidate every other (possible) sharer's L3; the
+            // precision of "possible" is the directory scheme's
+            // trade-off.
+            invalidateSharers(presence, static_cast<int>(requester),
+                              line_addr, hWriteInval_);
+            presence = mine;
+        } else {
+            presence = addSharer(presence, requester);
+        }
+        dir.setState(line_addr, presence);
+        return;
+    }
+
+    const auto evicted = dir.allocate(line_addr, mine);
+    if (evicted.valid) {
+        // Sparse-directory eviction: inform every L3 that may hold
+        // the victim line so inclusion is preserved (paper §2.3).
+        counters_.bump(hSparseEvict_);
+        invalidateSharers(evicted.state, -1, evicted.lineAddr,
+                          hInvalSent_);
+    }
+}
+
+NumaStats
+NumaEmulator::stats() const
+{
+    NumaStats s;
+    s.localRequests = counters_.value(hLocal_);
+    s.remoteRequests = counters_.value(hRemote_);
+    s.l3Hits = counters_.value(hL3Hit_);
+    s.l3Misses = counters_.value(hL3Miss_);
+    s.remoteCacheHits = counters_.value(hRemoteCacheHit_);
+    s.sparseEvictions = counters_.value(hSparseEvict_);
+    s.invalidationsSent = counters_.value(hInvalSent_);
+    s.writeInvalidations = counters_.value(hWriteInval_);
+    s.overInvalidations = counters_.value(hOverInval_);
+    return s;
+}
+
+std::uint8_t
+NumaEmulator::presenceOf(Addr addr) const
+{
+    const unsigned home = homeOf(addr);
+    const auto entry = sparse_[home].probe(addr);
+    return entry.hit ? entry.state : 0;
+}
+
+bool
+NumaEmulator::l3Resident(unsigned node, Addr addr) const
+{
+    return l3_[node].probe(addr).hit;
+}
+
+void
+NumaEmulator::clear()
+{
+    counters_.clearAll();
+    for (auto &t : l3_)
+        t.reset();
+    for (auto &t : sparse_)
+        t.reset();
+    for (auto &t : remote_)
+        t.reset();
+}
+
+} // namespace memories::ies

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * NUMA directory emulation personality (paper section 2.3).
+ *
+ * Reprogrammed firmware: the board emulates a 4-node NUMA machine kept
+ * coherent by a sparse-directory scheme [WEB93]. The memory address
+ * space is partitioned round-robin (at a configurable granularity) so
+ * each node is *home* for one partition; each node's private 256MB
+ * SDRAM holds both its L3 tag directory and the sparse directory of
+ * its home partition. When an entry is evicted from a sparse
+ * directory, the affected L3 node directories are informed and
+ * invalidate the line — exactly the coupling the paper describes.
+ *
+ * The same personality optionally models *remote caches*: a per-node
+ * tag directory that caches only remote-home lines, sharing the SDRAM
+ * budget with the L3 directory.
+ */
+
+#ifndef MEMORIES_IES_NUMA_HH
+#define MEMORIES_IES_NUMA_HH
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bus/bus6xx.hh"
+#include "cache/tagstore.hh"
+#include "common/counters.hh"
+#include "common/types.hh"
+
+namespace memories::ies
+{
+
+/**
+ * Sharer representation in the sparse directory entries — the design
+ * space of Weber's scalable-directory study [WEB93] that the NUMA
+ * personality exists to explore. Smaller representations trade
+ * precision for SDRAM: imprecise schemes over-invalidate.
+ */
+enum class DirectoryScheme : std::uint8_t
+{
+    /** One presence bit per node: exact, biggest entries. */
+    FullMap = 0,
+    /** One presence bit per *group* of nodes: invalidations hit the
+     *  whole group. */
+    CoarseVector,
+    /** One exact node pointer; a second sharer overflows to
+     *  broadcast-on-invalidate. */
+    LimitedPointer,
+};
+
+/** Mnemonic for a directory scheme. */
+const char *directorySchemeName(DirectoryScheme scheme);
+
+/** Configuration of the NUMA emulation personality. */
+struct NumaConfig
+{
+    /** Emulated NUMA nodes (the board supports up to 4). */
+    unsigned numNodes = 4;
+    /** Host CPUs assigned per node, in contiguous CPU-ID blocks. */
+    unsigned cpusPerNode = 2;
+    /** Per-node L3 cache geometry. */
+    cache::CacheConfig l3{64 * MiB, 4, 128,
+                          cache::ReplacementPolicy::LRU};
+    /** Sparse-directory entries per home node (power of two). */
+    std::uint64_t sparseEntries = 1 << 16;
+    /** Sparse-directory associativity. */
+    unsigned sparseAssoc = 4;
+    /** Home-interleave granularity. */
+    std::uint64_t homeGranularityBytes = 4096;
+    /** Sharer-set representation in the sparse directory. */
+    DirectoryScheme scheme = DirectoryScheme::FullMap;
+    /** Nodes per presence bit under CoarseVector. */
+    unsigned coarseGroupNodes = 2;
+    /** Enable per-node remote caches. */
+    bool remoteCacheEnabled = false;
+    /** Remote-cache geometry (remote-home lines only). */
+    cache::CacheConfig remoteCache{16 * MiB, 4, 128,
+                                   cache::ReplacementPolicy::LRU};
+
+    void validate() const;
+};
+
+/** Digest of the NUMA personality's counters. */
+struct NumaStats
+{
+    std::uint64_t localRequests = 0;  //!< request home == requester node
+    std::uint64_t remoteRequests = 0;
+    std::uint64_t l3Hits = 0;
+    std::uint64_t l3Misses = 0;
+    std::uint64_t remoteCacheHits = 0;
+    std::uint64_t sparseEvictions = 0;
+    std::uint64_t invalidationsSent = 0; //!< L3 invals from evictions
+    std::uint64_t writeInvalidations = 0; //!< L3 invals from stores
+    /** Invalidations delivered to nodes that held nothing — the cost
+     *  of imprecise sharer representations. */
+    std::uint64_t overInvalidations = 0;
+
+    double localFraction() const
+    {
+        const auto total = localRequests + remoteRequests;
+        return total == 0 ? 0.0
+                          : static_cast<double>(localRequests) /
+                                static_cast<double>(total);
+    }
+};
+
+/** NUMA sparse-directory + remote-cache emulator. */
+class NumaEmulator : public bus::BusSnooper, public bus::BusObserver
+{
+  public:
+    explicit NumaEmulator(const NumaConfig &config,
+                          std::uint64_t seed = 1);
+
+    void plugInto(bus::Bus6xx &bus);
+    void unplug(bus::Bus6xx &bus);
+
+    bus::SnoopResponse snoop(const bus::BusTransaction &txn) override;
+    std::string snooperName() const override { return "numa-emulator"; }
+    void observeResult(const bus::BusTransaction &txn,
+                       bus::SnoopResponse combined) override;
+
+    /** NUMA node a CPU belongs to. */
+    unsigned nodeOfCpu(CpuId cpu) const
+    {
+        return cpu / config_.cpusPerNode;
+    }
+
+    /** Home node of an address. */
+    unsigned homeOf(Addr addr) const
+    {
+        return static_cast<unsigned>(
+            (addr / config_.homeGranularityBytes) % config_.numNodes);
+    }
+
+    NumaStats stats() const;
+    const CounterBank &counters() const { return counters_; }
+    void clear();
+
+    /** Presence vector of a line in its home sparse directory. */
+    std::uint8_t presenceOf(Addr addr) const;
+
+    /** True when @p node's L3 directory holds @p addr (tests). */
+    bool l3Resident(unsigned node, Addr addr) const;
+
+    const NumaConfig &config() const { return config_; }
+
+  private:
+    void process(const bus::BusTransaction &txn);
+    void sparseTrack(unsigned home, unsigned requester, Addr line_addr,
+                     bool write_intent);
+
+    /** Add @p node to a sharer representation. */
+    std::uint8_t addSharer(std::uint8_t repr, unsigned node) const;
+    /** Representation holding only @p node. */
+    std::uint8_t soleSharer(unsigned node) const;
+    /** Possibly-superset list of nodes a representation names. */
+    void forEachPossibleSharer(
+        std::uint8_t repr,
+        const std::function<void(unsigned)> &fn) const;
+    /** Invalidate every (possible) sharer except @p except. */
+    void invalidateSharers(std::uint8_t repr, int except,
+                           Addr line_addr, CounterBank::Handle reason);
+
+    NumaConfig config_;
+    std::vector<cache::TagStore> l3_;
+    std::vector<cache::TagStore> sparse_; //!< state byte = presence bits
+    std::vector<cache::TagStore> remote_;
+
+    CounterBank counters_;
+    CounterBank::Handle hLocal_, hRemote_, hL3Hit_, hL3Miss_,
+        hRemoteCacheHit_, hSparseEvict_, hInvalSent_, hWriteInval_,
+        hOverInval_;
+};
+
+} // namespace memories::ies
+
+#endif // MEMORIES_IES_NUMA_HH

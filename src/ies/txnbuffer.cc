@@ -1,0 +1,62 @@
+#include "ies/txnbuffer.hh"
+
+#include "common/logging.hh"
+
+namespace memories::ies
+{
+
+TransactionBuffer::TransactionBuffer(std::size_t entries,
+                                     unsigned throughput_percent)
+    : capacity_(entries), throughputPercent_(throughput_percent)
+{
+    if (entries == 0)
+        fatal("transaction buffer needs at least one entry");
+    if (throughput_percent == 0 || throughput_percent > 100)
+        fatal("throughput percent must be in (0, 100]");
+}
+
+bool
+TransactionBuffer::push(const bus::BusTransaction &txn)
+{
+    if (fifo_.size() >= capacity_) {
+        ++rejected_;
+        return false;
+    }
+    fifo_.push_back(txn);
+    if (fifo_.size() > highWater_)
+        highWater_ = fifo_.size();
+    return true;
+}
+
+std::optional<bus::BusTransaction>
+TransactionBuffer::drain(Cycle now)
+{
+    if (now > lastEarnCycle_) {
+        credits_ += (now - lastEarnCycle_) * throughputPercent_;
+        lastEarnCycle_ = now;
+        // Cap banked credits at one buffer's worth of retirements so an
+        // idle stretch cannot bank unbounded instant throughput.
+        const std::uint64_t cap =
+            static_cast<std::uint64_t>(capacity_) * 100;
+        if (credits_ > cap)
+            credits_ = cap;
+    }
+    if (fifo_.empty() || credits_ < 100)
+        return std::nullopt;
+    credits_ -= 100;
+    bus::BusTransaction txn = fifo_.front();
+    fifo_.pop_front();
+    return txn;
+}
+
+std::optional<bus::BusTransaction>
+TransactionBuffer::drainUnpaced()
+{
+    if (fifo_.empty())
+        return std::nullopt;
+    bus::BusTransaction txn = fifo_.front();
+    fifo_.pop_front();
+    return txn;
+}
+
+} // namespace memories::ies

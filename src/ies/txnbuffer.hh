@@ -1,0 +1,83 @@
+/**
+ * @file
+ * The board's transaction buffering and SDRAM pacing model.
+ *
+ * Paper section 3.3: the SDRAMs that implement the tag/state/LRU
+ * directories sustain roughly 42% of the maximum 6xx bus bandwidth.
+ * Transaction buffers (512 entries in the node-controller FPGAs) absorb
+ * bursts above that rate; if they ever fill, the address filter posts a
+ * retry on the bus — the only case in which MemorIES is not perfectly
+ * passive (never observed in months of lab use at 2-20% utilization).
+ *
+ * The model: entries arrive stamped with their bus cycle; the SDRAM
+ * side earns `throughputPercent` credits per 100 bus cycles and retires
+ * one entry per 100 credits. Because all four node controllers run in
+ * lock step (section 3.1), one buffer paces the whole board.
+ */
+
+#ifndef MEMORIES_IES_TXNBUFFER_HH
+#define MEMORIES_IES_TXNBUFFER_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "bus/transaction.hh"
+#include "common/types.hh"
+
+namespace memories::ies
+{
+
+/** Bounded transaction FIFO with a rate-limited drain. */
+class TransactionBuffer
+{
+  public:
+    /**
+     * @param entries            Capacity (board: 512).
+     * @param throughput_percent Drain rate as % of bus bandwidth
+     *                           (board: 42).
+     */
+    TransactionBuffer(std::size_t entries, unsigned throughput_percent);
+
+    /**
+     * Offer a transaction arriving at its stamped bus cycle.
+     * @return false when the buffer is full (caller posts a bus retry).
+     */
+    bool push(const bus::BusTransaction &txn);
+
+    /**
+     * Earn drain credits up to bus cycle @p now and pop the next
+     * retirable transaction, if any. Call repeatedly until it returns
+     * nullopt to drain everything that is due.
+     */
+    std::optional<bus::BusTransaction> drain(Cycle now);
+
+    /**
+     * Pop everything regardless of credits (end-of-run flush: the host
+     * has stopped issuing, so the SDRAM catches up in real time).
+     */
+    std::optional<bus::BusTransaction> drainUnpaced();
+
+    std::size_t size() const { return fifo_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    bool empty() const { return fifo_.empty(); }
+
+    /** Deepest occupancy seen (board diagnostic counter). */
+    std::size_t highWater() const { return highWater_; }
+
+    /** Pushes rejected because the buffer was full. */
+    std::uint64_t rejected() const { return rejected_; }
+
+  private:
+    std::size_t capacity_;
+    unsigned throughputPercent_;
+    std::deque<bus::BusTransaction> fifo_;
+    Cycle lastEarnCycle_ = 0;
+    std::uint64_t credits_ = 0; //!< hundredths of a retirement
+    std::size_t highWater_ = 0;
+    std::uint64_t rejected_ = 0;
+};
+
+} // namespace memories::ies
+
+#endif // MEMORIES_IES_TXNBUFFER_HH

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Built-in protocol tables: MSI, MESI (board default), MOESI.
+ *
+ * Each is expressed through the same setRequester/setSnooper calls a map
+ * file would make, so the built-ins double as reference map files via
+ * ProtocolTable::toMapText().
+ */
+
+#include "protocol/table.hh"
+
+#include "common/logging.hh"
+
+namespace memories::protocol
+{
+
+namespace
+{
+
+using bus::BusOp;
+using bus::SnoopResponse;
+
+constexpr LineState I = LineState::Invalid;
+constexpr LineState S = LineState::Shared;
+constexpr LineState E = LineState::Exclusive;
+constexpr LineState M = LineState::Modified;
+constexpr LineState O = LineState::Owned;
+
+constexpr SnoopSummary SN = SnoopSummary::None;
+constexpr SnoopSummary SS = SnoopSummary::Shared;
+constexpr SnoopSummary SM = SnoopSummary::Modified;
+
+/** Set one requester rule across all three snoop summaries. */
+void
+reqAll(ProtocolTable &t, BusOp op, LineState cur, LineState next,
+       bool alloc)
+{
+    for (auto snoop : {SN, SS, SM})
+        t.setRequester(op, cur, snoop, RequesterEntry{next, alloc});
+}
+
+/**
+ * Transitions shared by MSI/MESI/MOESI: everything except how clean
+ * sharing and dirty snooping are represented.
+ *
+ * @param read_none_state   Requester read-miss state when nobody else
+ *                          holds the line (E for MESI/MOESI, S for MSI).
+ * @param snoop_read_dirty  Snooper state after a remote read hits our
+ *                          Modified line (S for MSI/MESI — memory gets
+ *                          updated; O for MOESI — we keep ownership).
+ */
+ProtocolTable
+makeCommon(LineState read_none_state, LineState snoop_read_dirty)
+{
+    ProtocolTable t;
+
+    for (BusOp read : {BusOp::Read, BusOp::ReadIfetch}) {
+        // Requester: read misses fill according to who answered.
+        t.setRequester(read, I, SN,
+                       RequesterEntry{read_none_state, true});
+        t.setRequester(read, I, SS, RequesterEntry{S, true});
+        t.setRequester(read, I, SM, RequesterEntry{S, true});
+        // Read hits keep their state (identity default covers S/E/M/O).
+
+        // Snooper: remote reads downgrade us and assert the right line.
+        t.setSnooper(read, S, SnooperEntry{S, SnoopResponse::Shared});
+        t.setSnooper(read, E, SnooperEntry{S, SnoopResponse::Shared});
+        t.setSnooper(read, M,
+                     SnooperEntry{snoop_read_dirty,
+                                  SnoopResponse::Modified});
+        t.setSnooper(read, O, SnooperEntry{O, SnoopResponse::Modified});
+    }
+
+    // RWITM: requester takes Modified regardless of snoop outcome.
+    for (auto cur : {I, S, E, M, O})
+        reqAll(t, BusOp::Rwitm, cur, M, true);
+    t.setSnooper(BusOp::Rwitm, S, SnooperEntry{I, SnoopResponse::Shared});
+    t.setSnooper(BusOp::Rwitm, E, SnooperEntry{I, SnoopResponse::Shared});
+    t.setSnooper(BusOp::Rwitm, M,
+                 SnooperEntry{I, SnoopResponse::Modified});
+    t.setSnooper(BusOp::Rwitm, O,
+                 SnooperEntry{I, SnoopResponse::Modified});
+
+    // DClaim: upgrade without data transfer.
+    for (auto cur : {I, S, E, M, O})
+        reqAll(t, BusOp::DClaim, cur, M, true);
+    t.setSnooper(BusOp::DClaim, S,
+                 SnooperEntry{I, SnoopResponse::Shared});
+    t.setSnooper(BusOp::DClaim, E,
+                 SnooperEntry{I, SnoopResponse::Shared});
+    t.setSnooper(BusOp::DClaim, M,
+                 SnooperEntry{I, SnoopResponse::Modified});
+    t.setSnooper(BusOp::DClaim, O,
+                 SnooperEntry{I, SnoopResponse::Modified});
+
+    // WriteBack: an L2 above us casts out dirty data; the shared cache
+    // absorbs it as Modified (non-inclusive victim behaviour). Remote
+    // cast-outs leave us alone (identity default).
+    for (auto cur : {I, S, E, M, O})
+        reqAll(t, BusOp::WriteBack, cur, M, true);
+
+    // WriteKill: full-line write (DMA); owner is the writer.
+    for (auto cur : {I, S, E, M, O})
+        reqAll(t, BusOp::WriteKill, cur, M, true);
+    for (auto cur : {S, E})
+        t.setSnooper(BusOp::WriteKill, cur,
+                     SnooperEntry{I, SnoopResponse::None});
+    t.setSnooper(BusOp::WriteKill, M,
+                 SnooperEntry{I, SnoopResponse::Modified});
+    t.setSnooper(BusOp::WriteKill, O,
+                 SnooperEntry{I, SnoopResponse::Modified});
+
+    // Flush: line leaves every cache (dirty data reaches memory).
+    for (auto cur : {S, E, M, O}) {
+        reqAll(t, BusOp::Flush, cur, I, false);
+        t.setSnooper(BusOp::Flush, cur,
+                     SnooperEntry{I, isDirtyState(cur)
+                                         ? SnoopResponse::Modified
+                                         : SnoopResponse::None});
+    }
+
+    // Clean: dirty data reaches memory but lines stay resident.
+    reqAll(t, BusOp::Clean, M, S, false);
+    reqAll(t, BusOp::Clean, O, S, false);
+    t.setSnooper(BusOp::Clean, M,
+                 SnooperEntry{S, SnoopResponse::Modified});
+    t.setSnooper(BusOp::Clean, O,
+                 SnooperEntry{S, SnoopResponse::Modified});
+
+    // Kill: invalidate without write-back.
+    for (auto cur : {S, E, M, O}) {
+        reqAll(t, BusOp::Kill, cur, I, false);
+        t.setSnooper(BusOp::Kill, cur,
+                     SnooperEntry{I, SnoopResponse::None});
+    }
+
+    return t;
+}
+
+} // namespace
+
+ProtocolTable
+makeMsiTable()
+{
+    // MSI: clean read misses fill Shared; no Exclusive, no Owned.
+    ProtocolTable t = makeCommon(S, S);
+    t.setName("MSI");
+    return t;
+}
+
+ProtocolTable
+makeMesiTable()
+{
+    // MESI: sole clean copy is Exclusive; remote read of Modified
+    // pushes data to memory and both end Shared.
+    ProtocolTable t = makeCommon(E, S);
+    t.setName("MESI");
+    return t;
+}
+
+ProtocolTable
+makeMoesiTable()
+{
+    // MOESI: remote read of Modified keeps ownership as Owned, so the
+    // dirty line keeps being supplied cache-to-cache.
+    ProtocolTable t = makeCommon(E, O);
+    t.setName("MOESI");
+    return t;
+}
+
+ProtocolTable
+makeBuiltinTable(std::string_view name)
+{
+    if (name == "MSI")
+        return makeMsiTable();
+    if (name == "MESI")
+        return makeMesiTable();
+    if (name == "MOESI")
+        return makeMoesiTable();
+    fatal("unknown built-in protocol '", std::string(name), "'");
+}
+
+} // namespace memories::protocol

@@ -1,0 +1,33 @@
+#include "protocol/state.hh"
+
+#include "common/logging.hh"
+
+namespace memories::protocol
+{
+
+std::string_view
+lineStateName(LineState s)
+{
+    switch (s) {
+      case LineState::Invalid:   return "I";
+      case LineState::Shared:    return "S";
+      case LineState::Exclusive: return "E";
+      case LineState::Modified:  return "M";
+      case LineState::Owned:     return "O";
+      case LineState::NumStates: break;
+    }
+    MEMORIES_PANIC("bad LineState");
+}
+
+LineState
+lineStateFromName(std::string_view name)
+{
+    if (name == "I") return LineState::Invalid;
+    if (name == "S") return LineState::Shared;
+    if (name == "E") return LineState::Exclusive;
+    if (name == "M") return LineState::Modified;
+    if (name == "O") return LineState::Owned;
+    fatal("unknown line state '", std::string(name), "'");
+}
+
+} // namespace memories::protocol

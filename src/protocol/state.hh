@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Coherence line states used by emulated shared caches.
+ *
+ * The numeric values double as the raw 8-bit states stored in the tag
+ * directory (cache::LineStateRaw); Invalid must stay 0 because the tag
+ * store treats 0 as "frame empty".
+ */
+
+#ifndef MEMORIES_PROTOCOL_STATE_HH
+#define MEMORIES_PROTOCOL_STATE_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace memories::protocol
+{
+
+/** MOESI superset of line states; protocols use the subset they need. */
+enum class LineState : std::uint8_t
+{
+    Invalid = 0,
+    Shared,
+    Exclusive,
+    Modified,
+    Owned,
+
+    NumStates
+};
+
+inline constexpr std::size_t numLineStates =
+    static_cast<std::size_t>(LineState::NumStates);
+
+/** Single-letter mnemonic: I, S, E, M, O. */
+std::string_view lineStateName(LineState s);
+
+/** Parse a single-letter mnemonic; fatal() on unknown text. */
+LineState lineStateFromName(std::string_view name);
+
+/** True for states whose data differs from memory (needs write-back). */
+constexpr bool
+isDirtyState(LineState s)
+{
+    return s == LineState::Modified || s == LineState::Owned;
+}
+
+/** True for any resident (non-Invalid) state. */
+constexpr bool
+isValidState(LineState s)
+{
+    return s != LineState::Invalid;
+}
+
+} // namespace memories::protocol
+
+#endif // MEMORIES_PROTOCOL_STATE_HH

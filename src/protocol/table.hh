@@ -1,0 +1,183 @@
+/**
+ * @file
+ * Programmable coherence-protocol state-transition tables.
+ *
+ * Section 3.2 of the paper: "The cache state transitions are modeled as
+ * a lookup table which consists of the type of memory operation, the
+ * current state of the cache entry, and the resulting state from other
+ * cache nodes. The table lookup map file is loaded into each cache node
+ * controller FPGA during the initialization phase."
+ *
+ * A ProtocolTable therefore contains two dense lookup maps:
+ *
+ *  - the requester map, consulted when a CPU belonging to this emulated
+ *    node issues a bus operation: indexed by (bus op, current line state
+ *    in this node's cache, combined snoop response from the *other*
+ *    nodes), yielding the next state and whether a missing line is
+ *    allocated;
+ *
+ *  - the snooper map, consulted when some other node's CPU issues a bus
+ *    operation: indexed by (bus op, current line state), yielding the
+ *    next state and the snoop response this node drives.
+ *
+ * Because protocols are pure data, different node controllers can run
+ * different protocols in the same measurement — exactly the paper's
+ * "different state table files could be loaded to different node
+ * controller FPGAs".
+ */
+
+#ifndef MEMORIES_PROTOCOL_TABLE_HH
+#define MEMORIES_PROTOCOL_TABLE_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "bus/busop.hh"
+#include "bus/transaction.hh"
+#include "protocol/state.hh"
+
+namespace memories::protocol
+{
+
+/**
+ * Snoop outcome summarized for the requester map index.
+ * Retry never reaches a protocol table (retried tenures are filtered),
+ * so only three values index the table.
+ */
+enum class SnoopSummary : std::uint8_t
+{
+    None = 0,
+    Shared,
+    Modified,
+
+    NumSummaries
+};
+
+inline constexpr std::size_t numSnoopSummaries =
+    static_cast<std::size_t>(SnoopSummary::NumSummaries);
+
+/** Collapse a bus snoop response into a table index. */
+constexpr SnoopSummary
+summarize(bus::SnoopResponse r)
+{
+    switch (r) {
+      case bus::SnoopResponse::Modified: return SnoopSummary::Modified;
+      case bus::SnoopResponse::Shared:   return SnoopSummary::Shared;
+      default:                           return SnoopSummary::None;
+    }
+}
+
+/** Requester-map entry: what happens in the issuing node's cache. */
+struct RequesterEntry
+{
+    LineState next = LineState::Invalid;
+    /** Install the line on a miss (next must then be valid). */
+    bool allocate = false;
+};
+
+/** Snooper-map entry: what a non-issuing node does and answers. */
+struct SnooperEntry
+{
+    LineState next = LineState::Invalid;
+    bus::SnoopResponse response = bus::SnoopResponse::None;
+};
+
+/** A complete, loadable protocol definition. */
+class ProtocolTable
+{
+  public:
+    /** An empty table: every transition keeps state and answers None. */
+    ProtocolTable();
+
+    /** Name recorded in the map file ("MESI", "MOESI", ...). */
+    const std::string &name() const { return name_; }
+    void setName(std::string name) { name_ = std::move(name); }
+
+    /** Define one requester transition. */
+    void setRequester(bus::BusOp op, LineState current, SnoopSummary snoop,
+                      RequesterEntry entry);
+
+    /** Define one snooper transition. */
+    void setSnooper(bus::BusOp op, LineState current, SnooperEntry entry);
+
+    /** Requester lookup (hot path). */
+    const RequesterEntry &
+    requester(bus::BusOp op, LineState current, SnoopSummary snoop) const
+    {
+        return requester_[index3(op, current, snoop)];
+    }
+
+    /** Snooper lookup (hot path). */
+    const SnooperEntry &
+    snooper(bus::BusOp op, LineState current) const
+    {
+        return snooper_[index2(op, current)];
+    }
+
+    /**
+     * Sanity-check the table: allocate entries must target valid states,
+     * Invalid-state snooper entries must answer None and stay Invalid.
+     * fatal() on violations.
+     */
+    void validate() const;
+
+    /** Serialize to the text map-file format (see parseMapText). */
+    std::string toMapText() const;
+
+  private:
+    static std::size_t
+    index3(bus::BusOp op, LineState s, SnoopSummary r)
+    {
+        return (static_cast<std::size_t>(op) * numLineStates +
+                static_cast<std::size_t>(s)) * numSnoopSummaries +
+               static_cast<std::size_t>(r);
+    }
+
+    static std::size_t
+    index2(bus::BusOp op, LineState s)
+    {
+        return static_cast<std::size_t>(op) * numLineStates +
+               static_cast<std::size_t>(s);
+    }
+
+    std::string name_ = "custom";
+    std::array<RequesterEntry,
+               bus::numBusOps * numLineStates * numSnoopSummaries>
+        requester_;
+    std::array<SnooperEntry, bus::numBusOps * numLineStates> snooper_;
+};
+
+/** Built-in MSI protocol table. */
+ProtocolTable makeMsiTable();
+
+/** Built-in MESI protocol table (the board's default). */
+ProtocolTable makeMesiTable();
+
+/** Built-in MOESI protocol table. */
+ProtocolTable makeMoesiTable();
+
+/** Look up a built-in table by name; fatal() on unknown name. */
+ProtocolTable makeBuiltinTable(std::string_view name);
+
+/**
+ * Parse the text map-file format:
+ *
+ *   protocol MESI
+ *   requester READ I none -> E alloc
+ *   requester READ S * -> S
+ *   snooper RWITM M -> I modified
+ *
+ * '*' wildcards expand over all states / snoop summaries. Later lines
+ * override earlier ones, so specific rules follow wildcard rules.
+ * Comments start with '#'. fatal() with line numbers on syntax errors.
+ */
+ProtocolTable parseMapText(std::string_view text);
+
+/** Load a map file from disk via parseMapText. */
+ProtocolTable loadMapFile(const std::string &path);
+
+} // namespace memories::protocol
+
+#endif // MEMORIES_PROTOCOL_TABLE_HH

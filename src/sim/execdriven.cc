@@ -1,0 +1,118 @@
+#include "sim/execdriven.hh"
+
+#include "common/logging.hh"
+#include "protocol/state.hh"
+
+namespace memories::sim
+{
+
+namespace
+{
+constexpr auto sharedRaw =
+    static_cast<cache::LineStateRaw>(protocol::LineState::Shared);
+constexpr auto modifiedRaw =
+    static_cast<cache::LineStateRaw>(protocol::LineState::Modified);
+} // namespace
+
+ExecutionDrivenSimulator::ThreadContext::ThreadContext(
+    const ExecDrivenParams &params, std::uint64_t seed)
+    : l1(params.l1, seed), l2(params.l2, seed + 1),
+      accumulator(seed * 0x9e3779b97f4a7c15ull + 1), untilMemRef(0)
+{
+}
+
+ExecutionDrivenSimulator::ExecutionDrivenSimulator(
+    const ExecDrivenParams &params, workload::Workload &wl,
+    std::uint64_t seed)
+    : params_(params), workload_(wl), shared_(params.shared, seed + 99)
+{
+    params.l1.validate(cache::hostBounds());
+    params.l2.validate(cache::hostBounds());
+
+    const double rpi = wl.refsPerInstruction();
+    if (rpi <= 0.0 || rpi > 1.0)
+        fatal("workload refs-per-instruction must be in (0, 1]");
+    memPeriod_ = static_cast<unsigned>(1.0 / rpi);
+    if (memPeriod_ == 0)
+        memPeriod_ = 1;
+
+    threads_.reserve(wl.threads());
+    for (unsigned t = 0; t < wl.threads(); ++t)
+        threads_.emplace_back(params, seed + t * 101);
+}
+
+void
+ExecutionDrivenSimulator::stepInstruction(unsigned tid)
+{
+    ThreadContext &ctx = threads_[tid];
+    ++instructions_;
+
+    // Interpret one application instruction (Augmint executes the
+    // application's own arithmetic; our synthetic applications' state
+    // is this accumulator).
+    ctx.accumulator =
+        ctx.accumulator * 6364136223846793005ull + 1442695040888963407ull;
+    ++simulatedCycles_;
+
+    if (ctx.untilMemRef > 0) {
+        --ctx.untilMemRef;
+        return;
+    }
+    ctx.untilMemRef = memPeriod_ - 1;
+
+    // Memory instruction: full hierarchy walk with latency accounting.
+    const workload::MemRef ref = workload_.next(tid);
+    ++memoryRefs_;
+    simulatedCycles_ += params_.l1LatencyCycles;
+
+    if (ctx.l1.lookup(ref.addr).hit) {
+        if (ref.write)
+            ctx.l1.setState(ref.addr, modifiedRaw);
+        return;
+    }
+    ++l1Misses_;
+    simulatedCycles_ += params_.l2LatencyCycles;
+
+    if (ctx.l2.lookup(ref.addr).hit) {
+        ctx.l1.allocate(ref.addr, ref.write ? modifiedRaw : sharedRaw);
+        return;
+    }
+    ++l2Misses_;
+
+    // L2 miss feeds the detailed shared-cache model.
+    bus::BusTransaction txn;
+    txn.addr = ctx.l2.lineAlign(ref.addr);
+    txn.op = ref.write ? bus::BusOp::Rwitm : bus::BusOp::Read;
+    txn.cpu = static_cast<CpuId>(tid);
+    txn.cycle = simulatedCycles_;
+    shared_.process(txn);
+    simulatedCycles_ += params_.shared.memoryLatencyCycles;
+
+    ctx.l2.allocate(txn.addr, ref.write ? modifiedRaw : sharedRaw);
+    ctx.l1.allocate(ref.addr, ref.write ? modifiedRaw : sharedRaw);
+}
+
+void
+ExecutionDrivenSimulator::run(std::uint64_t instructions_per_thread)
+{
+    for (std::uint64_t i = 0; i < instructions_per_thread; ++i) {
+        for (unsigned t = 0; t < threads_.size(); ++t)
+            stepInstruction(t);
+    }
+    shared_.finish();
+}
+
+ExecDrivenStats
+ExecutionDrivenSimulator::stats() const
+{
+    ExecDrivenStats s;
+    s.instructions = instructions_;
+    s.memoryRefs = memoryRefs_;
+    s.l1Misses = l1Misses_;
+    s.l2Misses = l2Misses_;
+    s.simulatedCycles = simulatedCycles_;
+    s.shared = shared_.stats();
+    return s;
+}
+
+} // namespace memories::sim

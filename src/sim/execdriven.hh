@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Execution-driven multiprocessor simulator in the style of Augmint
+ * (Table 4 comparator).
+ *
+ * Augmint instruments every instruction of the application and
+ * interleaves application execution with the memory-system model. The
+ * equivalent here: the simulator steps *every simulated instruction*
+ * of every thread (application progress is an interpreted arithmetic
+ * step per instruction), and every memory instruction runs through a
+ * detailed L1/L2/shared-cache model with latency accounting. The cost
+ * per simulated instruction — not any artificial delay — is what makes
+ * execution-driven simulation hours-slow where the board is real-time.
+ */
+
+#ifndef MEMORIES_SIM_EXECDRIVEN_HH
+#define MEMORIES_SIM_EXECDRIVEN_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/tagstore.hh"
+#include "host/hostcache.hh"
+#include "sim/detailed.hh"
+#include "workload/workload.hh"
+
+namespace memories::sim
+{
+
+/** Parameters of the execution-driven simulator. */
+struct ExecDrivenParams
+{
+    cache::CacheConfig l1{64 * KiB, 4, 128,
+                          cache::ReplacementPolicy::LRU};
+    cache::CacheConfig l2{8 * MiB, 4, 128,
+                          cache::ReplacementPolicy::LRU};
+    /** Shared-cache (L3) model fed by L2 misses. */
+    DetailedParams shared;
+    unsigned l1LatencyCycles = 1;
+    unsigned l2LatencyCycles = 12;
+};
+
+/** Aggregate results of an execution-driven run. */
+struct ExecDrivenStats
+{
+    std::uint64_t instructions = 0;
+    std::uint64_t memoryRefs = 0;
+    std::uint64_t l1Misses = 0;
+    std::uint64_t l2Misses = 0;
+    std::uint64_t simulatedCycles = 0;
+    DetailedStats shared;
+};
+
+/** Augmint-like interleaved execution + memory simulation. */
+class ExecutionDrivenSimulator
+{
+  public:
+    ExecutionDrivenSimulator(const ExecDrivenParams &params,
+                             workload::Workload &wl,
+                             std::uint64_t seed = 1);
+
+    /**
+     * Simulate until every thread has executed @p instructions_per_thread
+     * instructions (round-robin interleaving, one instruction at a
+     * time, as Augmint schedules its threads).
+     */
+    void run(std::uint64_t instructions_per_thread);
+
+    ExecDrivenStats stats() const;
+
+  private:
+    struct ThreadContext
+    {
+        cache::TagStore l1;
+        cache::TagStore l2;
+        /** Interpreted "application state" advanced per instruction. */
+        std::uint64_t accumulator;
+        /** Countdown to the thread's next memory instruction. */
+        unsigned untilMemRef;
+
+        ThreadContext(const ExecDrivenParams &params, std::uint64_t seed);
+    };
+
+    void stepInstruction(unsigned tid);
+
+    ExecDrivenParams params_;
+    workload::Workload &workload_;
+    std::vector<ThreadContext> threads_;
+    DetailedCacheSimulator shared_;
+    unsigned memPeriod_; //!< instructions per memory reference
+
+    std::uint64_t instructions_ = 0;
+    std::uint64_t memoryRefs_ = 0;
+    std::uint64_t l1Misses_ = 0;
+    std::uint64_t l2Misses_ = 0;
+    std::uint64_t simulatedCycles_ = 0;
+};
+
+} // namespace memories::sim
+
+#endif // MEMORIES_SIM_EXECDRIVEN_HH

@@ -1,0 +1,36 @@
+#include "sim/projection.hh"
+
+#include "common/logging.hh"
+#include "common/units.hh"
+
+namespace memories::sim
+{
+
+double
+memoriesSeconds(double refs, double bus_hz, double utilization)
+{
+    if (bus_hz <= 0.0 || utilization <= 0.0 || utilization > 1.0)
+        fatal("bad bus rate/utilization for projection");
+    return refs / (bus_hz * utilization);
+}
+
+double
+simulatorSeconds(double refs, double ns_per_ref)
+{
+    return refs * ns_per_ref * 1e-9;
+}
+
+double
+scaleToPaperHost(double ns_per_unit, double this_machine_ghz_estimate,
+                 double paper_mhz)
+{
+    return ns_per_unit * (this_machine_ghz_estimate * 1000.0 / paper_mhz);
+}
+
+std::string
+humanTime(double seconds)
+{
+    return formatSeconds(seconds);
+}
+
+} // namespace memories::sim

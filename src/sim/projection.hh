@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Run-time projection arithmetic used by Tables 3 and 4.
+ *
+ * The board's time to "run" a trace of N references is fixed by
+ * physics: N / (bus frequency x bus utilization) seconds, because it
+ * emulates in real time while the host executes. A software
+ * simulator's time is its measured per-reference cost times N. These
+ * helpers centralize that arithmetic so benches print the same rows as
+ * the paper's tables plus the measured-on-this-machine columns.
+ */
+
+#ifndef MEMORIES_SIM_PROJECTION_HH
+#define MEMORIES_SIM_PROJECTION_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/types.hh"
+
+namespace memories::sim
+{
+
+/**
+ * Seconds MemorIES needs to observe @p refs bus references in real
+ * time (Table 3 uses 100 MHz and 20% utilization).
+ */
+double memoriesSeconds(double refs,
+                       double bus_hz = 1e8,
+                       double utilization = 0.20);
+
+/** Seconds a simulator with measured @p ns_per_ref needs for @p refs. */
+double simulatorSeconds(double refs, double ns_per_ref);
+
+/**
+ * Scale a measured per-unit cost from this machine to the paper's
+ * 133 MHz simulation host, so projected absolute numbers are
+ * comparable to the table (ratios are unaffected).
+ */
+double scaleToPaperHost(double ns_per_unit,
+                        double this_machine_ghz_estimate = 3.0,
+                        double paper_mhz = 133.0);
+
+/** "3 days", "16.67 minutes" style rendering used by the tables. */
+std::string humanTime(double seconds);
+
+} // namespace memories::sim
+
+#endif // MEMORIES_SIM_PROJECTION_HH

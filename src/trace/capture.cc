@@ -1,0 +1,48 @@
+#include "trace/capture.hh"
+
+#include "common/logging.hh"
+#include "trace/tracefile.hh"
+
+namespace memories::trace
+{
+
+CaptureBuffer::CaptureBuffer(std::uint64_t capacity_records)
+    : capacity_(capacity_records)
+{
+    if (capacity_records == 0)
+        fatal("capture buffer capacity must be nonzero");
+    // Reserve lazily in chunks: a 1G-record reservation up front would
+    // defeat small-memory test environments.
+    records_.reserve(std::min<std::uint64_t>(capacity_records, 1 << 20));
+}
+
+bool
+CaptureBuffer::record(const bus::BusTransaction &txn)
+{
+    if (full()) {
+        ++dropped_;
+        return false;
+    }
+    records_.push_back(BusRecord::pack(txn, prevCycle_).raw);
+    prevCycle_ = txn.cycle;
+    return true;
+}
+
+void
+CaptureBuffer::dumpToFile(const std::string &path) const
+{
+    TraceWriter writer(path);
+    for (std::uint64_t raw : records_)
+        writer.appendRecord(BusRecord(raw));
+    writer.flush();
+}
+
+void
+CaptureBuffer::reset()
+{
+    records_.clear();
+    dropped_ = 0;
+    prevCycle_ = 0;
+}
+
+} // namespace memories::trace

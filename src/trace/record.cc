@@ -1,0 +1,60 @@
+#include "trace/record.hh"
+
+#include "common/bitops.hh"
+
+namespace memories::trace
+{
+
+BusRecord
+BusRecord::pack(const bus::BusTransaction &txn, Cycle prev_cycle)
+{
+    std::uint64_t delta =
+        txn.cycle >= prev_cycle ? txn.cycle - prev_cycle : 0;
+    if (delta > maxCycleDelta)
+        delta = maxCycleDelta;
+
+    std::uint64_t raw = 0;
+    raw |= bits(txn.addr >> recordAddrShift, 0, 48);
+    raw |= (static_cast<std::uint64_t>(txn.op) & 0xf) << 48;
+    raw |= (static_cast<std::uint64_t>(txn.cpu) & 0xf) << 52;
+    raw |= delta << 56;
+    return BusRecord(raw);
+}
+
+Addr
+BusRecord::addr() const
+{
+    return bits(raw, 0, 48) << recordAddrShift;
+}
+
+bus::BusOp
+BusRecord::op() const
+{
+    return static_cast<bus::BusOp>(bits(raw, 48, 4));
+}
+
+CpuId
+BusRecord::cpu() const
+{
+    return static_cast<CpuId>(bits(raw, 52, 4));
+}
+
+std::uint64_t
+BusRecord::cycleDelta() const
+{
+    return bits(raw, 56, 8);
+}
+
+bus::BusTransaction
+BusRecord::unpack(Cycle prev_cycle) const
+{
+    bus::BusTransaction txn;
+    txn.addr = addr();
+    txn.op = op();
+    txn.cpu = cpu();
+    txn.cycle = prev_cycle + cycleDelta();
+    txn.size = 128;
+    return txn;
+}
+
+} // namespace memories::trace

@@ -1,0 +1,144 @@
+#include "trace/tracefile.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace memories::trace
+{
+
+namespace
+{
+constexpr std::size_t ioChunkRecords = 1 << 16;
+} // namespace
+
+TraceWriter::TraceWriter(const std::string &path)
+    : path_(path)
+{
+    file_.reset(std::fopen(path.c_str(), "wb"));
+    if (!file_)
+        fatal("cannot create trace file '", path, "'");
+    buffer_.reserve(ioChunkRecords);
+    writeHeader();
+}
+
+TraceWriter::~TraceWriter()
+{
+    // Best effort: flush() can't report errors from a destructor, but the
+    // explicit flush() API is there for callers who care.
+    try {
+        flush();
+    } catch (const FatalError &) {
+        // swallow: destruction must not throw
+    }
+}
+
+void
+TraceWriter::writeHeader()
+{
+    std::uint64_t header[3] = {traceMagic, traceVersion, count_};
+    if (std::fseek(file_.get(), 0, SEEK_SET) != 0 ||
+        std::fwrite(header, sizeof(header), 1, file_.get()) != 1) {
+        fatal("failed writing trace header to '", path_, "'");
+    }
+}
+
+void
+TraceWriter::append(const bus::BusTransaction &txn)
+{
+    appendRecord(BusRecord::pack(txn, prevCycle_));
+    prevCycle_ = txn.cycle;
+}
+
+void
+TraceWriter::appendRecord(BusRecord rec)
+{
+    buffer_.push_back(rec.raw);
+    ++count_;
+    if (buffer_.size() >= ioChunkRecords)
+        flush();
+}
+
+void
+TraceWriter::flush()
+{
+    if (!buffer_.empty()) {
+        if (std::fseek(file_.get(), 0, SEEK_END) != 0 ||
+            std::fwrite(buffer_.data(), sizeof(std::uint64_t),
+                        buffer_.size(), file_.get()) != buffer_.size()) {
+            fatal("failed writing trace records to '", path_, "'");
+        }
+        buffer_.clear();
+    }
+    writeHeader();
+    std::fflush(file_.get());
+}
+
+TraceReader::TraceReader(const std::string &path)
+{
+    file_.reset(std::fopen(path.c_str(), "rb"));
+    if (!file_)
+        fatal("cannot open trace file '", path, "'");
+
+    std::uint64_t header[3];
+    if (std::fread(header, sizeof(header), 1, file_.get()) != 1)
+        fatal("trace file '", path, "' is truncated");
+    if (header[0] != traceMagic)
+        fatal("trace file '", path, "' has bad magic");
+    if (header[1] != traceVersion)
+        fatal("trace file '", path, "' has unsupported version ",
+              header[1]);
+    count_ = header[2];
+    buffer_.reserve(ioChunkRecords);
+}
+
+TraceReader::~TraceReader() = default;
+
+void
+TraceReader::fillBuffer()
+{
+    buffer_.resize(ioChunkRecords);
+    std::size_t got = std::fread(buffer_.data(), sizeof(std::uint64_t),
+                                 buffer_.size(), file_.get());
+    buffer_.resize(got);
+    bufferPos_ = 0;
+}
+
+bool
+TraceReader::next(BusRecord &rec)
+{
+    if (readSoFar_ >= count_)
+        return false;
+    if (bufferPos_ >= buffer_.size()) {
+        fillBuffer();
+        if (buffer_.empty())
+            return false;
+    }
+    rec = BusRecord(buffer_[bufferPos_++]);
+    ++readSoFar_;
+    return true;
+}
+
+bool
+TraceReader::next(bus::BusTransaction &txn)
+{
+    BusRecord rec;
+    if (!next(rec))
+        return false;
+    txn = rec.unpack(prevCycle_);
+    prevCycle_ = txn.cycle;
+    return true;
+}
+
+void
+TraceReader::rewind()
+{
+    if (std::fseek(file_.get(), 3 * sizeof(std::uint64_t), SEEK_SET) != 0)
+        fatal("failed to rewind trace file");
+    readSoFar_ = 0;
+    prevCycle_ = 0;
+    buffer_.clear();
+    bufferPos_ = 0;
+}
+
+} // namespace memories::trace

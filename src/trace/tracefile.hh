@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Binary trace files: the console-side persistence of captured traces.
+ *
+ * Format: a 24-byte header (magic, version, record count) followed by
+ * packed BusRecords in little-endian order. The board dumps its capture
+ * buffer through the console to disk in this format, and the baseline
+ * trace-driven simulator replays it.
+ */
+
+#ifndef MEMORIES_TRACE_TRACEFILE_HH
+#define MEMORIES_TRACE_TRACEFILE_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "trace/record.hh"
+
+namespace memories::trace
+{
+
+/** Magic bytes at the start of every trace file ("IESTRACE"). */
+inline constexpr std::uint64_t traceMagic = 0x4945535452414345ull;
+
+/** Current trace file format version. */
+inline constexpr std::uint32_t traceVersion = 1;
+
+/** Streaming writer for a binary bus trace. */
+class TraceWriter
+{
+  public:
+    /** Open @p path for writing; fatal() if the file cannot be created. */
+    explicit TraceWriter(const std::string &path);
+
+    /** Flushes the header and closes the file. */
+    ~TraceWriter();
+
+    TraceWriter(const TraceWriter &) = delete;
+    TraceWriter &operator=(const TraceWriter &) = delete;
+
+    /** Append a transaction (packed against the previous one's cycle). */
+    void append(const bus::BusTransaction &txn);
+
+    /** Append an already-packed record. */
+    void appendRecord(BusRecord rec);
+
+    /** Records written so far. */
+    std::uint64_t count() const { return count_; }
+
+    /** Flush buffered records and rewrite the header. */
+    void flush();
+
+  private:
+    struct FileCloser
+    {
+        void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+    };
+
+    void writeHeader();
+
+    std::unique_ptr<std::FILE, FileCloser> file_;
+    std::string path_;
+    std::vector<std::uint64_t> buffer_;
+    std::uint64_t count_ = 0;
+    Cycle prevCycle_ = 0;
+};
+
+/** Reader that loads or streams a binary bus trace. */
+class TraceReader
+{
+  public:
+    /** Open @p path; fatal() on missing file or bad magic/version. */
+    explicit TraceReader(const std::string &path);
+
+    ~TraceReader();
+
+    TraceReader(const TraceReader &) = delete;
+    TraceReader &operator=(const TraceReader &) = delete;
+
+    /** Total records in the file. */
+    std::uint64_t count() const { return count_; }
+
+    /**
+     * Read the next record into @p rec.
+     * @return false at end of trace.
+     */
+    bool next(BusRecord &rec);
+
+    /**
+     * Read the next record as an unpacked transaction (cycle
+     * reconstruction is handled internally).
+     * @return false at end of trace.
+     */
+    bool next(bus::BusTransaction &txn);
+
+    /** Rewind to the first record. */
+    void rewind();
+
+  private:
+    struct FileCloser
+    {
+        void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+    };
+
+    void fillBuffer();
+
+    std::unique_ptr<std::FILE, FileCloser> file_;
+    std::uint64_t count_ = 0;
+    std::uint64_t readSoFar_ = 0;
+    Cycle prevCycle_ = 0;
+    std::vector<std::uint64_t> buffer_;
+    std::size_t bufferPos_ = 0;
+};
+
+} // namespace memories::trace
+
+#endif // MEMORIES_TRACE_TRACEFILE_HH

@@ -1,0 +1,117 @@
+#include "trace/tracestats.hh"
+
+#include <sstream>
+
+#include "common/stats.hh"
+#include "common/units.hh"
+
+namespace memories::trace
+{
+
+void
+TraceStats::record(const bus::BusTransaction &txn)
+{
+    ++records_;
+    ++opCounts_[static_cast<std::size_t>(txn.op)];
+    if (txn.cpu < maxHostCpus)
+        ++cpuCounts_[txn.cpu];
+    lines_.insert(txn.addr & ~Addr{127});
+    if (!sawAny_) {
+        first_ = txn.cycle;
+        sawAny_ = true;
+    }
+    last_ = txn.cycle;
+}
+
+TraceStats
+TraceStats::fromFile(const std::string &path)
+{
+    TraceReader reader(path);
+    TraceStats stats;
+    bus::BusTransaction txn;
+    while (reader.next(txn))
+        stats.record(txn);
+    return stats;
+}
+
+double
+TraceStats::utilization() const
+{
+    const Cycle span = last_ > first_ ? last_ - first_ : 0;
+    return span == 0 ? 0.0
+                     : static_cast<double>(records_) /
+                           static_cast<double>(span);
+}
+
+double
+TraceStats::readFraction() const
+{
+    std::uint64_t reads = 0, memory = 0;
+    for (std::size_t i = 0; i < bus::numBusOps; ++i) {
+        const auto op = static_cast<bus::BusOp>(i);
+        if (!bus::isMemoryOp(op))
+            continue;
+        memory += opCounts_[i];
+        if (bus::isReadOp(op))
+            reads += opCounts_[i];
+    }
+    return ratio(reads, memory);
+}
+
+std::string
+TraceStats::report() const
+{
+    std::ostringstream os;
+    os << "records " << records_ << ", footprint "
+       << formatByteSize(footprintBytes()) << " (" << uniqueLines()
+       << " lines), span " << (last_ - first_) << " cycles, "
+       << "utilization " << utilization() << ", read fraction "
+       << readFraction() << "\n";
+    os << "per command:";
+    for (std::size_t i = 0; i < bus::numBusOps; ++i) {
+        if (opCounts_[i] > 0)
+            os << ' ' << bus::busOpName(static_cast<bus::BusOp>(i))
+               << '=' << opCounts_[i];
+    }
+    os << "\nper cpu:";
+    for (unsigned c = 0; c < maxHostCpus; ++c) {
+        if (cpuCounts_[c] > 0)
+            os << " cpu" << c << '=' << cpuCounts_[c];
+    }
+    os << '\n';
+    return os.str();
+}
+
+std::uint64_t
+sliceTrace(TraceReader &reader, TraceWriter &writer, std::uint64_t from,
+           std::uint64_t count)
+{
+    bus::BusTransaction txn;
+    std::uint64_t index = 0, copied = 0;
+    while (copied < count && reader.next(txn)) {
+        if (index++ < from)
+            continue;
+        writer.append(txn);
+        ++copied;
+    }
+    writer.flush();
+    return copied;
+}
+
+std::uint64_t
+filterTrace(TraceReader &reader, TraceWriter &writer,
+            const std::function<bool(const bus::BusTransaction &)> &keep)
+{
+    bus::BusTransaction txn;
+    std::uint64_t copied = 0;
+    while (reader.next(txn)) {
+        if (keep(txn)) {
+            writer.append(txn);
+            ++copied;
+        }
+    }
+    writer.flush();
+    return copied;
+}
+
+} // namespace memories::trace

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Off-line trace analysis: the console-side tools used on traces the
+ * board captured (paper section 2.3: "a mechanism to collect traces
+ * for finer and repeatable off-line analysis").
+ *
+ * TraceStats summarizes a trace (per-command and per-CPU breakdowns,
+ * unique-line footprint, inter-arrival profile); slice/filter
+ * utilities cut traces down for targeted replay.
+ */
+
+#ifndef MEMORIES_TRACE_TRACESTATS_HH
+#define MEMORIES_TRACE_TRACESTATS_HH
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <unordered_set>
+
+#include "bus/transaction.hh"
+#include "common/types.hh"
+#include "trace/tracefile.hh"
+
+namespace memories::trace
+{
+
+/** Summary statistics of a bus trace. */
+class TraceStats
+{
+  public:
+    TraceStats() = default;
+
+    /** Account one transaction. */
+    void record(const bus::BusTransaction &txn);
+
+    /** Consume an entire trace file. */
+    static TraceStats fromFile(const std::string &path);
+
+    std::uint64_t records() const { return records_; }
+    std::uint64_t opCount(bus::BusOp op) const
+    {
+        return opCounts_[static_cast<std::size_t>(op)];
+    }
+    std::uint64_t cpuCount(CpuId cpu) const { return cpuCounts_[cpu]; }
+
+    /** Distinct 128B lines referenced (exact). */
+    std::uint64_t uniqueLines() const { return lines_.size(); }
+
+    /** Footprint in bytes (uniqueLines x 128). */
+    std::uint64_t footprintBytes() const { return uniqueLines() * 128; }
+
+    /** First and last bus cycles seen. */
+    Cycle firstCycle() const { return first_; }
+    Cycle lastCycle() const { return last_; }
+
+    /** Mean address-bus utilization across the trace's time span. */
+    double utilization() const;
+
+    /** Read share among memory operations. */
+    double readFraction() const;
+
+    /** Human-readable report. */
+    std::string report() const;
+
+  private:
+    std::uint64_t records_ = 0;
+    std::array<std::uint64_t, bus::numBusOps> opCounts_{};
+    std::array<std::uint64_t, maxHostCpus> cpuCounts_{};
+    std::unordered_set<Addr> lines_;
+    Cycle first_ = 0;
+    Cycle last_ = 0;
+    bool sawAny_ = false;
+};
+
+/**
+ * Copy @p count records starting at record @p from into @p writer.
+ * @return records actually copied (less when the trace is shorter).
+ */
+std::uint64_t sliceTrace(TraceReader &reader, TraceWriter &writer,
+                         std::uint64_t from, std::uint64_t count);
+
+/**
+ * Copy the records for which @p keep returns true.
+ * @return records copied.
+ */
+std::uint64_t filterTrace(TraceReader &reader, TraceWriter &writer,
+                          const std::function<
+                              bool(const bus::BusTransaction &)> &keep);
+
+} // namespace memories::trace
+
+#endif // MEMORIES_TRACE_TRACESTATS_HH

@@ -1,0 +1,58 @@
+#include "workload/dss.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memories::workload
+{
+
+namespace
+{
+constexpr std::uint64_t dimBlockBytes = 128;
+} // namespace
+
+DssWorkload::DssWorkload(const DssParams &params)
+    : params_(params),
+      factPartition_(params.factBytes / std::max(params.threads, 1u)),
+      dimZipf_(params.dimBytes / dimBlockBytes, params.theta),
+      scanCursors_(params.threads, 0)
+{
+    if (params.threads == 0)
+        fatal("DSS workload needs at least one thread");
+    if (factPartition_ < params.scanStride)
+        fatal("DSS fact partition smaller than one scan stride");
+    rngs_.reserve(params.threads);
+    for (unsigned t = 0; t < params.threads; ++t)
+        rngs_.emplace_back(params.seed * 0x85ebca6bu + t * 31 + 5);
+}
+
+MemRef
+DssWorkload::next(unsigned tid)
+{
+    Rng &rng = rngs_[tid];
+    MemRef ref;
+
+    if (rng.nextBool(params_.scanFrac)) {
+        // Sequential fact-table scan within this thread's partition.
+        // The dimension tables sit first in the address map; the fact
+        // table follows.
+        const Addr fact_base = workloadBaseAddr + params_.dimBytes;
+        ref.addr = fact_base +
+                   static_cast<Addr>(tid) * factPartition_ +
+                   scanCursors_[tid];
+        scanCursors_[tid] += params_.scanStride;
+        if (scanCursors_[tid] + params_.scanStride > factPartition_)
+            scanCursors_[tid] = 0; // next query restarts the scan
+        ref.write = false;
+    } else {
+        // Dimension/index probe: Zipf over dimension blocks.
+        const std::uint64_t block = dimZipf_.sample(rng);
+        ref.addr = workloadBaseAddr + block * dimBlockBytes +
+                   rng.nextBounded(dimBlockBytes);
+        ref.write = rng.nextBool(params_.writeFrac);
+    }
+    return ref;
+}
+
+} // namespace memories::workload

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * TPC-H-like decision-support (DSS) reference generator.
+ *
+ * Decision-support queries stream through huge fact tables and probe
+ * much smaller dimension/index structures. The model: each thread scans
+ * its partition of the fact table sequentially (with periodic query
+ * restarts) and intersperses Zipf-skewed probes over a hierarchy of
+ * dimension tables. The probe hierarchy is what gives Figure 8's TPC-H
+ * curves their gradual miss-ratio decrease across decades of cache
+ * size — each cache doubling captures another slice of dimension data —
+ * while the scans set the floor.
+ */
+
+#ifndef MEMORIES_WORKLOAD_DSS_HH
+#define MEMORIES_WORKLOAD_DSS_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "workload/workload.hh"
+
+namespace memories::workload
+{
+
+/** Tunables of the DSS model. */
+struct DssParams
+{
+    unsigned threads = 8;
+    /** Fact-table footprint (paper runs: ~100GB; benches scale). */
+    std::uint64_t factBytes = 4 * GiB;
+    /** Total dimension-table footprint. */
+    std::uint64_t dimBytes = 512 * MiB;
+    /** Fraction of references that are fact-table scan reads. */
+    double scanFrac = 0.55;
+    /** Zipf skew of dimension probes. */
+    double theta = 0.75;
+    /** Store fraction (DSS is read-mostly). */
+    double writeFrac = 0.05;
+    /** Scan element size (bytes advanced per scan reference). */
+    std::uint64_t scanStride = 64;
+    std::uint64_t seed = 1;
+};
+
+/** TPC-H-like decision-support reference stream. */
+class DssWorkload : public Workload
+{
+  public:
+    explicit DssWorkload(const DssParams &params);
+
+    MemRef next(unsigned tid) override;
+    unsigned threads() const override { return params_.threads; }
+    std::uint64_t footprintBytes() const override
+    {
+        return params_.factBytes + params_.dimBytes;
+    }
+    const std::string &name() const override { return name_; }
+    double refsPerInstruction() const override { return 0.40; }
+
+    const DssParams &params() const { return params_; }
+
+  private:
+    std::string name_ = "tpch-like";
+    DssParams params_;
+    std::uint64_t factPartition_;
+    ZipfSampler dimZipf_;
+    std::vector<std::uint64_t> scanCursors_;
+    std::vector<Rng> rngs_;
+};
+
+} // namespace memories::workload
+
+#endif // MEMORIES_WORKLOAD_DSS_HH

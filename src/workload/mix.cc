@@ -1,0 +1,63 @@
+#include "workload/mix.hh"
+
+#include "common/logging.hh"
+
+namespace memories::workload
+{
+
+MixWorkload::MixWorkload(std::vector<std::unique_ptr<Workload>> parts)
+    : parts_(std::move(parts))
+{
+    if (parts_.empty())
+        fatal("mix workload needs at least one part");
+    name_ = "mix(";
+    for (std::size_t p = 0; p < parts_.size(); ++p) {
+        if (!parts_[p])
+            fatal("mix workload part ", p, " is null");
+        for (unsigned t = 0; t < parts_[p]->threads(); ++t) {
+            partIndex_.push_back(static_cast<unsigned>(p));
+            localTid_.push_back(t);
+        }
+        totalThreads_ += parts_[p]->threads();
+        name_ += parts_[p]->name();
+        name_ += p + 1 < parts_.size() ? "+" : "";
+    }
+    name_ += ")";
+    if (totalThreads_ > maxHostCpus)
+        fatal("mix workload spans ", totalThreads_,
+              " threads; the host bus tops out at ", maxHostCpus);
+}
+
+MemRef
+MixWorkload::next(unsigned tid)
+{
+    const unsigned p = partIndex_[tid];
+    MemRef ref = parts_[p]->next(localTid_[tid]);
+    // Every workload lays itself out from workloadBaseAddr; give each
+    // part a disjoint 1TB address window so consolidated services
+    // never falsely share lines.
+    ref.addr += static_cast<Addr>(p) << 40;
+    return ref;
+}
+
+std::uint64_t
+MixWorkload::footprintBytes() const
+{
+    std::uint64_t total = 0;
+    for (const auto &part : parts_)
+        total += part->footprintBytes();
+    return total;
+}
+
+double
+MixWorkload::refsPerInstruction() const
+{
+    // Thread-weighted mean: each thread issues refs at its part's
+    // density.
+    double weighted = 0.0;
+    for (const auto &part : parts_)
+        weighted += part->refsPerInstruction() * part->threads();
+    return weighted / totalThreads_;
+}
+
+} // namespace memories::workload

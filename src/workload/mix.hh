@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Workload composition: assign thread ranges of one machine to
+ * different sub-workloads — a consolidated server running OLTP, DSS
+ * and web service side by side, which is how large SMPs of the S7A
+ * class were actually deployed.
+ */
+
+#ifndef MEMORIES_WORKLOAD_MIX_HH
+#define MEMORIES_WORKLOAD_MIX_HH
+
+#include <memory>
+#include <vector>
+
+#include "workload/workload.hh"
+
+namespace memories::workload
+{
+
+/** Threads of one machine split across several sub-workloads. */
+class MixWorkload : public Workload
+{
+  public:
+    /**
+     * @param parts Sub-workloads; machine thread IDs are assigned to
+     *        them contiguously in order (part 0 gets threads
+     *        0..parts[0]->threads()-1, and so on). Each sub-workload
+     *        is driven with its own local thread IDs.
+     */
+    explicit MixWorkload(std::vector<std::unique_ptr<Workload>> parts);
+
+    MemRef next(unsigned tid) override;
+    unsigned threads() const override { return totalThreads_; }
+    std::uint64_t footprintBytes() const override;
+    const std::string &name() const override { return name_; }
+    double refsPerInstruction() const override;
+
+    /** Number of composed sub-workloads. */
+    std::size_t parts() const { return parts_.size(); }
+
+    /** Sub-workload serving machine thread @p tid. */
+    const Workload &partOf(unsigned tid) const
+    {
+        return *parts_[partIndex_[tid]];
+    }
+
+  private:
+    std::string name_ = "mix";
+    std::vector<std::unique_ptr<Workload>> parts_;
+    std::vector<unsigned> partIndex_;  //!< machine tid -> part
+    std::vector<unsigned> localTid_;   //!< machine tid -> part tid
+    unsigned totalThreads_ = 0;
+};
+
+} // namespace memories::workload
+
+#endif // MEMORIES_WORKLOAD_MIX_HH

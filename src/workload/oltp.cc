@@ -1,0 +1,124 @@
+#include "workload/oltp.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memories::workload
+{
+
+namespace
+{
+
+std::vector<Rng>
+makeThreadRngs(unsigned threads, std::uint64_t seed)
+{
+    std::vector<Rng> rngs;
+    rngs.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t)
+        rngs.emplace_back(seed * 0x2545f491u + t * 0x9e3779b9u + 17);
+    return rngs;
+}
+
+} // namespace
+
+OltpWorkload::OltpWorkload(const OltpParams &params)
+    : params_(params),
+      sharedPoolPages_(static_cast<std::uint64_t>(
+          static_cast<double>(params.dbBytes / params.pageBytes) *
+          params.sharedPoolFrac)),
+      privatePoolPages_((params.dbBytes / params.pageBytes -
+                         sharedPoolPages_) /
+                        std::max(params.threads, 1u)),
+      sharedZipf_(sharedPoolPages_ ? sharedPoolPages_ : 1, params.theta),
+      privateZipf_(privatePoolPages_ ? privatePoolPages_ : 1,
+                   params.theta),
+      rngs_(makeThreadRngs(params.threads, params.seed)),
+      state_(params.threads)
+{
+    if (params.threads == 0)
+        fatal("OLTP workload needs at least one thread");
+    if (params.refsPerPageVisit == 0)
+        fatal("refsPerPageVisit must be nonzero");
+    if (params.dbBytes < params.pageBytes * params.threads * 4)
+        fatal("OLTP database too small for ", params.threads, " threads");
+    if (params.sharedFrac < 0.0 || params.sharedFrac > 1.0)
+        fatal("sharedFrac must be in [0,1]");
+    if (sharedPoolPages_ == 0 || privatePoolPages_ == 0)
+        fatal("OLTP pool sizing degenerate: shared=", sharedPoolPages_,
+              " private=", privatePoolPages_);
+}
+
+std::uint64_t
+OltpWorkload::footprintBytes() const
+{
+    return params_.dbBytes +
+           (params_.journaling ? params_.journalBytes : 0);
+}
+
+bool
+OltpWorkload::inJournalBurst() const
+{
+    if (!params_.journaling)
+        return false;
+    return globalRefs_ % params_.journalPeriodRefs <
+           params_.journalBurstRefs;
+}
+
+MemRef
+OltpWorkload::next(unsigned tid)
+{
+    Rng &rng = rngs_[tid];
+    MemRef ref;
+
+    const bool journal_now = inJournalBurst();
+    ++globalRefs_;
+
+    if (journal_now) {
+        // Append-only journal writes: the cursor only moves forward, so
+        // the stream never re-touches recent lines and misses in any
+        // cache — which is why Figure 10's spikes show at 16MB *and*
+        // 1GB. The journal lives below the database in the address map.
+        ref.addr = workloadBaseAddr - params_.journalBytes +
+                   (journalCursor_ % params_.journalBytes);
+        journalCursor_ += 128;
+        ref.write = true;
+        return ref;
+    }
+
+    // Page-visit model: a transaction works within one page for
+    // several references (row fields, index entries) before moving to
+    // the next page. The walk within the page is a forward scan with
+    // small random skips - the L1/L2 locality real OLTP exhibits.
+    ThreadState &st = state_[tid];
+    if (st.refsLeft == 0) {
+        st.pageBase = pickPage(tid, rng);
+        st.cursor = rng.nextBounded(params_.pageBytes / 4);
+        st.refsLeft = 1 + static_cast<unsigned>(rng.nextBounded(
+                              2 * params_.refsPerPageVisit - 1));
+    }
+    --st.refsLeft;
+    ref.addr = st.pageBase + (st.cursor % params_.pageBytes);
+    st.cursor += 8 + rng.nextBounded(64);
+    ref.write = rng.nextBool(params_.writeFrac);
+    return ref;
+}
+
+Addr
+OltpWorkload::pickPage(unsigned tid, Rng &rng)
+{
+    if (rng.nextBool(params_.sharedFrac)) {
+        // Shared pool: buffer-pool metadata and hot index pages.
+        const std::uint64_t page = sharedZipf_.sample(rng);
+        return workloadBaseAddr + page * params_.pageBytes;
+    }
+    // Thread-affine rows: each server thread works mostly within its
+    // own warehouse partition.
+    const std::uint64_t page = privateZipf_.sample(rng);
+    const Addr private_base =
+        workloadBaseAddr + sharedPoolPages_ * params_.pageBytes +
+        static_cast<Addr>(tid) * privatePoolPages_ * params_.pageBytes;
+    return private_base + page * params_.pageBytes;
+}
+
+} // namespace memories::workload

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * TPC-C-like OLTP reference generator.
+ *
+ * The paper's TPC-C case studies (Figures 8, 9, 10) depend on these
+ * memory-behaviour properties, which this model reproduces directly:
+ *
+ *  - a large database footprint with Zipf-skewed page popularity (hot
+ *    index/metadata pages vs cold row pages);
+ *  - a *shared* pool touched by every server thread (buffer-pool
+ *    metadata, top index levels) plus *per-thread-affine* regions whose
+ *    union exceeds any single shared cache — the effect behind Figure
+ *    9's short-vs-long-trace reversal;
+ *  - optional periodic OS journaling activity: an append-only log that
+ *    streams through memory and produces the 5-minute miss-ratio spikes
+ *    of Figure 10 at every cache size.
+ */
+
+#ifndef MEMORIES_WORKLOAD_OLTP_HH
+#define MEMORIES_WORKLOAD_OLTP_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "workload/workload.hh"
+
+namespace memories::workload
+{
+
+/** Tunables of the OLTP model. */
+struct OltpParams
+{
+    unsigned threads = 8;
+    /** Total database footprint (paper runs: 150GB; benches scale). */
+    std::uint64_t dbBytes = 2 * GiB;
+    /** Database page size. */
+    std::uint64_t pageBytes = 4096;
+    /** Fraction of accesses that go to the globally shared pool. */
+    double sharedFrac = 0.35;
+    /** Fraction of the database that forms the shared pool. */
+    double sharedPoolFrac = 0.08;
+    /** Zipf skew of page popularity within each pool. */
+    double theta = 0.80;
+    /** Store fraction. */
+    double writeFrac = 0.25;
+    /**
+     * Mean references per page visit: a transaction reads/updates
+     * several fields of a row and walks index entries within a page
+     * before moving on. This is what gives OLTP its L1/L2 locality;
+     * 1 degenerates to pure random paging.
+     */
+    unsigned refsPerPageVisit = 20;
+
+    /** Enable the journaling-bug model of Case Study 2. */
+    bool journaling = false;
+    /** References between journal bursts (global count). */
+    std::uint64_t journalPeriodRefs = 2'000'000;
+    /** References per burst. */
+    std::uint64_t journalBurstRefs = 120'000;
+    /** Size of the wrap-around journal region. */
+    std::uint64_t journalBytes = 512 * MiB;
+
+    std::uint64_t seed = 1;
+};
+
+/** TPC-C-like transaction-processing reference stream. */
+class OltpWorkload : public Workload
+{
+  public:
+    explicit OltpWorkload(const OltpParams &params);
+
+    MemRef next(unsigned tid) override;
+    unsigned threads() const override { return params_.threads; }
+    std::uint64_t footprintBytes() const override;
+    const std::string &name() const override { return name_; }
+    double refsPerInstruction() const override { return 0.30; }
+
+    const OltpParams &params() const { return params_; }
+
+    /** True while the journaling burst window is active (tests use it). */
+    bool inJournalBurst() const;
+
+  private:
+    /** Per-thread page-visit cursor. */
+    struct ThreadState
+    {
+        Addr pageBase = 0;
+        std::uint64_t cursor = 0;  //!< byte offset within the page
+        unsigned refsLeft = 0;     //!< remaining refs on this page
+    };
+
+    Addr pickPage(unsigned tid, Rng &rng);
+
+    std::string name_ = "tpcc-like";
+    OltpParams params_;
+    std::uint64_t sharedPoolPages_;
+    std::uint64_t privatePoolPages_; //!< per thread
+    ZipfSampler sharedZipf_;
+    ZipfSampler privateZipf_;
+    std::vector<Rng> rngs_;
+    std::vector<ThreadState> state_;
+    std::uint64_t globalRefs_ = 0;
+    std::uint64_t journalCursor_ = 0;
+};
+
+} // namespace memories::workload
+
+#endif // MEMORIES_WORKLOAD_OLTP_HH

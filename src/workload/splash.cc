@@ -1,0 +1,281 @@
+#include "workload/splash.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memories::workload
+{
+
+SplashWorkload::SplashWorkload(const SplashParams &params)
+    : params_(params),
+      partitionBytes_((params.footprintBytes - params.sharedBytes) /
+                      std::max(params.threads, 1u)),
+      sharedZipf_(std::max<std::uint64_t>(params.sharedBytes / 128, 1),
+                  params.sharedTheta),
+      state_(params.threads)
+{
+    if (params.threads == 0)
+        fatal("SPLASH workload needs at least one thread");
+    if (params.sharedBytes >= params.footprintBytes)
+        fatal("shared region larger than the footprint");
+    if (partitionBytes_ < 4 * KiB)
+        fatal("per-thread partition degenerate (",
+              partitionBytes_, " bytes)");
+
+    // A window of 0 means "stream the whole partition"; otherwise the
+    // phase window cannot exceed the partition.
+    if (params_.windowBytes == 0 ||
+        params_.windowBytes > partitionBytes_) {
+        params_.windowBytes = partitionBytes_;
+    }
+    if (params_.windowAdvanceRefs == 0)
+        fatal("windowAdvanceRefs must be nonzero");
+
+    rngs_.reserve(params.threads);
+    for (unsigned t = 0; t < params.threads; ++t)
+        rngs_.emplace_back(params.seed * 0xc2b2ae35u + t * 131 + 7);
+}
+
+MemRef
+SplashWorkload::next(unsigned tid)
+{
+    Rng &rng = rngs_[tid];
+    MemRef ref;
+
+    if (rng.nextBool(params_.sharedFrac)) {
+        // Shared structures: tree tops, boundary columns, multipole
+        // cells. Writes here are what other nodes later miss on —
+        // Figure 12's intervention traffic.
+        const std::uint64_t block = sharedZipf_.sample(rng);
+        ref.addr = workloadBaseAddr + block * 128 + rng.nextBounded(128);
+        ref.write = rng.nextBool(params_.sharedWriteFrac);
+        return ref;
+    }
+
+    ThreadState &st = state_[tid];
+    const Addr part_base = workloadBaseAddr + params_.sharedBytes +
+                           static_cast<Addr>(tid) * partitionBytes_;
+    const std::uint64_t window = params_.windowBytes;
+
+    // Advance the phase window: each advance exposes half a window of
+    // (usually new) data, which is the stream of compulsory/capacity
+    // misses the window model is calibrated around. A fraction of
+    // advances jump *backward* with distance skewed toward recent
+    // positions - the temporal-reuse structure that gives larger L3s
+    // their gradually increasing capture of the L2-miss stream.
+    if (++st.refsSinceAdvance >= params_.windowAdvanceRefs) {
+        st.refsSinceAdvance = 0;
+        if (rng.nextBool(params_.backJumpFrac)) {
+            const double u = rng.nextDouble();
+            const auto back = static_cast<std::uint64_t>(
+                u * u * u * static_cast<double>(partitionBytes_));
+            st.windowBase =
+                (st.windowBase + partitionBytes_ -
+                 back / window * window) % partitionBytes_;
+        } else {
+            st.windowBase =
+                (st.windowBase + window / 2) % partitionBytes_;
+        }
+    }
+
+    std::uint64_t offset;
+    if (rng.nextBool(params_.seqFrac)) {
+        offset = st.seqCursor;
+        st.seqCursor += params_.seqStride;
+        if (st.seqCursor + params_.seqStride > window)
+            st.seqCursor = 0;
+    } else {
+        offset = rng.nextBounded(window);
+    }
+    // Window wraps around the partition end.
+    ref.addr = part_base + (st.windowBase + offset) % partitionBytes_;
+    ref.write = rng.nextBool(params_.writeFrac);
+    return ref;
+}
+
+namespace
+{
+
+/** Clamp a scaled byte count to something nondegenerate. */
+std::uint64_t
+scaled(std::uint64_t bytes, double scale,
+       std::uint64_t min_bytes = 8 * MiB)
+{
+    auto v = static_cast<std::uint64_t>(static_cast<double>(bytes) *
+                                        scale);
+    return std::max(v, min_bytes);
+}
+
+/** Shared regions scale with a smaller floor and stay well inside
+ *  the footprint. */
+std::uint64_t
+scaledShared(std::uint64_t bytes, double scale,
+             std::uint64_t footprint)
+{
+    return std::min(scaled(bytes, scale, 256 * KiB), footprint / 8);
+}
+
+} // namespace
+
+SplashParams
+fftParams(unsigned m, unsigned threads, double scale)
+{
+    SplashParams p;
+    p.name = "FFT";
+    p.threads = threads;
+    // Three complex arrays of 2^m points, 16 bytes per point.
+    p.footprintBytes = scaled(std::uint64_t{48} << m, scale);
+    p.refsPerInstruction = 0.25;
+    // -l7 blocked passes: highly sequential within a small cache block.
+    p.seqFrac = 0.95;
+    p.seqStride = 16;
+    p.windowBytes = 512 * KiB;
+    p.windowAdvanceRefs = 1'600'000;
+    // Transpose phases read other threads' output: small shared slice,
+    // few shared writes -> low intervention traffic.
+    p.sharedFrac = 0.01;
+    p.sharedBytes = scaledShared(4 * MiB, scale, p.footprintBytes);
+    p.sharedWriteFrac = 0.003;
+    p.writeFrac = 0.45;
+    return p;
+}
+
+SplashParams
+oceanParams(unsigned n, unsigned threads, double scale)
+{
+    SplashParams p;
+    p.name = "OCEAN";
+    p.threads = threads;
+    // ~27 grids of n*n points, 8 bytes per point.
+    p.footprintBytes =
+        scaled(static_cast<std::uint64_t>(n) * n * 216, scale);
+    p.refsPerInstruction = 0.50;
+    // Streaming stencil sweeps: a few rows of reuse, then new data.
+    p.seqFrac = 0.98;
+    p.seqStride = 8;
+    p.windowBytes = 256 * KiB;
+    p.windowAdvanceRefs = 60'000;
+    // Nearest-neighbour boundary exchange only.
+    p.sharedFrac = 0.01;
+    p.sharedBytes = scaledShared(2 * MiB, scale, p.footprintBytes);
+    p.sharedWriteFrac = 0.005;
+    p.writeFrac = 0.45;
+    return p;
+}
+
+SplashParams
+barnesParams(std::uint64_t bodies, unsigned threads, double scale)
+{
+    SplashParams p;
+    p.name = "BARNES";
+    p.threads = threads;
+    // ~200 bytes per body.
+    p.footprintBytes = scaled(bodies * 200, scale);
+    p.refsPerInstruction = 0.30;
+    // Tree walks: pointer chasing within the current cell group.
+    p.seqFrac = 0.30;
+    p.seqStride = 32;
+    p.windowBytes = 256 * KiB;
+    p.windowAdvanceRefs = 1'100'000;
+    // Shared tree top is read-mostly.
+    p.sharedFrac = 0.02;
+    p.sharedBytes = scaledShared(p.footprintBytes / 100, 1.0, p.footprintBytes);
+    p.sharedWriteFrac = 0.005;
+    p.writeFrac = 0.10;
+    return p;
+}
+
+SplashParams
+fmmParams(std::uint64_t particles, unsigned threads, double scale)
+{
+    SplashParams p;
+    p.name = "FMM";
+    p.threads = threads;
+    // ~2.2KB per particle (multipole expansions dominate).
+    p.footprintBytes = scaled(particles * 2240, scale);
+    p.refsPerInstruction = 0.30;
+    p.seqFrac = 0.40;
+    p.seqStride = 64;
+    p.windowBytes = 512 * KiB;
+    p.windowAdvanceRefs = 1'100'000;
+    // Interaction-list cells are both read and written by many threads:
+    // the paper calls out FMM's high modified/shared intervention
+    // traffic.
+    p.sharedFrac = 0.03;
+    p.sharedBytes = scaledShared(p.footprintBytes / 200, 1.0, p.footprintBytes);
+    p.sharedWriteFrac = 0.004;
+    p.writeFrac = 0.20;
+    return p;
+}
+
+SplashParams
+waterParams(std::uint64_t molecules, unsigned threads, double scale)
+{
+    SplashParams p;
+    p.name = "WATER";
+    p.threads = threads;
+    // ~720 bytes per molecule.
+    p.footprintBytes = scaled(molecules * 720, scale);
+    p.refsPerInstruction = 0.35;
+    // Dense pairwise phases over a small molecule block: tiny phase
+    // working set, hence the lowest miss rates in the suite.
+    p.seqFrac = 0.70;
+    p.seqStride = 32;
+    p.windowBytes = 256 * KiB;
+    p.windowAdvanceRefs = 1'580'000;
+    p.sharedFrac = 0.015;
+    p.sharedBytes = scaledShared(512 * KiB, scale, p.footprintBytes);
+    p.sharedWriteFrac = 0.005;
+    p.writeFrac = 0.25;
+    return p;
+}
+
+std::vector<SplashParams>
+paperSplashSuite(unsigned threads, double scale)
+{
+    return {
+        fmmParams(4'000'000, threads, scale),
+        fftParams(28, threads, scale),
+        oceanParams(8194, threads, scale),
+        waterParams(125ull * 125 * 125, threads, scale),
+        barnesParams(16'000'000, threads, scale),
+    };
+}
+
+std::vector<SplashParams>
+splash2SizeSuite(unsigned threads, double scale)
+{
+    // Original SPLASH2-paper sizes (Table 1): tiny footprints, and the
+    // unblocked FFT streams its whole data set each pass (window ==
+    // partition), which is why its small-size miss rate dwarfs the
+    // blocked large-size run.
+    auto fft = fftParams(16, threads, scale); // 64K points
+    fft.windowBytes = 0; // unblocked: stream the whole partition
+    fft.windowAdvanceRefs = 175'000;
+    fft.seqStride = 16;
+
+    auto ocean = oceanParams(258, threads, scale);
+    ocean.windowBytes = 128 * KiB;
+    ocean.windowAdvanceRefs = 67'000;
+
+    auto barnes = barnesParams(16'384, threads, scale);
+    barnes.windowBytes = 128 * KiB;
+    barnes.windowAdvanceRefs = 1'500'000;
+    barnes.sharedWriteFrac = 0.002;
+
+    auto fmm = fmmParams(16'384, threads, scale);
+    fmm.windowBytes = 256 * KiB;
+    fmm.windowAdvanceRefs = 1'300'000;
+    fmm.sharedWriteFrac = 0.002;
+
+    auto water = waterParams(512, threads, scale);
+    water.windowBytes = 64 * KiB;
+    water.windowAdvanceRefs = 1'080'000;
+    water.sharedBytes = 64 * KiB; // 512 molecules: tiny shared set
+    water.sharedWriteFrac = 0.001;
+
+    return {fmm, fft, ocean, water, barnes};
+}
+
+} // namespace memories::workload

@@ -1,0 +1,165 @@
+/**
+ * @file
+ * SPLASH2-like scientific-kernel reference generators.
+ *
+ * Case Study 3 runs FMM, FFT, Ocean, Water and Barnes-Hut at
+ * "realistic" sizes (Tables 5-6, Figures 11-12). The board only ever
+ * sees each application's address stream, so each kernel is modelled by
+ * its documented access pattern:
+ *
+ *  - a per-thread partition of the data set, visited by a mix of
+ *    sequential scanning (dense array kernels) and random jumps
+ *    (pointer-chasing tree codes);
+ *  - a sliding *active window* within the partition that captures the
+ *    phase working set (Water and blocked FFT have small windows and
+ *    hence low miss rates; Ocean streams through its whole partition);
+ *  - a shared region (tree tops, boundary columns, multipole cells)
+ *    with its own write fraction — this is what produces the
+ *    modified/shared intervention traffic of Figure 12 (FMM high,
+ *    FFT/Ocean low).
+ *
+ * Factory functions encode the paper's problem sizes and the original
+ * SPLASH2-paper sizes, both scalable by a footprint factor so benches
+ * can run laptop-sized while preserving ratios.
+ */
+
+#ifndef MEMORIES_WORKLOAD_SPLASH_HH
+#define MEMORIES_WORKLOAD_SPLASH_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "workload/workload.hh"
+
+namespace memories::workload
+{
+
+/** Pattern parameters of one SPLASH2-like kernel. */
+struct SplashParams
+{
+    std::string name = "splash";
+    unsigned threads = 8;
+    /** Total data footprint. */
+    std::uint64_t footprintBytes = 256 * MiB;
+    /** Memory references per instruction (timing model input). */
+    double refsPerInstruction = 0.35;
+
+    /** Fraction of partition accesses that advance sequentially. */
+    double seqFrac = 0.8;
+    /** Bytes advanced per sequential access. */
+    std::uint64_t seqStride = 64;
+    /**
+     * Phase working-set window within the partition (0 = whole
+     * partition). Non-sequential partition accesses stay uniform within
+     * the current window.
+     */
+    std::uint64_t windowBytes = 0;
+    /** References per thread between half-window advances. */
+    std::uint64_t windowAdvanceRefs = 100'000;
+    /**
+     * Probability that a window advance is a *backward revisit* to
+     * earlier data (skewed toward recent positions) instead of forward
+     * progress. Scientific codes re-walk trees, re-read boundaries and
+     * iterate timesteps: their L2-miss streams have skewed temporal
+     * reuse, which is what lets L3 caches of increasing size capture
+     * increasing fractions of the miss stream (Figure 11).
+     */
+    double backJumpFrac = 0.5;
+
+    /** Fraction of accesses that touch the shared region. */
+    double sharedFrac = 0.05;
+    /** Size of the shared region (subtracted from the footprint). */
+    std::uint64_t sharedBytes = 8 * MiB;
+    /** Zipf skew within the shared region. */
+    double sharedTheta = 0.60;
+    /** Store fraction in the shared region (drives interventions). */
+    double sharedWriteFrac = 0.05;
+
+    /** Store fraction in the private partition. */
+    double writeFrac = 0.30;
+
+    std::uint64_t seed = 1;
+};
+
+/** Reference stream for one SPLASH2-like kernel. */
+class SplashWorkload : public Workload
+{
+  public:
+    explicit SplashWorkload(const SplashParams &params);
+
+    MemRef next(unsigned tid) override;
+    unsigned threads() const override { return params_.threads; }
+    std::uint64_t footprintBytes() const override
+    {
+        return params_.footprintBytes;
+    }
+    const std::string &name() const override { return params_.name; }
+    double refsPerInstruction() const override
+    {
+        return params_.refsPerInstruction;
+    }
+
+    const SplashParams &params() const { return params_; }
+
+  private:
+    struct ThreadState
+    {
+        std::uint64_t seqCursor = 0;
+        std::uint64_t windowBase = 0;
+        std::uint64_t refsSinceAdvance = 0;
+    };
+
+    SplashParams params_;
+    std::uint64_t partitionBytes_;
+    ZipfSampler sharedZipf_;
+    std::vector<ThreadState> state_;
+    std::vector<Rng> rngs_;
+};
+
+/**
+ * Problem-size presets. scale multiplies every footprint (use < 1 to
+ * shrink paper-sized GB footprints to bench-sized MB ones; ratios
+ * between apps are preserved).
+ * @{
+ */
+
+/** FFT -m<m> -l7: 2^m complex points, three arrays, blocked passes. */
+SplashParams fftParams(unsigned m, unsigned threads = 8,
+                       double scale = 1.0);
+
+/** OCEAN -n<n>: n x n grids, ~27 arrays, streaming stencil sweeps. */
+SplashParams oceanParams(unsigned n, unsigned threads = 8,
+                         double scale = 1.0);
+
+/** BARNES-HUT with @p bodies bodies: tree walks, shared tree top. */
+SplashParams barnesParams(std::uint64_t bodies, unsigned threads = 8,
+                          double scale = 1.0);
+
+/** FMM with @p particles particles: heavy cell sharing. */
+SplashParams fmmParams(std::uint64_t particles, unsigned threads = 8,
+                       double scale = 1.0);
+
+/** WATER-spatial with @p molecules molecules: small working set. */
+SplashParams waterParams(std::uint64_t molecules, unsigned threads = 8,
+                         double scale = 1.0);
+
+/** @} */
+
+/**
+ * The five paper-size configurations of Table 5 (FMM 4M, FFT m28,
+ * Ocean n8194, Water 125^3, Barnes 16M), scaled by @p scale.
+ */
+std::vector<SplashParams> paperSplashSuite(unsigned threads = 8,
+                                           double scale = 1.0);
+
+/**
+ * The original SPLASH2-paper sizes of Table 1 (FFT 64K points, Barnes
+ * 16K bodies, Water 512 molecules, and proportionally small FMM/Ocean),
+ * scaled by @p scale.
+ */
+std::vector<SplashParams> splash2SizeSuite(unsigned threads = 8,
+                                           double scale = 1.0);
+
+} // namespace memories::workload
+
+#endif // MEMORIES_WORKLOAD_SPLASH_HH

@@ -1,0 +1,93 @@
+#include "workload/web.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace memories::workload
+{
+
+WebWorkload::WebWorkload(const WebParams &params)
+    : params_(params),
+      // Documents sit at a pitch of 4x the mean size (lengths range
+      // 1x-4x), so the laid-out cache spans exactly docBytes.
+      numDocs_(params.docBytes / (params.meanDocBytes * 4)),
+      docZipf_(numDocs_ ? numDocs_ : 1, params.theta),
+      state_(params.threads)
+{
+    if (params.threads == 0)
+        fatal("web workload needs at least one thread");
+    if (numDocs_ < 16)
+        fatal("document cache too small: only ", numDocs_,
+              " documents");
+    if (params.connectionFrac + params.metadataFrac > 1.0)
+        fatal("connection + metadata fractions exceed 1");
+
+    rngs_.reserve(params.threads);
+    for (unsigned t = 0; t < params.threads; ++t)
+        rngs_.emplace_back(params.seed * 0x51afd6edu + t * 977 + 13);
+    for (unsigned t = 0; t < params.threads; ++t)
+        startRequest(t, rngs_[t]);
+}
+
+std::uint64_t
+WebWorkload::footprintBytes() const
+{
+    return params_.docBytes + params_.metadataBytes +
+           params_.threads * params_.connectionBytes;
+}
+
+void
+WebWorkload::startRequest(unsigned tid, Rng &rng)
+{
+    ThreadState &st = state_[tid];
+    const std::uint64_t doc = docZipf_.sample(rng);
+    // Documents are laid out at a fixed pitch of 4x the mean size so
+    // lengths of 1x-4x never overlap neighbours.
+    const std::uint64_t pitch = params_.meanDocBytes * 4;
+    st.docBase = doc * pitch;
+    st.docLen = params_.meanDocBytes +
+                rng.nextBounded(3 * params_.meanDocBytes);
+    st.docCursor = 0;
+    ++requests_;
+}
+
+MemRef
+WebWorkload::next(unsigned tid)
+{
+    Rng &rng = rngs_[tid];
+    ThreadState &st = state_[tid];
+    MemRef ref;
+
+    // Address map: [metadata][connection states][document cache].
+    const Addr meta_base = workloadBaseAddr;
+    const Addr conn_base = meta_base + params_.metadataBytes;
+    const Addr doc_base =
+        conn_base + params_.threads * params_.connectionBytes;
+
+    if (rng.nextBool(params_.metadataFrac)) {
+        // Cache index lookups and log appends: small and hot.
+        ref.addr = meta_base + rng.nextBounded(params_.metadataBytes);
+        ref.write = rng.nextBool(params_.metadataWriteFrac);
+        return ref;
+    }
+    if (rng.nextBool(params_.connectionFrac)) {
+        // Parser/builder state: walked back and forth per request.
+        ref.addr = conn_base + tid * params_.connectionBytes +
+                   st.connCursor;
+        st.connCursor = (st.connCursor + 24 + rng.nextBounded(40)) %
+                        params_.connectionBytes;
+        ref.write = rng.nextBool(0.4);
+        return ref;
+    }
+
+    // Stream the current document out.
+    ref.addr = doc_base + st.docBase + st.docCursor;
+    ref.write = false;
+    st.docCursor += 64;
+    if (st.docCursor >= st.docLen)
+        startRequest(tid, rng);
+    return ref;
+}
+
+} // namespace memories::workload

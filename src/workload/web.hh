@@ -1,0 +1,94 @@
+/**
+ * @file
+ * Web-server workload model.
+ *
+ * Section 5.3 closes with: "We can also use the MemorIES board for
+ * scaling studies involving transaction processing, decision support,
+ * and web server workloads." This is the third class: a static/dynamic
+ * content server whose memory behaviour is
+ *
+ *  - a Zipf-popular document cache (web object popularity is the
+ *    canonical Zipf example) read in sequential bursts (one object
+ *    per request, streamed out);
+ *  - per-connection state (buffers, parser state) with high temporal
+ *    locality, private to the serving thread;
+ *  - a shared metadata region (cache index, logging) touched on every
+ *    request, with occasional writes (cache management, counters).
+ */
+
+#ifndef MEMORIES_WORKLOAD_WEB_HH
+#define MEMORIES_WORKLOAD_WEB_HH
+
+#include <vector>
+
+#include "common/random.hh"
+#include "workload/workload.hh"
+
+namespace memories::workload
+{
+
+/** Tunables of the web-server model. */
+struct WebParams
+{
+    unsigned threads = 8;
+    /** Total document-cache footprint. */
+    std::uint64_t docBytes = 1 * GiB;
+    /** Mean document size (objects are 1x-4x this, uniform). */
+    std::uint64_t meanDocBytes = 16 * KiB;
+    /** Zipf skew of document popularity (classic web: ~0.7-0.9). */
+    double theta = 0.8;
+    /** Per-connection state bytes per thread. */
+    std::uint64_t connectionBytes = 64 * KiB;
+    /** Shared metadata region (cache index, log tail). */
+    std::uint64_t metadataBytes = 8 * MiB;
+    /** Fraction of references to connection state. */
+    double connectionFrac = 0.35;
+    /** Fraction of references to shared metadata. */
+    double metadataFrac = 0.10;
+    /** Write fraction within metadata (index updates, log appends). */
+    double metadataWriteFrac = 0.20;
+    std::uint64_t seed = 1;
+};
+
+/** HTTP-server-like reference stream. */
+class WebWorkload : public Workload
+{
+  public:
+    explicit WebWorkload(const WebParams &params);
+
+    MemRef next(unsigned tid) override;
+    unsigned threads() const override { return params_.threads; }
+    std::uint64_t footprintBytes() const override;
+    const std::string &name() const override { return name_; }
+    double refsPerInstruction() const override { return 0.40; }
+
+    const WebParams &params() const { return params_; }
+
+    /** Requests fully served so far (all threads). */
+    std::uint64_t requestsServed() const { return requests_; }
+
+  private:
+    struct ThreadState
+    {
+        /** Byte cursor within the document being streamed. */
+        std::uint64_t docBase = 0;
+        std::uint64_t docLen = 0;
+        std::uint64_t docCursor = 0;
+        /** Cursor within the connection buffers. */
+        std::uint64_t connCursor = 0;
+    };
+
+    void startRequest(unsigned tid, Rng &rng);
+
+    std::string name_ = "webserver";
+    WebParams params_;
+    std::uint64_t numDocs_;
+    ZipfSampler docZipf_;
+    std::vector<ThreadState> state_;
+    std::vector<Rng> rngs_;
+    std::uint64_t requests_ = 0;
+};
+
+} // namespace memories::workload
+
+#endif // MEMORIES_WORKLOAD_WEB_HH

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Workload abstraction: per-thread memory-reference streams.
+ *
+ * The real MemorIES observes commercial and scientific applications
+ * running on the host SMP. We cannot run a 150GB TPC-C database, so
+ * workloads here are synthetic reference generators tuned to reproduce
+ * the *memory behaviour* the case studies depend on: footprints, hot/cold
+ * skew, per-thread private vs shared regions, sequential scan phases,
+ * and periodic OS activity. DESIGN.md documents each substitution.
+ *
+ * A Workload produces an endless stream of processor memory references
+ * per thread; the host machine model (src/host) passes them through
+ * private L1/L2 caches and turns the misses into 6xx bus transactions —
+ * which is all the board ever sees.
+ */
+
+#ifndef MEMORIES_WORKLOAD_WORKLOAD_HH
+#define MEMORIES_WORKLOAD_WORKLOAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/types.hh"
+
+namespace memories::workload
+{
+
+/** One processor-level memory reference. */
+struct MemRef
+{
+    Addr addr = 0;
+    /** True for stores. */
+    bool write = false;
+    /** True for instruction fetches. */
+    bool ifetch = false;
+};
+
+/** Endless multi-threaded reference generator. */
+class Workload
+{
+  public:
+    virtual ~Workload() = default;
+
+    /** Produce the next reference of thread @p tid (0-based). */
+    virtual MemRef next(unsigned tid) = 0;
+
+    /** Number of threads this workload drives. */
+    virtual unsigned threads() const = 0;
+
+    /** Total data footprint in bytes (Table 5 reports these). */
+    virtual std::uint64_t footprintBytes() const = 0;
+
+    /** Workload name for tables. */
+    virtual const std::string &name() const = 0;
+
+    /**
+     * Mean data references per instruction, used by the host timing
+     * model to convert reference counts into instruction counts
+     * (Tables 4-6 report per-instruction and wall-clock numbers).
+     */
+    virtual double refsPerInstruction() const = 0;
+};
+
+/** Convenience alias used throughout benches and examples. */
+using WorkloadPtr = std::unique_ptr<Workload>;
+
+/**
+ * Base address where workload data regions start; leaves low memory for
+ * "OS" regions (the OLTP journaling model uses those).
+ */
+inline constexpr Addr workloadBaseAddr = 0x1'0000'0000ull;
+
+} // namespace memories::workload
+
+#endif // MEMORIES_WORKLOAD_WORKLOAD_HH

@@ -1,0 +1,73 @@
+#include "bus/busop.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace memories::bus
+{
+namespace
+{
+
+TEST(BusOpTest, MemoryOpsClassified)
+{
+    EXPECT_TRUE(isMemoryOp(BusOp::Read));
+    EXPECT_TRUE(isMemoryOp(BusOp::Rwitm));
+    EXPECT_TRUE(isMemoryOp(BusOp::WriteBack));
+    EXPECT_FALSE(isMemoryOp(BusOp::IoRead));
+    EXPECT_FALSE(isMemoryOp(BusOp::IoWrite));
+    EXPECT_FALSE(isMemoryOp(BusOp::Interrupt));
+    EXPECT_FALSE(isMemoryOp(BusOp::Sync));
+}
+
+TEST(BusOpTest, ReadOpsClassified)
+{
+    EXPECT_TRUE(isReadOp(BusOp::Read));
+    EXPECT_TRUE(isReadOp(BusOp::ReadIfetch));
+    EXPECT_TRUE(isReadOp(BusOp::Rwitm));
+    EXPECT_FALSE(isReadOp(BusOp::DClaim));
+    EXPECT_FALSE(isReadOp(BusOp::WriteBack));
+}
+
+TEST(BusOpTest, WriteIntentOpsClassified)
+{
+    EXPECT_TRUE(isWriteIntentOp(BusOp::Rwitm));
+    EXPECT_TRUE(isWriteIntentOp(BusOp::DClaim));
+    EXPECT_TRUE(isWriteIntentOp(BusOp::WriteKill));
+    EXPECT_FALSE(isWriteIntentOp(BusOp::Read));
+    EXPECT_FALSE(isWriteIntentOp(BusOp::WriteBack));
+}
+
+TEST(BusOpTest, FilteredIsComplementOfMemory)
+{
+    for (std::size_t i = 0; i < numBusOps; ++i) {
+        const auto op = static_cast<BusOp>(i);
+        EXPECT_NE(isFilteredOp(op), isMemoryOp(op));
+    }
+}
+
+TEST(BusOpTest, NamesRoundTrip)
+{
+    for (std::size_t i = 0; i < numBusOps; ++i) {
+        const auto op = static_cast<BusOp>(i);
+        EXPECT_EQ(busOpFromName(busOpName(op)), op);
+    }
+}
+
+TEST(BusOpTest, UnknownNameIsFatal)
+{
+    EXPECT_THROW(busOpFromName("BOGUS"), memories::FatalError);
+}
+
+TEST(BusOpTest, NamesAreUnique)
+{
+    for (std::size_t i = 0; i < numBusOps; ++i) {
+        for (std::size_t j = i + 1; j < numBusOps; ++j) {
+            EXPECT_NE(busOpName(static_cast<BusOp>(i)),
+                      busOpName(static_cast<BusOp>(j)));
+        }
+    }
+}
+
+} // namespace
+} // namespace memories::bus

@@ -1,0 +1,148 @@
+#include "cache/config.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace memories::cache
+{
+namespace
+{
+
+TEST(CacheConfigTest, DefaultIsValidForBoard)
+{
+    CacheConfig cfg;
+    EXPECT_NO_THROW(cfg.validate(boardBounds()));
+}
+
+TEST(CacheConfigTest, GeometryDerivation)
+{
+    CacheConfig cfg{64 * MiB, 4, 128, ReplacementPolicy::LRU};
+    EXPECT_EQ(cfg.numLines(), 64 * MiB / 128);
+    EXPECT_EQ(cfg.numSets(), 64 * MiB / (128 * 4));
+}
+
+TEST(CacheConfigTest, Table2MinimumGeometry)
+{
+    // Table 2: 2MB, direct-mapped, 128B lines.
+    CacheConfig cfg{2 * MiB, 1, 128, ReplacementPolicy::LRU};
+    EXPECT_NO_THROW(cfg.validate(boardBounds()));
+}
+
+TEST(CacheConfigTest, Table2MaximumGeometry)
+{
+    // Table 2: 8GB, 8-way, 16KB lines.
+    CacheConfig cfg{8 * GiB, 8, 16 * KiB, ReplacementPolicy::LRU};
+    EXPECT_NO_THROW(cfg.validate(boardBounds()));
+}
+
+TEST(CacheConfigTest, BoardRejectsTooSmall)
+{
+    CacheConfig cfg{1 * MiB, 1, 128, ReplacementPolicy::LRU};
+    EXPECT_THROW(cfg.validate(boardBounds()), FatalError);
+}
+
+TEST(CacheConfigTest, BoardRejectsTooLarge)
+{
+    CacheConfig cfg{16 * GiB, 8, 128, ReplacementPolicy::LRU};
+    EXPECT_THROW(cfg.validate(boardBounds()), FatalError);
+}
+
+TEST(CacheConfigTest, BoardRejectsAssocBeyond8)
+{
+    CacheConfig cfg{64 * MiB, 16, 128, ReplacementPolicy::LRU};
+    EXPECT_THROW(cfg.validate(boardBounds()), FatalError);
+}
+
+TEST(CacheConfigTest, BoardRejectsSmallLines)
+{
+    CacheConfig cfg{64 * MiB, 4, 64, ReplacementPolicy::LRU};
+    EXPECT_THROW(cfg.validate(boardBounds()), FatalError);
+}
+
+TEST(CacheConfigTest, BoardRejectsLinesBeyond16K)
+{
+    CacheConfig cfg{64 * MiB, 4, 32 * KiB, ReplacementPolicy::LRU};
+    EXPECT_THROW(cfg.validate(boardBounds()), FatalError);
+}
+
+TEST(CacheConfigTest, RejectsNonPowerOf2Size)
+{
+    CacheConfig cfg{3 * MiB, 1, 128, ReplacementPolicy::LRU};
+    EXPECT_THROW(cfg.validate(boardBounds()), FatalError);
+}
+
+TEST(CacheConfigTest, RejectsNonPowerOf2Line)
+{
+    CacheConfig cfg{64 * MiB, 4, 192, ReplacementPolicy::LRU};
+    EXPECT_THROW(cfg.validate(hostBounds()), FatalError);
+}
+
+TEST(CacheConfigTest, HostBoundsAllowSmallCaches)
+{
+    CacheConfig cfg{64 * KiB, 4, 128, ReplacementPolicy::LRU};
+    EXPECT_THROW(cfg.validate(boardBounds()), FatalError);
+    EXPECT_NO_THROW(cfg.validate(hostBounds()));
+}
+
+TEST(CacheConfigTest, DescribeMentionsEverything)
+{
+    CacheConfig cfg{64 * MiB, 4, 128, ReplacementPolicy::LRU};
+    const auto text = cfg.describe();
+    EXPECT_NE(text.find("64MB"), std::string::npos);
+    EXPECT_NE(text.find("4-way"), std::string::npos);
+    EXPECT_NE(text.find("128B"), std::string::npos);
+    EXPECT_NE(text.find("LRU"), std::string::npos);
+}
+
+TEST(CacheConfigTest, DescribeDirectMapped)
+{
+    CacheConfig cfg{16 * MiB, 1, 128, ReplacementPolicy::Random};
+    EXPECT_NE(cfg.describe().find("direct-mapped"), std::string::npos);
+}
+
+TEST(CacheConfigTest, DirectoryBudgetArithmetic)
+{
+    // The 8GB/128B maximum uses exactly the node's 256MB SDRAM budget
+    // at 4 bytes per frame - which is why Table 2 tops out at 8GB.
+    CacheConfig max{8 * GiB, 8, 128, ReplacementPolicy::LRU};
+    EXPECT_EQ(max.directoryBytes(), nodeSdramBudget);
+}
+
+TEST(CacheConfigTest, ReplacementPolicyNames)
+{
+    EXPECT_STREQ(replacementPolicyName(ReplacementPolicy::LRU), "LRU");
+    EXPECT_STREQ(replacementPolicyName(ReplacementPolicy::FIFO), "FIFO");
+    EXPECT_STREQ(replacementPolicyName(ReplacementPolicy::Random),
+                 "Random");
+}
+
+/** Table 2 parameter sweep: every combination in range must validate. */
+class Table2Sweep
+    : public ::testing::TestWithParam<
+          std::tuple<std::uint64_t, unsigned, std::uint64_t>>
+{
+};
+
+TEST_P(Table2Sweep, AllInRangeGeometriesValidate)
+{
+    const auto [size, assoc, line] = GetParam();
+    CacheConfig cfg{size, assoc, line, ReplacementPolicy::LRU};
+    if (size >= static_cast<std::uint64_t>(assoc) * line &&
+        isPowerOf2(size / (line * assoc))) {
+        EXPECT_NO_THROW(cfg.validate(boardBounds()));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, Table2Sweep,
+    ::testing::Combine(
+        ::testing::Values(2 * MiB, 16 * MiB, 64 * MiB, 1 * GiB, 8 * GiB),
+        ::testing::Values(1u, 2u, 4u, 8u),
+        ::testing::Values(std::uint64_t{128}, std::uint64_t{1024},
+                          16 * KiB)));
+
+} // namespace
+} // namespace memories::cache

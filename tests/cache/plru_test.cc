@@ -1,0 +1,127 @@
+#include "cache/tagstore.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+
+namespace memories::cache
+{
+namespace
+{
+
+CacheConfig
+plruConfig(unsigned assoc)
+{
+    return CacheConfig{8 * KiB, assoc, 128, ReplacementPolicy::TreePLRU};
+}
+
+TEST(PlruTest, RejectsNonPowerOfTwoAssoc)
+{
+    // Host bounds allow up to 16 ways; a 3-way PLRU tree is malformed.
+    CacheConfig cfg{6 * KiB, 3, 128, ReplacementPolicy::TreePLRU};
+    EXPECT_THROW(TagStore ts(cfg), FatalError);
+}
+
+TEST(PlruTest, DirectMappedDegenerates)
+{
+    TagStore ts(plruConfig(1));
+    ts.allocate(0x0000, 1);
+    const auto ev = ts.allocate(64 * 128, 1); // same set, DM
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, 0x0000u);
+}
+
+TEST(PlruTest, TwoWayBehavesLikeLru)
+{
+    TagStore ts(plruConfig(2));
+    const std::uint64_t stride = 32 * 128; // 32 sets at 2-way
+    ts.allocate(0, 1);
+    ts.allocate(stride, 1);
+    ts.lookup(0); // protect way holding line 0
+    const auto ev = ts.allocate(2 * stride, 1);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_EQ(ev.lineAddr, stride);
+}
+
+TEST(PlruTest, FourWayVictimIsNotMostRecent)
+{
+    TagStore ts(plruConfig(4));
+    const std::uint64_t stride = 16 * 128; // 16 sets at 4-way
+    for (std::uint64_t i = 0; i < 4; ++i)
+        ts.allocate(i * stride, 1);
+    // Touch line 2 last; PLRU must not evict it next.
+    ts.lookup(2 * stride);
+    const auto ev = ts.allocate(4 * stride, 1);
+    ASSERT_TRUE(ev.valid);
+    EXPECT_NE(ev.lineAddr, 2 * stride);
+}
+
+TEST(PlruTest, RepeatedTouchSurvivesManyConflicts)
+{
+    // A line touched between every conflicting fill is never evicted
+    // by tree-PLRU (the path bits always point away from it).
+    TagStore ts(plruConfig(4));
+    const std::uint64_t stride = 16 * 128;
+    const Addr hot = 0;
+    ts.allocate(hot, 1);
+    for (std::uint64_t i = 1; i < 50; ++i) {
+        ts.lookup(hot);
+        ts.allocate(i * stride, 1);
+        EXPECT_TRUE(ts.probe(hot).hit) << "iteration " << i;
+    }
+}
+
+TEST(PlruTest, EightWayFillsAllWaysBeforeEvicting)
+{
+    TagStore ts(plruConfig(8));
+    const std::uint64_t stride = 8 * 128; // 8 sets at 8-way
+    for (std::uint64_t i = 0; i < 8; ++i) {
+        const auto ev = ts.allocate(i * stride, 1);
+        EXPECT_FALSE(ev.valid) << "way " << i;
+    }
+    EXPECT_TRUE(ts.allocate(8 * stride, 1).valid);
+}
+
+TEST(PlruTest, ZipfTrafficBeatsRandomReplacement)
+{
+    // Pseudo-LRU should track true LRU closely on skewed traffic and
+    // clearly beat Random.
+    auto run = [](ReplacementPolicy policy) {
+        CacheConfig cfg{16 * KiB, 4, 128, policy};
+        TagStore ts(cfg, 7);
+        Rng rng(99);
+        ZipfSampler zipf(4096, 0.9);
+        std::uint64_t misses = 0;
+        for (int i = 0; i < 200000; ++i) {
+            const Addr addr = zipf.sample(rng) * 128;
+            if (!ts.lookup(addr).hit) {
+                ++misses;
+                ts.allocate(addr, 1);
+            }
+        }
+        return misses;
+    };
+    const auto plru = run(ReplacementPolicy::TreePLRU);
+    const auto lru = run(ReplacementPolicy::LRU);
+    const auto random = run(ReplacementPolicy::Random);
+    EXPECT_LT(plru, random);
+    // PLRU within 15% of true LRU.
+    EXPECT_LT(static_cast<double>(plru),
+              static_cast<double>(lru) * 1.15);
+}
+
+TEST(PlruTest, ResetClearsTreeBits)
+{
+    TagStore ts(plruConfig(4));
+    const std::uint64_t stride = 16 * 128;
+    for (std::uint64_t i = 0; i < 4; ++i)
+        ts.allocate(i * stride, 1);
+    ts.reset();
+    // After reset, fills use empty frames again in order.
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_FALSE(ts.allocate(i * stride, 1).valid);
+}
+
+} // namespace
+} // namespace memories::cache

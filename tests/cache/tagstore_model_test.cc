@@ -1,0 +1,110 @@
+/**
+ * @file
+ * Property test: TagStore's LRU behaviour against an executable
+ * reference model (per-set recency lists) under randomized traffic.
+ */
+
+#include "cache/tagstore.hh"
+
+#include <gtest/gtest.h>
+
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/random.hh"
+
+namespace memories::cache
+{
+namespace
+{
+
+/** Straightforward per-set LRU reference model. */
+class ReferenceLru
+{
+  public:
+    ReferenceLru(std::uint64_t sets, unsigned assoc,
+                 std::uint64_t line_size)
+        : sets_(sets), assoc_(assoc), lineShift_(0)
+    {
+        while ((std::uint64_t{1} << lineShift_) < line_size)
+            ++lineShift_;
+        lists_.resize(sets);
+    }
+
+    bool
+    lookup(Addr addr)
+    {
+        const auto line = addr >> lineShift_;
+        auto &lru = lists_[line & (sets_ - 1)];
+        for (auto it = lru.begin(); it != lru.end(); ++it) {
+            if (*it == line) {
+                lru.erase(it);
+                lru.push_front(line);
+                return true;
+            }
+        }
+        return false;
+    }
+
+    /** Install; returns the evicted line address or invalidAddr. */
+    Addr
+    allocate(Addr addr)
+    {
+        const auto line = addr >> lineShift_;
+        auto &lru = lists_[line & (sets_ - 1)];
+        Addr victim = invalidAddr;
+        if (lru.size() >= assoc_) {
+            victim = lru.back() << lineShift_;
+            lru.pop_back();
+        }
+        lru.push_front(line);
+        return victim;
+    }
+
+  private:
+    std::uint64_t sets_;
+    unsigned assoc_;
+    unsigned lineShift_;
+    std::vector<std::list<std::uint64_t>> lists_;
+};
+
+class TagStoreModelTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, int>>
+{
+};
+
+TEST_P(TagStoreModelTest, MatchesReferenceLru)
+{
+    const auto [assoc, seed] = GetParam();
+    CacheConfig cfg{16 * KiB, assoc, 128, ReplacementPolicy::LRU};
+    TagStore ts(cfg);
+    ReferenceLru ref(cfg.numSets(), assoc, cfg.lineSize);
+
+    Rng rng(static_cast<std::uint64_t>(seed));
+    for (int i = 0; i < 50000; ++i) {
+        const Addr addr = rng.nextBounded(1024) * 128;
+        const bool ts_hit = ts.lookup(addr).hit;
+        const bool ref_hit = ref.lookup(addr);
+        ASSERT_EQ(ts_hit, ref_hit)
+            << "divergence at step " << i << " addr " << addr;
+        if (!ts_hit) {
+            const auto ev = ts.allocate(addr, 1);
+            const Addr ref_victim = ref.allocate(addr);
+            if (ev.valid) {
+                ASSERT_EQ(ev.lineAddr, ref_victim)
+                    << "victim divergence at step " << i;
+            } else {
+                ASSERT_EQ(ref_victim, invalidAddr);
+            }
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Assocs, TagStoreModelTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(1, 2, 3)));
+
+} // namespace
+} // namespace memories::cache

@@ -1,0 +1,104 @@
+#include "common/bitops.hh"
+
+#include <gtest/gtest.h>
+
+namespace memories
+{
+namespace
+{
+
+TEST(BitopsTest, IsPowerOf2RejectsZero)
+{
+    EXPECT_FALSE(isPowerOf2(0));
+}
+
+TEST(BitopsTest, IsPowerOf2AcceptsPowers)
+{
+    for (unsigned shift = 0; shift < 64; ++shift)
+        EXPECT_TRUE(isPowerOf2(std::uint64_t{1} << shift)) << shift;
+}
+
+TEST(BitopsTest, IsPowerOf2RejectsComposites)
+{
+    EXPECT_FALSE(isPowerOf2(3));
+    EXPECT_FALSE(isPowerOf2(6));
+    EXPECT_FALSE(isPowerOf2(12));
+    EXPECT_FALSE(isPowerOf2(1000));
+    EXPECT_FALSE(isPowerOf2((std::uint64_t{1} << 40) + 1));
+}
+
+TEST(BitopsTest, Log2iExactPowers)
+{
+    EXPECT_EQ(log2i(1), 0u);
+    EXPECT_EQ(log2i(2), 1u);
+    EXPECT_EQ(log2i(128), 7u);
+    EXPECT_EQ(log2i(std::uint64_t{1} << 40), 40u);
+}
+
+TEST(BitopsTest, Log2iFloorsNonPowers)
+{
+    EXPECT_EQ(log2i(3), 1u);
+    EXPECT_EQ(log2i(127), 6u);
+    EXPECT_EQ(log2i(129), 7u);
+}
+
+TEST(BitopsTest, Log2iZeroIsZero)
+{
+    EXPECT_EQ(log2i(0), 0u);
+}
+
+TEST(BitopsTest, CeilPowerOf2)
+{
+    EXPECT_EQ(ceilPowerOf2(0), 1u);
+    EXPECT_EQ(ceilPowerOf2(1), 1u);
+    EXPECT_EQ(ceilPowerOf2(2), 2u);
+    EXPECT_EQ(ceilPowerOf2(3), 4u);
+    EXPECT_EQ(ceilPowerOf2(1000), 1024u);
+}
+
+TEST(BitopsTest, AlignDownAndUp)
+{
+    EXPECT_EQ(alignDown(0x12345, 0x100), 0x12300u);
+    EXPECT_EQ(alignUp(0x12345, 0x100), 0x12400u);
+    EXPECT_EQ(alignDown(0x12300, 0x100), 0x12300u);
+    EXPECT_EQ(alignUp(0x12300, 0x100), 0x12300u);
+}
+
+TEST(BitopsTest, BitsExtraction)
+{
+    EXPECT_EQ(bits(0xff00, 8, 8), 0xffu);
+    EXPECT_EQ(bits(0xdeadbeef, 0, 4), 0xfu);
+    EXPECT_EQ(bits(0xdeadbeef, 28, 4), 0xdu);
+    EXPECT_EQ(bits(~std::uint64_t{0}, 0, 64), ~std::uint64_t{0});
+}
+
+TEST(BitopsTest, LowMask)
+{
+    EXPECT_EQ(lowMask(0), 0u);
+    EXPECT_EQ(lowMask(8), 0xffu);
+    EXPECT_EQ(lowMask(64), ~std::uint64_t{0});
+}
+
+class BitopsRoundTrip : public ::testing::TestWithParam<std::uint64_t>
+{
+};
+
+TEST_P(BitopsRoundTrip, AlignIsIdempotent)
+{
+    const std::uint64_t addr = GetParam();
+    for (std::uint64_t align : {128ull, 4096ull, 65536ull}) {
+        const auto down = alignDown(addr, align);
+        EXPECT_EQ(alignDown(down, align), down);
+        EXPECT_LE(down, addr);
+        EXPECT_LT(addr - down, align);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Addresses, BitopsRoundTrip,
+                         ::testing::Values(0ull, 1ull, 127ull, 128ull,
+                                           0xdeadbeefull,
+                                           0x123456789abcull,
+                                           ~std::uint64_t{0} - 65536));
+
+} // namespace
+} // namespace memories

@@ -1,0 +1,119 @@
+#include "common/counters.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace memories
+{
+namespace
+{
+
+TEST(Counter40Test, StartsAtZero)
+{
+    Counter40 c;
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter40Test, CountsIncrements)
+{
+    Counter40 c;
+    c.add();
+    c.add(41);
+    EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter40Test, WrapsAt40Bits)
+{
+    // The board's counters are exactly 40 bits wide (paper section 3):
+    // an increment past 2^40-1 must wrap, not saturate.
+    Counter40 c;
+    c.add(Counter40::mask);
+    EXPECT_EQ(c.value(), Counter40::mask);
+    c.add();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter40Test, LargeAddWrapsModulo)
+{
+    Counter40 c;
+    c.add((std::uint64_t{1} << 40) + 7);
+    EXPECT_EQ(c.value(), 7u);
+}
+
+TEST(Counter40Test, ClearResets)
+{
+    Counter40 c;
+    c.add(100);
+    c.clear();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter40Test, HoldsThirtyHoursAtTypicalUtilization)
+{
+    // Sanity-check the paper's sizing claim: at 20% utilization of a
+    // 100MHz bus, a single event-class counter (an event class sees at
+    // most about half the transactions) holds more than 30 hours.
+    const double events_per_second = 1e8 * 0.20 * 0.5;
+    const double seconds_to_wrap =
+        static_cast<double>(std::uint64_t{1} << 40) / events_per_second;
+    EXPECT_GT(seconds_to_wrap, 30.0 * 3600.0);
+}
+
+TEST(CounterBankTest, AddAndBump)
+{
+    CounterBank bank;
+    auto h = bank.add("reads");
+    bank.bump(h);
+    bank.bump(h, 9);
+    EXPECT_EQ(bank.value(h), 10u);
+    EXPECT_EQ(bank.valueByName("reads"), 10u);
+}
+
+TEST(CounterBankTest, DuplicateNameReturnsSameHandle)
+{
+    CounterBank bank;
+    auto h1 = bank.add("x");
+    auto h2 = bank.add("x");
+    EXPECT_EQ(h1, h2);
+    EXPECT_EQ(bank.size(), 1u);
+}
+
+TEST(CounterBankTest, HasAndHandle)
+{
+    CounterBank bank;
+    bank.add("a");
+    EXPECT_TRUE(bank.has("a"));
+    EXPECT_FALSE(bank.has("b"));
+    EXPECT_THROW(bank.handle("b"), FatalError);
+}
+
+TEST(CounterBankTest, ClearAllZeroesEverything)
+{
+    CounterBank bank;
+    auto a = bank.add("a");
+    auto b = bank.add("b");
+    bank.bump(a, 5);
+    bank.bump(b, 7);
+    bank.clearAll();
+    EXPECT_EQ(bank.value(a), 0u);
+    EXPECT_EQ(bank.value(b), 0u);
+}
+
+TEST(CounterBankTest, DumpContainsNamesAndValues)
+{
+    CounterBank bank;
+    bank.bump(bank.add("hits"), 3);
+    const std::string dump = bank.dump();
+    EXPECT_NE(dump.find("hits 3"), std::string::npos);
+}
+
+TEST(CounterBankTest, NamePreserved)
+{
+    CounterBank bank;
+    auto h = bank.add("node0.local.READ.hit");
+    EXPECT_EQ(bank.name(h), "node0.local.READ.hit");
+}
+
+} // namespace
+} // namespace memories

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Additional IntervalSeries and Histogram behaviour pins: chunked
+ * recording (how the benches feed counter deltas) and boundary
+ * bucketing.
+ */
+
+#include "common/stats.hh"
+
+#include <gtest/gtest.h>
+
+namespace memories
+{
+namespace
+{
+
+TEST(IntervalSeriesChunkTest, OversizedChunkClosesOneInterval)
+{
+    // A single record() larger than the interval closes exactly one
+    // point covering the whole chunk - the documented console-side
+    // semantics when polling cumulative counters coarsely.
+    IntervalSeries series(10);
+    series.record(5, 25);
+    EXPECT_EQ(series.points().size(), 1u);
+    EXPECT_DOUBLE_EQ(series.points()[0], 0.2);
+}
+
+TEST(IntervalSeriesChunkTest, ExactBoundaryClosesInterval)
+{
+    IntervalSeries series(10);
+    series.record(2, 10);
+    ASSERT_EQ(series.points().size(), 1u);
+    EXPECT_DOUBLE_EQ(series.points()[0], 0.2);
+    series.finish();
+    EXPECT_EQ(series.points().size(), 1u); // nothing pending
+}
+
+TEST(IntervalSeriesChunkTest, AccumulatesAcrossSmallRecords)
+{
+    IntervalSeries series(100);
+    for (int i = 0; i < 99; ++i)
+        series.record(0, 1);
+    EXPECT_TRUE(series.points().empty());
+    series.record(1, 1);
+    ASSERT_EQ(series.points().size(), 1u);
+    EXPECT_DOUBLE_EQ(series.points()[0], 0.01);
+}
+
+TEST(HistogramBoundaryTest, LowerEdgeInclusiveUpperExclusive)
+{
+    Histogram h(0.0, 10.0, 10);
+    h.record(0.0);
+    h.record(9.9999);
+    h.record(10.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(9), 1u);
+    EXPECT_EQ(h.overflow(), 1u);
+}
+
+TEST(HistogramBoundaryTest, SingleBucketCatchesRange)
+{
+    Histogram h(0.0, 1.0, 1);
+    h.record(0.5);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+}
+
+TEST(HistogramBoundaryTest, EmptyHistogramStats)
+{
+    Histogram h(0.0, 1.0, 4);
+    EXPECT_EQ(h.samples(), 0u);
+    EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+}
+
+} // namespace
+} // namespace memories

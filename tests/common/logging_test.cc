@@ -1,0 +1,39 @@
+#include "common/logging.hh"
+
+#include <gtest/gtest.h>
+
+namespace memories
+{
+namespace
+{
+
+TEST(LoggingTest, FatalThrowsFatalError)
+{
+    EXPECT_THROW(fatal("bad config"), FatalError);
+}
+
+TEST(LoggingTest, FatalMessageConcatenates)
+{
+    try {
+        fatal("size ", 42, " out of range [", 1, ", ", 8, "]");
+        FAIL() << "fatal did not throw";
+    } catch (const FatalError &err) {
+        EXPECT_STREQ(err.what(), "size 42 out of range [1, 8]");
+    }
+}
+
+TEST(LoggingTest, WarnAndInformDoNotThrow)
+{
+    setLoggingQuiet(true);
+    EXPECT_NO_THROW(warn("suspicious ", 1));
+    EXPECT_NO_THROW(inform("status ", 2));
+    setLoggingQuiet(false);
+}
+
+TEST(LoggingDeathTest, PanicAborts)
+{
+    EXPECT_DEATH(MEMORIES_PANIC("internal bug ", 7), "internal bug 7");
+}
+
+} // namespace
+} // namespace memories

@@ -1,0 +1,60 @@
+#include "common/units.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace memories
+{
+namespace
+{
+
+TEST(UnitsTest, ParsesPlainBytes)
+{
+    EXPECT_EQ(parseByteSize("128"), 128u);
+    EXPECT_EQ(parseByteSize("128B"), 128u);
+}
+
+TEST(UnitsTest, ParsesBinaryUnits)
+{
+    EXPECT_EQ(parseByteSize("2KB"), 2 * KiB);
+    EXPECT_EQ(parseByteSize("64MB"), 64 * MiB);
+    EXPECT_EQ(parseByteSize("8GB"), 8 * GiB);
+    EXPECT_EQ(parseByteSize("16KiB"), 16 * KiB);
+}
+
+TEST(UnitsTest, RejectsGarbage)
+{
+    EXPECT_THROW(parseByteSize(""), FatalError);
+    EXPECT_THROW(parseByteSize("MB"), FatalError);
+    EXPECT_THROW(parseByteSize("12XB"), FatalError);
+}
+
+TEST(UnitsTest, FormatPicksLargestExactUnit)
+{
+    EXPECT_EQ(formatByteSize(8 * GiB), "8GB");
+    EXPECT_EQ(formatByteSize(64 * MiB), "64MB");
+    EXPECT_EQ(formatByteSize(2 * KiB), "2KB");
+    EXPECT_EQ(formatByteSize(100), "100B");
+    EXPECT_EQ(formatByteSize(1536), "1536B"); // not exactly 1.5KB
+}
+
+TEST(UnitsTest, RoundTrip)
+{
+    for (std::uint64_t v : {128ull, 2048ull, 64ull * MiB, 8ull * GiB})
+        EXPECT_EQ(parseByteSize(formatByteSize(v)), v);
+}
+
+TEST(UnitsTest, FormatSecondsRanges)
+{
+    EXPECT_NE(formatSeconds(3.28e-3).find("ms"), std::string::npos);
+    EXPECT_NE(formatSeconds(1.0).find("s"), std::string::npos);
+    EXPECT_NE(formatSeconds(1000.0).find("min"), std::string::npos);
+    EXPECT_NE(formatSeconds(13 * 3600.0).find("hours"),
+              std::string::npos);
+    EXPECT_NE(formatSeconds(3 * 86400.0).find("days"), std::string::npos);
+}
+
+} // namespace
+} // namespace memories

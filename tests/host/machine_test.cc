@@ -1,0 +1,165 @@
+#include "host/machine.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workload/synthetic.hh"
+
+namespace memories::host
+{
+namespace
+{
+
+HostConfig
+tinyConfig(unsigned cpus = 4)
+{
+    HostConfig cfg;
+    cfg.numCpus = cpus;
+    cfg.l1 = cache::CacheConfig{8 * KiB, 2, 128,
+                                cache::ReplacementPolicy::LRU};
+    cfg.l2 = cache::CacheConfig{64 * KiB, 4, 128,
+                                cache::ReplacementPolicy::LRU};
+    return cfg;
+}
+
+TEST(HostMachineTest, PresetsMatchThePaper)
+{
+    const auto s7a = s7aConfig();
+    EXPECT_EQ(s7a.numCpus, 8u);
+    ASSERT_TRUE(s7a.l2.has_value());
+    EXPECT_EQ(s7a.l2->sizeBytes, 8 * MiB);
+    EXPECT_EQ(s7a.l2->assoc, 4u);
+
+    const auto dm = s7aConfig1MbDirectMapped();
+    ASSERT_TRUE(dm.l2.has_value());
+    EXPECT_EQ(dm.l2->sizeBytes, 1 * MiB);
+    EXPECT_EQ(dm.l2->assoc, 1u);
+
+    EXPECT_FALSE(s7aConfigNoL2().l2.has_value());
+}
+
+TEST(HostMachineTest, RejectsBadCpuCounts)
+{
+    workload::UniformWorkload wl(4, 1 * MiB, 0.2);
+    auto cfg = tinyConfig(0);
+    EXPECT_THROW(HostMachine(cfg, wl), FatalError);
+    cfg = tinyConfig(17);
+    EXPECT_THROW(HostMachine(cfg, wl), FatalError);
+}
+
+TEST(HostMachineTest, RejectsWorkloadWithTooFewThreads)
+{
+    workload::UniformWorkload wl(2, 1 * MiB, 0.2);
+    const auto cfg = tinyConfig(4);
+    EXPECT_THROW(HostMachine(cfg, wl), FatalError);
+}
+
+TEST(HostMachineTest, RunExecutesRequestedRefs)
+{
+    workload::UniformWorkload wl(4, 1 * MiB, 0.2);
+    HostMachine machine(tinyConfig(4), wl);
+    machine.run(10000);
+    EXPECT_EQ(machine.refsExecuted(), 10000u);
+    EXPECT_EQ(machine.totalStats().refs, 10000u);
+}
+
+TEST(HostMachineTest, RefsSpreadAcrossCpus)
+{
+    workload::UniformWorkload wl(4, 1 * MiB, 0.2);
+    HostMachine machine(tinyConfig(4), wl);
+    machine.run(4000);
+    for (unsigned i = 0; i < 4; ++i)
+        EXPECT_EQ(machine.cpu(i).stats().refs, 1000u);
+}
+
+TEST(HostMachineTest, MissesGenerateBusTraffic)
+{
+    workload::UniformWorkload wl(4, 16 * MiB, 0.2); // >> L2: misses
+    HostMachine machine(tinyConfig(4), wl);
+    machine.run(20000);
+    EXPECT_GT(machine.bus().stats().memoryOps, 1000u);
+}
+
+TEST(HostMachineTest, UtilizationLandsInPaperBand)
+{
+    // The paper observed 2-20% bus utilization across its platforms.
+    // An OLTP-ish working set on the tiny config must land in a sane
+    // passive band (we accept 1-45% to keep the test robust).
+    workload::UniformWorkload wl(4, 4 * MiB, 0.2);
+    auto cfg = tinyConfig(4);
+    cfg.cyclesPerRef = 4;
+    HostMachine machine(cfg, wl);
+    machine.run(100000);
+    const double util =
+        machine.bus().stats().utilization(machine.bus().now());
+    EXPECT_GT(util, 0.01);
+    EXPECT_LT(util, 0.30);
+}
+
+TEST(HostMachineTest, CacheFriendlyWorkloadQuietsTheBus)
+{
+    // A read-only working set that fits in L1 should produce almost no
+    // traffic after warmup (writes would ping-pong ownership instead).
+    workload::UniformWorkload wl(4, 4 * KiB, 0.0);
+    HostMachine machine(tinyConfig(4), wl);
+    machine.run(1000); // warmup
+    const auto before = machine.bus().stats().memoryOps;
+    machine.run(100000);
+    const auto after = machine.bus().stats().memoryOps;
+    EXPECT_LT(after - before, 6000u);
+}
+
+TEST(HostMachineTest, SharedDataCausesCoherenceTraffic)
+{
+    // All CPUs hammering the same small region with writes must
+    // produce upgrades and snoop invalidations.
+    workload::UniformWorkload wl(4, 64 * KiB, 0.5);
+    HostMachine machine(tinyConfig(4), wl);
+    machine.run(50000);
+    const auto stats = machine.totalStats();
+    EXPECT_GT(stats.l2Upgrades, 100u);
+    EXPECT_GT(stats.snoopInvalidations, 100u);
+}
+
+TEST(HostMachineTest, InterventionsAppearOnTheBus)
+{
+    workload::UniformWorkload wl(4, 64 * KiB, 0.5);
+    HostMachine machine(tinyConfig(4), wl);
+    machine.run(50000);
+    EXPECT_GT(machine.bus().stats().modifiedResponses, 10u);
+    EXPECT_GT(machine.bus().stats().sharedResponses, 10u);
+}
+
+TEST(HostMachineTest, WritebacksAppearOnTheBus)
+{
+    workload::UniformWorkload wl(4, 16 * MiB, 0.5);
+    HostMachine machine(tinyConfig(4), wl);
+    machine.run(50000);
+    EXPECT_GT(machine.totalStats().writebacks, 100u);
+}
+
+TEST(HostMachineTest, L2OffModeRuns)
+{
+    workload::UniformWorkload wl(2, 1 * MiB, 0.2);
+    auto cfg = tinyConfig(2);
+    cfg.l2.reset();
+    HostMachine machine(cfg, wl);
+    machine.run(10000);
+    // Without an L2 every L1 miss hits the bus.
+    EXPECT_EQ(machine.totalStats().l2Hits, 0u);
+    EXPECT_GT(machine.bus().stats().memoryOps, 100u);
+}
+
+TEST(HostMachineTest, HierarchyStatsAreConsistent)
+{
+    workload::UniformWorkload wl(4, 8 * MiB, 0.3);
+    HostMachine machine(tinyConfig(4), wl);
+    machine.run(50000);
+    const auto s = machine.totalStats();
+    EXPECT_EQ(s.refs, s.reads + s.writes);
+    // Every ref is an L1 hit, an L2 hit, an L2 miss, or an upgrade.
+    EXPECT_EQ(s.refs, s.l1Hits + s.l2Hits + s.l2Misses + s.l2Upgrades);
+}
+
+} // namespace
+} // namespace memories::host

@@ -1,0 +1,128 @@
+#include "ies/busprofiler.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace memories::ies
+{
+namespace
+{
+
+bus::BusTransaction
+readAt(Addr addr, CpuId cpu = 0)
+{
+    bus::BusTransaction t;
+    t.addr = addr;
+    t.cpu = cpu;
+    t.op = bus::BusOp::Read;
+    return t;
+}
+
+TEST(BusProfilerTest, RejectsZeroWindow)
+{
+    BusProfilerConfig cfg;
+    cfg.windowCycles = 0;
+    EXPECT_THROW(BusProfiler{cfg}, FatalError);
+}
+
+TEST(BusProfilerTest, WindowUtilization)
+{
+    BusProfilerConfig cfg;
+    cfg.windowCycles = 100;
+    BusProfiler profiler(cfg);
+    bus::Bus6xx bus;
+    profiler.plugInto(bus);
+
+    // 10 tenures in the first window, 20 in the second.
+    for (int i = 0; i < 10; ++i) {
+        bus.issue(readAt(0x1000u + 128u * i));
+        bus.tick(9);
+    }
+    for (int i = 0; i < 20; ++i) {
+        bus.issue(readAt(0x9000u + 128u * i));
+        bus.tick(4);
+    }
+    profiler.finish();
+
+    ASSERT_GE(profiler.utilizationSeries().size(), 2u);
+    EXPECT_NEAR(profiler.utilizationSeries()[0], 0.10, 1e-9);
+    EXPECT_NEAR(profiler.utilizationSeries()[1], 0.20, 1e-9);
+    EXPECT_NEAR(profiler.peakUtilization(), 0.20, 1e-9);
+    EXPECT_GT(profiler.meanUtilization(), 0.0);
+}
+
+TEST(BusProfilerTest, BurstDetection)
+{
+    BusProfilerConfig cfg;
+    cfg.burstGapCycles = 4;
+    BusProfiler profiler(cfg);
+    bus::Bus6xx bus;
+    profiler.plugInto(bus);
+
+    // A 5-tenure back-to-back burst, a long gap, then one lone tenure.
+    for (int i = 0; i < 5; ++i)
+        bus.issue(readAt(0x1000u + 128u * i));
+    bus.tick(100);
+    bus.issue(readAt(0x9000));
+    profiler.finish();
+
+    EXPECT_EQ(profiler.burstHistogram().samples(), 2u);
+    EXPECT_NEAR(profiler.burstHistogram().max(), 5.0, 1e-9);
+    EXPECT_NEAR(profiler.burstHistogram().min(), 1.0, 1e-9);
+}
+
+TEST(BusProfilerTest, PerOpAndPerCpuCounts)
+{
+    BusProfiler profiler;
+    bus::Bus6xx bus;
+    profiler.plugInto(bus);
+
+    bus.issue(readAt(0x1000, 3));
+    bus::BusTransaction w = readAt(0x2000, 5);
+    w.op = bus::BusOp::Rwitm;
+    bus.issue(w);
+    profiler.finish();
+
+    EXPECT_EQ(profiler.opCount(bus::BusOp::Read), 1u);
+    EXPECT_EQ(profiler.opCount(bus::BusOp::Rwitm), 1u);
+    EXPECT_EQ(profiler.cpuCount(3), 1u);
+    EXPECT_EQ(profiler.cpuCount(5), 1u);
+    EXPECT_EQ(profiler.totalTenures(), 2u);
+}
+
+TEST(BusProfilerTest, CountsNonMemoryOpsToo)
+{
+    // The profiler measures the *bus*, not the cacheable subset.
+    BusProfiler profiler;
+    bus::Bus6xx bus;
+    profiler.plugInto(bus);
+    bus::BusTransaction io;
+    io.op = bus::BusOp::IoRead;
+    bus.issue(io);
+    profiler.finish();
+    EXPECT_EQ(profiler.totalTenures(), 1u);
+}
+
+TEST(BusProfilerTest, ClearResets)
+{
+    BusProfiler profiler;
+    bus::Bus6xx bus;
+    profiler.plugInto(bus);
+    bus.issue(readAt(0x1000));
+    profiler.finish();
+    profiler.clear();
+    EXPECT_EQ(profiler.totalTenures(), 0u);
+    EXPECT_TRUE(profiler.utilizationSeries().empty());
+}
+
+TEST(BusProfilerTest, PassiveOnTheBus)
+{
+    BusProfiler profiler;
+    bus::Bus6xx bus;
+    profiler.plugInto(bus);
+    EXPECT_EQ(bus.issue(readAt(0x1000)), bus::SnoopResponse::None);
+}
+
+} // namespace
+} // namespace memories::ies

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Console robustness: arbitrary command strings must come back as
+ * error text, never as crashes or exceptions escaping execute().
+ */
+
+#include "ies/console.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+
+namespace memories::ies
+{
+namespace
+{
+
+TEST(ConsoleFuzzTest, GarbageCommandsNeverEscape)
+{
+    bus::Bus6xx bus;
+    Console console(bus);
+
+    const char *garbage[] = {
+        "",
+        "   ",
+        "node",
+        "node x cache",
+        "node 0 cache huge 4 128B",
+        "node 99999999 cache 2MB 4 128B",
+        "node 0 cpus",
+        "node 0 cpus ,,,",
+        "node 0 protocol",
+        "node 0 protocol-file",
+        "buffer",
+        "buffer -1",
+        "throughput 0",
+        "capture",
+        "init init init",
+        "stats now please",
+        "dump-trace",
+        "save-state",
+        "load-state /definitely/not/there",
+        "script",
+        "export-csv",
+        "\t\tnode\t0",
+        "unknown-command with args",
+    };
+    for (const char *cmd : garbage)
+        EXPECT_NO_THROW(console.execute(cmd)) << "command: " << cmd;
+}
+
+TEST(ConsoleFuzzTest, RandomTokenSoupIsHandled)
+{
+    bus::Bus6xx bus;
+    Console console(bus);
+    Rng rng(31);
+    const char *words[] = {"node",  "0",     "cache", "2MB",  "4",
+                           "128B",  "cpus",  "init",  "stats", "LRU",
+                           "->",    "*",     "0x10",  "-5",    "reset"};
+    for (int i = 0; i < 500; ++i) {
+        std::string cmd;
+        const auto len = 1 + rng.nextBounded(6);
+        for (std::uint64_t w = 0; w < len; ++w) {
+            cmd += words[rng.nextBounded(std::size(words))];
+            cmd += ' ';
+        }
+        EXPECT_NO_THROW(console.execute(cmd)) << "command: " << cmd;
+    }
+}
+
+TEST(ConsoleFuzzTest, ValidSessionStillWorksAfterFuzzing)
+{
+    bus::Bus6xx bus;
+    Console console(bus);
+    console.execute("buffer garbage");
+    console.execute("node 0 cache banana");
+    console.execute("node 0 cache 2MB 4 128B");
+    console.execute("node 0 cpus 0,1");
+    EXPECT_NE(console.execute("init").find("initialized"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace memories::ies

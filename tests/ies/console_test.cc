@@ -1,0 +1,171 @@
+#include "ies/console.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace memories::ies
+{
+namespace
+{
+
+bus::BusTransaction
+readTxn(Addr addr, CpuId cpu)
+{
+    bus::BusTransaction t;
+    t.addr = addr;
+    t.op = bus::BusOp::Read;
+    t.cpu = cpu;
+    return t;
+}
+
+TEST(ConsoleTest, ConfiguresAndInitializesBoard)
+{
+    bus::Bus6xx bus;
+    Console console(bus);
+    EXPECT_FALSE(console.initialized());
+
+    EXPECT_NE(console.execute("node 0 cache 64MB 4 128B LRU")
+                  .find("64MB"), std::string::npos);
+    console.execute("node 0 cpus 0,1,2,3");
+    console.execute("node 0 protocol MESI");
+    const auto reply = console.execute("init");
+    EXPECT_NE(reply.find("1 node"), std::string::npos);
+    EXPECT_TRUE(console.initialized());
+    ASSERT_NE(console.board(), nullptr);
+    EXPECT_EQ(console.board()->numNodes(), 1u);
+}
+
+TEST(ConsoleTest, StatsReflectTraffic)
+{
+    bus::Bus6xx bus;
+    Console console(bus);
+    console.execute("node 0 cache 2MB 4 128B");
+    console.execute("node 0 cpus 0,1");
+    console.execute("init");
+
+    bus.issue(readTxn(0x1000, 0));
+    bus.tick(1000);
+    bus.issue(readTxn(0x1000, 1));
+    console.board()->drainAll();
+
+    const auto stats = console.execute("stats");
+    EXPECT_NE(stats.find("refs 2"), std::string::npos);
+    EXPECT_NE(stats.find("hits 1"), std::string::npos);
+}
+
+TEST(ConsoleTest, CountersCommandDumpsRawNames)
+{
+    bus::Bus6xx bus;
+    Console console(bus);
+    console.execute("node 0 cache 2MB 4 128B");
+    console.execute("node 0 cpus 0");
+    console.execute("init");
+    const auto counters = console.execute("counters");
+    EXPECT_NE(counters.find("node0.local.READ.hit"), std::string::npos);
+    EXPECT_NE(counters.find("global.tenures.memory"),
+              std::string::npos);
+}
+
+TEST(ConsoleTest, ErrorsComeBackAsText)
+{
+    bus::Bus6xx bus;
+    Console console(bus);
+    EXPECT_NE(console.execute("bogus").find("error:"),
+              std::string::npos);
+    EXPECT_NE(console.execute("stats").find("error:"),
+              std::string::npos); // no board yet
+    EXPECT_NE(console.execute("node 0 cache 1KB 4 128B").find("error:"),
+              std::string::npos); // below Table 2 range
+}
+
+TEST(ConsoleTest, ConfigAfterInitIsRejected)
+{
+    bus::Bus6xx bus;
+    Console console(bus);
+    console.execute("node 0 cache 2MB 4 128B");
+    console.execute("node 0 cpus 0");
+    console.execute("init");
+    EXPECT_NE(console.execute("node 0 cache 4MB 4 128B").find("error:"),
+              std::string::npos);
+}
+
+TEST(ConsoleTest, ClearAndReset)
+{
+    bus::Bus6xx bus;
+    Console console(bus);
+    console.execute("node 0 cache 2MB 4 128B");
+    console.execute("node 0 cpus 0");
+    console.execute("init");
+    bus.issue(readTxn(0x1000, 0));
+    console.board()->drainAll();
+
+    console.execute("clear");
+    EXPECT_EQ(console.board()->node(0).stats().localRefs, 0u);
+    EXPECT_EQ(console.board()->node(0).directoryOccupancy(), 1u);
+
+    console.execute("reset");
+    EXPECT_EQ(console.board()->node(0).directoryOccupancy(), 0u);
+}
+
+TEST(ConsoleTest, MultiNodeMultiProtocol)
+{
+    // Section 3.2: different state tables on different node
+    // controllers in the same measurement.
+    bus::Bus6xx bus;
+    Console console(bus);
+    console.execute("node 0 cache 2MB 4 128B");
+    console.execute("node 0 cpus 0,1");
+    console.execute("node 0 protocol MESI");
+    console.execute("node 1 cache 2MB 4 128B");
+    console.execute("node 1 cpus 2,3");
+    console.execute("node 1 protocol MOESI");
+    console.execute("init");
+    EXPECT_EQ(console.board()->node(0).config().protocol.name(), "MESI");
+    EXPECT_EQ(console.board()->node(1).config().protocol.name(),
+              "MOESI");
+}
+
+TEST(ConsoleTest, CaptureAndDumpTrace)
+{
+    const std::string path = ::testing::TempDir() + "console_trace.ies";
+    bus::Bus6xx bus;
+    Console console(bus);
+    console.execute("node 0 cache 2MB 4 128B");
+    console.execute("node 0 cpus 0");
+    console.execute("capture 1024");
+    console.execute("init");
+
+    bus.issue(readTxn(0x1000, 0));
+    bus.issue(readTxn(0x2000, 0));
+    console.board()->drainAll();
+
+    const auto reply = console.execute("dump-trace " + path);
+    EXPECT_NE(reply.find("2 records"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+TEST(ConsoleTest, ShutdownDetaches)
+{
+    bus::Bus6xx bus;
+    Console console(bus);
+    console.execute("node 0 cache 2MB 4 128B");
+    console.execute("node 0 cpus 0");
+    console.execute("init");
+    EXPECT_EQ(bus.snooperCount(), 1u);
+    console.execute("shutdown");
+    EXPECT_EQ(bus.snooperCount(), 0u);
+    EXPECT_FALSE(console.initialized());
+}
+
+TEST(ConsoleTest, HelpListsCommands)
+{
+    bus::Bus6xx bus;
+    Console console(bus);
+    const auto help = console.execute("help");
+    EXPECT_NE(help.find("init"), std::string::npos);
+    EXPECT_NE(help.find("stats"), std::string::npos);
+}
+
+} // namespace
+} // namespace memories::ies

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Directory-scheme tests: coarse-vector and limited-pointer sharer
+ * representations must preserve correctness (no missed invalidation,
+ * ever) while paying measured over-invalidations for their
+ * imprecision.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "ies/numa.hh"
+
+namespace memories::ies
+{
+namespace
+{
+
+NumaConfig
+numaWith(DirectoryScheme scheme)
+{
+    NumaConfig cfg;
+    cfg.numNodes = 4;
+    cfg.cpusPerNode = 2;
+    cfg.l3 = cache::CacheConfig{2 * MiB, 4, 128,
+                                cache::ReplacementPolicy::LRU};
+    cfg.sparseEntries = 1 << 10;
+    cfg.sparseAssoc = 4;
+    cfg.scheme = scheme;
+    return cfg;
+}
+
+bus::BusTransaction
+txn(Addr addr, bus::BusOp op, CpuId cpu)
+{
+    bus::BusTransaction t;
+    t.addr = addr;
+    t.op = op;
+    t.cpu = cpu;
+    return t;
+}
+
+TEST(DirSchemeTest, SchemeNames)
+{
+    EXPECT_STREQ(directorySchemeName(DirectoryScheme::FullMap),
+                 "full-map");
+    EXPECT_STREQ(directorySchemeName(DirectoryScheme::CoarseVector),
+                 "coarse-vector");
+    EXPECT_STREQ(directorySchemeName(DirectoryScheme::LimitedPointer),
+                 "limited-pointer");
+}
+
+TEST(DirSchemeTest, CoarseGroupValidation)
+{
+    auto cfg = numaWith(DirectoryScheme::CoarseVector);
+    cfg.coarseGroupNodes = 0;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.coarseGroupNodes = 5;
+    EXPECT_THROW(cfg.validate(), FatalError);
+    cfg.coarseGroupNodes = 2;
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+class SchemeCorrectness
+    : public ::testing::TestWithParam<DirectoryScheme>
+{
+};
+
+TEST_P(SchemeCorrectness, WriteInvalidatesEverySharerNoMatterWhat)
+{
+    // Correctness: after a write by node 2, no other node's L3 may
+    // still hold the line — under ANY representation.
+    NumaEmulator numa(numaWith(GetParam()));
+    bus::Bus6xx bus;
+    numa.plugInto(bus);
+
+    bus.issue(txn(0x2000, bus::BusOp::Read, 0)); // node 0
+    bus.issue(txn(0x2000, bus::BusOp::Read, 2)); // node 1
+    bus.issue(txn(0x2000, bus::BusOp::Read, 6)); // node 3
+    bus.issue(txn(0x2000, bus::BusOp::Rwitm, 4)); // node 2 writes
+
+    EXPECT_FALSE(numa.l3Resident(0, 0x2000));
+    EXPECT_FALSE(numa.l3Resident(1, 0x2000));
+    EXPECT_FALSE(numa.l3Resident(3, 0x2000));
+    EXPECT_TRUE(numa.l3Resident(2, 0x2000));
+}
+
+TEST_P(SchemeCorrectness, SparseEvictionPurgesEverySharer)
+{
+    auto cfg = numaWith(GetParam());
+    cfg.sparseEntries = 4;
+    cfg.sparseAssoc = 4;
+    NumaEmulator numa(cfg);
+    bus::Bus6xx bus;
+    numa.plugInto(bus);
+
+    const Addr victim = 0; // home 0
+    bus.issue(txn(victim, bus::BusOp::Read, 0));
+    bus.issue(txn(victim, bus::BusOp::Read, 2));
+    // Fill home 0's single sparse set until the victim is evicted.
+    const Addr stride = 4 * 4096; // same home
+    for (int i = 1; i <= 4; ++i)
+        bus.issue(txn(i * stride, bus::BusOp::Read, 0));
+
+    EXPECT_FALSE(numa.l3Resident(0, victim));
+    EXPECT_FALSE(numa.l3Resident(1, victim));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, SchemeCorrectness,
+    ::testing::Values(DirectoryScheme::FullMap,
+                      DirectoryScheme::CoarseVector,
+                      DirectoryScheme::LimitedPointer));
+
+TEST(DirSchemeTest, FullMapNeverOverInvalidates)
+{
+    NumaEmulator numa(numaWith(DirectoryScheme::FullMap));
+    bus::Bus6xx bus;
+    numa.plugInto(bus);
+    bus.issue(txn(0x2000, bus::BusOp::Read, 0));
+    bus.issue(txn(0x2000, bus::BusOp::Read, 2));
+    bus.issue(txn(0x2000, bus::BusOp::Rwitm, 4));
+    EXPECT_EQ(numa.stats().overInvalidations, 0u);
+    EXPECT_EQ(numa.stats().writeInvalidations, 2u);
+}
+
+TEST(DirSchemeTest, CoarseVectorOverInvalidatesGroupMates)
+{
+    // Nodes 0 and 1 share a group: a line held only by node 0 gets an
+    // invalidation aimed at the whole group — node 1's is wasted.
+    auto cfg = numaWith(DirectoryScheme::CoarseVector);
+    cfg.coarseGroupNodes = 2;
+    NumaEmulator numa(cfg);
+    bus::Bus6xx bus;
+    numa.plugInto(bus);
+
+    bus.issue(txn(0x2000, bus::BusOp::Read, 0));  // node 0 only
+    bus.issue(txn(0x2000, bus::BusOp::Rwitm, 4)); // node 2 writes
+    const auto s = numa.stats();
+    EXPECT_EQ(s.writeInvalidations, 1u);  // node 0 actually held it
+    EXPECT_EQ(s.overInvalidations, 1u);   // node 1 did not
+}
+
+TEST(DirSchemeTest, LimitedPointerExactForSingleSharer)
+{
+    NumaEmulator numa(numaWith(DirectoryScheme::LimitedPointer));
+    bus::Bus6xx bus;
+    numa.plugInto(bus);
+    bus.issue(txn(0x2000, bus::BusOp::Read, 2));  // node 1 only
+    bus.issue(txn(0x2000, bus::BusOp::Rwitm, 4)); // node 2 writes
+    const auto s = numa.stats();
+    EXPECT_EQ(s.writeInvalidations, 1u);
+    EXPECT_EQ(s.overInvalidations, 0u); // pointer was exact
+}
+
+TEST(DirSchemeTest, LimitedPointerBroadcastsAfterOverflow)
+{
+    NumaEmulator numa(numaWith(DirectoryScheme::LimitedPointer));
+    bus::Bus6xx bus;
+    numa.plugInto(bus);
+    bus.issue(txn(0x2000, bus::BusOp::Read, 0)); // node 0
+    bus.issue(txn(0x2000, bus::BusOp::Read, 2)); // node 1: overflow
+    bus.issue(txn(0x2000, bus::BusOp::Rwitm, 6)); // node 3 writes
+    const auto s = numa.stats();
+    // Broadcast reached nodes 0,1,2: two real, one wasted (node 2).
+    EXPECT_EQ(s.writeInvalidations, 2u);
+    EXPECT_EQ(s.overInvalidations, 1u);
+}
+
+} // namespace
+} // namespace memories::ies

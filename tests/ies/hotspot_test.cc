@@ -1,0 +1,158 @@
+#include "ies/hotspot.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace memories::ies
+{
+namespace
+{
+
+HotSpotConfig
+pageConfig()
+{
+    HotSpotConfig cfg;
+    cfg.regionBase = 0x1'0000'0000ull;
+    cfg.regionBytes = 64 * MiB;
+    cfg.granularityBytes = 4096;
+    return cfg;
+}
+
+bus::BusTransaction
+txn(Addr addr, bus::BusOp op)
+{
+    bus::BusTransaction t;
+    t.addr = addr;
+    t.op = op;
+    return t;
+}
+
+TEST(HotSpotTest, RejectsBadConfigs)
+{
+    auto cfg = pageConfig();
+    cfg.granularityBytes = 100; // not a power of two
+    EXPECT_THROW(HotSpotTracker{cfg}, FatalError);
+
+    cfg = pageConfig();
+    cfg.granularityBytes = 64; // below line basis
+    EXPECT_THROW(HotSpotTracker{cfg}, FatalError);
+
+    cfg = pageConfig();
+    cfg.regionBytes = 10000; // not a multiple of granularity
+    EXPECT_THROW(HotSpotTracker{cfg}, FatalError);
+}
+
+TEST(HotSpotTest, EnforcesSdramBudget)
+{
+    HotSpotConfig cfg;
+    cfg.regionBytes = 8 * GiB;
+    cfg.granularityBytes = 128; // 64M cells x 8B = 512MB > 256MB
+    EXPECT_THROW(HotSpotTracker{cfg}, FatalError);
+    cfg.granularityBytes = 4096; // 2M cells x 8B = 16MB: fine
+    EXPECT_NO_THROW(HotSpotTracker{cfg});
+}
+
+TEST(HotSpotTest, CountsReadsAndWritesPerPage)
+{
+    HotSpotTracker tracker(pageConfig());
+    bus::Bus6xx bus;
+    tracker.plugInto(bus);
+
+    const Addr page = pageConfig().regionBase + 5 * 4096;
+    bus.issue(txn(page, bus::BusOp::Read));
+    bus.issue(txn(page + 100, bus::BusOp::Read));
+    bus.issue(txn(page + 200, bus::BusOp::Rwitm));
+
+    const auto entry = tracker.countsFor(page);
+    EXPECT_EQ(entry.reads, 2u);
+    EXPECT_EQ(entry.writes, 1u);
+    EXPECT_EQ(entry.base, page);
+}
+
+TEST(HotSpotTest, IgnoresOutOfRegionTraffic)
+{
+    HotSpotTracker tracker(pageConfig());
+    bus::Bus6xx bus;
+    tracker.plugInto(bus);
+    bus.issue(txn(0x1000, bus::BusOp::Read)); // below region
+    EXPECT_EQ(tracker.tracked(), 0u);
+    EXPECT_EQ(tracker.untracked(), 1u);
+}
+
+TEST(HotSpotTest, IgnoresFilteredOps)
+{
+    HotSpotTracker tracker(pageConfig());
+    bus::Bus6xx bus;
+    tracker.plugInto(bus);
+    bus.issue(txn(pageConfig().regionBase, bus::BusOp::IoRead));
+    EXPECT_EQ(tracker.tracked(), 0u);
+    EXPECT_EQ(tracker.untracked(), 0u);
+}
+
+TEST(HotSpotTest, TopNFindsHottestPages)
+{
+    HotSpotTracker tracker(pageConfig());
+    bus::Bus6xx bus;
+    tracker.plugInto(bus);
+
+    const Addr base = pageConfig().regionBase;
+    for (int i = 0; i < 50; ++i)
+        bus.issue(txn(base + 7 * 4096, bus::BusOp::Read));
+    for (int i = 0; i < 20; ++i)
+        bus.issue(txn(base + 3 * 4096, bus::BusOp::Rwitm));
+    bus.issue(txn(base + 1 * 4096, bus::BusOp::Read));
+
+    const auto top = tracker.topN(2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].base, base + 7 * 4096);
+    EXPECT_EQ(top[0].total(), 50u);
+    EXPECT_EQ(top[1].base, base + 3 * 4096);
+}
+
+TEST(HotSpotTest, LineGranularityResolvesWithinPage)
+{
+    auto cfg = pageConfig();
+    cfg.granularityBytes = 128;
+    cfg.regionBytes = 1 * MiB;
+    HotSpotTracker tracker(cfg);
+    bus::Bus6xx bus;
+    tracker.plugInto(bus);
+
+    bus.issue(txn(cfg.regionBase + 0, bus::BusOp::Read));
+    bus.issue(txn(cfg.regionBase + 128, bus::BusOp::Read));
+    EXPECT_EQ(tracker.countsFor(cfg.regionBase).reads, 1u);
+    EXPECT_EQ(tracker.countsFor(cfg.regionBase + 128).reads, 1u);
+}
+
+TEST(HotSpotTest, WritebacksCountAsWrites)
+{
+    HotSpotTracker tracker(pageConfig());
+    bus::Bus6xx bus;
+    tracker.plugInto(bus);
+    bus.issue(txn(pageConfig().regionBase, bus::BusOp::WriteBack));
+    EXPECT_EQ(tracker.countsFor(pageConfig().regionBase).writes, 1u);
+}
+
+TEST(HotSpotTest, ClearZeroesTable)
+{
+    HotSpotTracker tracker(pageConfig());
+    bus::Bus6xx bus;
+    tracker.plugInto(bus);
+    bus.issue(txn(pageConfig().regionBase, bus::BusOp::Read));
+    tracker.clear();
+    EXPECT_EQ(tracker.tracked(), 0u);
+    EXPECT_TRUE(tracker.topN(10).empty());
+}
+
+TEST(HotSpotTest, PassiveOnTheBus)
+{
+    HotSpotTracker tracker(pageConfig());
+    bus::Bus6xx bus;
+    tracker.plugInto(bus);
+    EXPECT_EQ(bus.issue(txn(pageConfig().regionBase, bus::BusOp::Read)),
+              bus::SnoopResponse::None);
+}
+
+} // namespace
+} // namespace memories::ies

@@ -1,0 +1,211 @@
+#include "ies/nodecontroller.hh"
+
+#include <gtest/gtest.h>
+
+namespace memories::ies
+{
+namespace
+{
+
+using protocol::LineState;
+
+NodeConfig
+smallNode(std::vector<CpuId> cpus = {0, 1},
+          const std::string &proto = "MESI")
+{
+    NodeConfig cfg;
+    cfg.cache = cache::CacheConfig{2 * MiB, 4, 128,
+                                   cache::ReplacementPolicy::LRU};
+    cfg.protocol = protocol::makeBuiltinTable(proto);
+    cfg.cpus = std::move(cpus);
+    return cfg;
+}
+
+bus::BusTransaction
+txn(Addr addr, bus::BusOp op, CpuId cpu)
+{
+    bus::BusTransaction t;
+    t.addr = addr;
+    t.op = op;
+    t.cpu = cpu;
+    return t;
+}
+
+TEST(NodeControllerTest, OwnsConfiguredCpus)
+{
+    NodeController node(0, smallNode({2, 5}));
+    EXPECT_TRUE(node.ownsCpu(2));
+    EXPECT_TRUE(node.ownsCpu(5));
+    EXPECT_FALSE(node.ownsCpu(0));
+}
+
+TEST(NodeControllerTest, LocalReadMissFillsExclusive)
+{
+    NodeController node(0, smallNode());
+    node.processLocal(txn(0x1000, bus::BusOp::Read, 0),
+                      bus::SnoopResponse::None);
+    EXPECT_EQ(node.probeState(0x1000), LineState::Exclusive);
+    const auto s = node.stats();
+    EXPECT_EQ(s.localMisses, 1u);
+    EXPECT_EQ(s.satisfiedByMemory, 1u);
+    EXPECT_EQ(s.fills, 1u);
+}
+
+TEST(NodeControllerTest, LocalReadMissWithSharedFillsShared)
+{
+    NodeController node(0, smallNode());
+    node.processLocal(txn(0x1000, bus::BusOp::Read, 0),
+                      bus::SnoopResponse::Shared);
+    EXPECT_EQ(node.probeState(0x1000), LineState::Shared);
+    EXPECT_EQ(node.stats().satisfiedByShrIntervention, 1u);
+}
+
+TEST(NodeControllerTest, LocalReadMissWithModifiedIsModIntervention)
+{
+    NodeController node(0, smallNode());
+    node.processLocal(txn(0x1000, bus::BusOp::Read, 0),
+                      bus::SnoopResponse::Modified);
+    EXPECT_EQ(node.stats().satisfiedByModIntervention, 1u);
+}
+
+TEST(NodeControllerTest, LocalReadHitCountsCacheSatisfaction)
+{
+    NodeController node(0, smallNode());
+    node.processLocal(txn(0x1000, bus::BusOp::Read, 0),
+                      bus::SnoopResponse::None);
+    node.processLocal(txn(0x1000, bus::BusOp::Read, 1),
+                      bus::SnoopResponse::None);
+    const auto s = node.stats();
+    EXPECT_EQ(s.localHits, 1u);
+    EXPECT_EQ(s.satisfiedByCache, 1u);
+    EXPECT_DOUBLE_EQ(s.missRatio(), 0.5);
+}
+
+TEST(NodeControllerTest, RwitmFillsModified)
+{
+    NodeController node(0, smallNode());
+    node.processLocal(txn(0x2000, bus::BusOp::Rwitm, 0),
+                      bus::SnoopResponse::None);
+    EXPECT_EQ(node.probeState(0x2000), LineState::Modified);
+}
+
+TEST(NodeControllerTest, DClaimUpgradesShared)
+{
+    NodeController node(0, smallNode());
+    node.processLocal(txn(0x2000, bus::BusOp::Read, 0),
+                      bus::SnoopResponse::Shared); // fills S
+    node.processLocal(txn(0x2000, bus::BusOp::DClaim, 0),
+                      bus::SnoopResponse::None);
+    EXPECT_EQ(node.probeState(0x2000), LineState::Modified);
+}
+
+TEST(NodeControllerTest, WritebackAbsorbedAsModified)
+{
+    NodeController node(0, smallNode());
+    node.processLocal(txn(0x3000, bus::BusOp::WriteBack, 0),
+                      bus::SnoopResponse::None);
+    EXPECT_EQ(node.probeState(0x3000), LineState::Modified);
+}
+
+TEST(NodeControllerTest, RemoteReadDowngradesModified)
+{
+    NodeController node(0, smallNode());
+    node.processLocal(txn(0x4000, bus::BusOp::Rwitm, 0),
+                      bus::SnoopResponse::None); // M
+    const auto resp = node.snoopRemote(txn(0x4000, bus::BusOp::Read, 9));
+    EXPECT_EQ(resp, bus::SnoopResponse::Modified);
+    EXPECT_EQ(node.probeState(0x4000), LineState::Shared);
+    EXPECT_EQ(node.stats().suppliedModified, 1u);
+}
+
+TEST(NodeControllerTest, RemoteRwitmInvalidates)
+{
+    NodeController node(0, smallNode());
+    node.processLocal(txn(0x4000, bus::BusOp::Read, 0),
+                      bus::SnoopResponse::None); // E
+    const auto resp =
+        node.snoopRemote(txn(0x4000, bus::BusOp::Rwitm, 9));
+    EXPECT_EQ(resp, bus::SnoopResponse::Shared); // clean copy existed
+    EXPECT_EQ(node.probeState(0x4000), LineState::Invalid);
+    EXPECT_EQ(node.stats().remoteInvalidations, 1u);
+}
+
+TEST(NodeControllerTest, RemoteMissAnswersNone)
+{
+    NodeController node(0, smallNode());
+    EXPECT_EQ(node.snoopRemote(txn(0x7000, bus::BusOp::Read, 9)),
+              bus::SnoopResponse::None);
+}
+
+TEST(NodeControllerTest, MoesiKeepsOwnership)
+{
+    NodeController node(0, smallNode({0, 1}, "MOESI"));
+    node.processLocal(txn(0x4000, bus::BusOp::Rwitm, 0),
+                      bus::SnoopResponse::None); // M
+    node.snoopRemote(txn(0x4000, bus::BusOp::Read, 9));
+    EXPECT_EQ(node.probeState(0x4000), LineState::Owned);
+    // Owned keeps intervening.
+    EXPECT_EQ(node.snoopRemote(txn(0x4000, bus::BusOp::Read, 10)),
+              bus::SnoopResponse::Modified);
+}
+
+TEST(NodeControllerTest, ConflictEvictionCountsDirtyCastout)
+{
+    // 2MB 4-way 128B -> 4096 sets; same-set stride = 512KB.
+    NodeController node(0, smallNode());
+    const std::uint64_t stride = 2 * MiB / 4;
+    for (int i = 0; i < 5; ++i) {
+        node.processLocal(txn(i * stride, bus::BusOp::Rwitm, 0),
+                          bus::SnoopResponse::None);
+    }
+    const auto s = node.stats();
+    EXPECT_EQ(s.fills, 5u);
+    EXPECT_EQ(s.evictionsDirty, 1u);
+    EXPECT_EQ(s.evictionsClean, 0u);
+}
+
+TEST(NodeControllerTest, DirectoryOccupancyTracksFills)
+{
+    NodeController node(0, smallNode());
+    node.processLocal(txn(0x0000, bus::BusOp::Read, 0),
+                      bus::SnoopResponse::None);
+    node.processLocal(txn(0x1000, bus::BusOp::Read, 0),
+                      bus::SnoopResponse::None);
+    EXPECT_EQ(node.directoryOccupancy(), 2u);
+    node.resetDirectory();
+    EXPECT_EQ(node.directoryOccupancy(), 0u);
+}
+
+TEST(NodeControllerTest, CountersClearIndependentlyOfDirectory)
+{
+    NodeController node(0, smallNode());
+    node.processLocal(txn(0x0000, bus::BusOp::Read, 0),
+                      bus::SnoopResponse::None);
+    node.clearCounters();
+    EXPECT_EQ(node.stats().localRefs, 0u);
+    EXPECT_EQ(node.directoryOccupancy(), 1u); // directory stays warm
+}
+
+TEST(NodeControllerTest, CounterBankIsRich)
+{
+    // The board advertises >400 counters across its FPGAs; each node
+    // controller must expose a few dozen at least.
+    NodeController node(0, smallNode());
+    EXPECT_GE(node.counters().size(), 50u);
+}
+
+TEST(NodeControllerTest, LineGranularityRespectsConfig)
+{
+    auto cfg = smallNode();
+    cfg.cache.lineSize = 1024;
+    NodeController node(0, cfg);
+    node.processLocal(txn(0x1000, bus::BusOp::Read, 0),
+                      bus::SnoopResponse::None);
+    // Same 1KB line, different 128B offset: must hit.
+    node.processLocal(txn(0x1380, bus::BusOp::Read, 1),
+                      bus::SnoopResponse::None);
+    EXPECT_EQ(node.stats().localHits, 1u);
+}
+
+} // namespace
+} // namespace memories::ies

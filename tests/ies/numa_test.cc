@@ -1,0 +1,212 @@
+#include "ies/numa.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace memories::ies
+{
+namespace
+{
+
+NumaConfig
+smallNuma()
+{
+    NumaConfig cfg;
+    cfg.numNodes = 4;
+    cfg.cpusPerNode = 2;
+    cfg.l3 = cache::CacheConfig{2 * MiB, 4, 128,
+                                cache::ReplacementPolicy::LRU};
+    cfg.sparseEntries = 1 << 10;
+    cfg.sparseAssoc = 4;
+    cfg.homeGranularityBytes = 4096;
+    return cfg;
+}
+
+bus::BusTransaction
+txn(Addr addr, bus::BusOp op, CpuId cpu)
+{
+    bus::BusTransaction t;
+    t.addr = addr;
+    t.op = op;
+    t.cpu = cpu;
+    return t;
+}
+
+TEST(NumaConfigTest, Validation)
+{
+    auto cfg = smallNuma();
+    cfg.numNodes = 5;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = smallNuma();
+    cfg.sparseEntries = 1000; // not a power of two
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg = smallNuma();
+    cfg.homeGranularityBytes = 100;
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    EXPECT_NO_THROW(smallNuma().validate());
+}
+
+TEST(NumaConfigTest, SdramBudgetShared)
+{
+    auto cfg = smallNuma();
+    cfg.l3 = cache::CacheConfig{8 * GiB, 8, 128,
+                                cache::ReplacementPolicy::LRU};
+    // The 8GB L3 directory alone eats the whole 256MB budget: adding
+    // any sparse directory must overflow it.
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(NumaTest, HomePartitioningInterleaves)
+{
+    NumaEmulator numa(smallNuma());
+    EXPECT_EQ(numa.homeOf(0), 0u);
+    EXPECT_EQ(numa.homeOf(4096), 1u);
+    EXPECT_EQ(numa.homeOf(2 * 4096), 2u);
+    EXPECT_EQ(numa.homeOf(3 * 4096), 3u);
+    EXPECT_EQ(numa.homeOf(4 * 4096), 0u);
+}
+
+TEST(NumaTest, CpuToNodeMapping)
+{
+    NumaEmulator numa(smallNuma());
+    EXPECT_EQ(numa.nodeOfCpu(0), 0u);
+    EXPECT_EQ(numa.nodeOfCpu(1), 0u);
+    EXPECT_EQ(numa.nodeOfCpu(2), 1u);
+    EXPECT_EQ(numa.nodeOfCpu(7), 3u);
+}
+
+TEST(NumaTest, ClassifiesLocalAndRemote)
+{
+    NumaEmulator numa(smallNuma());
+    bus::Bus6xx bus;
+    numa.plugInto(bus);
+
+    bus.issue(txn(0, bus::BusOp::Read, 0));      // home 0, node 0: local
+    bus.issue(txn(4096, bus::BusOp::Read, 0));   // home 1, node 0: remote
+    const auto s = numa.stats();
+    EXPECT_EQ(s.localRequests, 1u);
+    EXPECT_EQ(s.remoteRequests, 1u);
+}
+
+TEST(NumaTest, L3CachesRepeatAccesses)
+{
+    NumaEmulator numa(smallNuma());
+    bus::Bus6xx bus;
+    numa.plugInto(bus);
+
+    bus.issue(txn(0x2000, bus::BusOp::Read, 0));
+    bus.issue(txn(0x2000, bus::BusOp::Read, 1)); // same node, same line
+    const auto s = numa.stats();
+    EXPECT_EQ(s.l3Misses, 1u);
+    EXPECT_EQ(s.l3Hits, 1u);
+}
+
+TEST(NumaTest, SparseDirectoryTracksPresence)
+{
+    NumaEmulator numa(smallNuma());
+    bus::Bus6xx bus;
+    numa.plugInto(bus);
+
+    bus.issue(txn(0x2000, bus::BusOp::Read, 0)); // node 0
+    bus.issue(txn(0x2000, bus::BusOp::Read, 2)); // node 1
+    EXPECT_EQ(numa.presenceOf(0x2000), 0b0011);
+}
+
+TEST(NumaTest, WriteInvalidatesOtherSharers)
+{
+    NumaEmulator numa(smallNuma());
+    bus::Bus6xx bus;
+    numa.plugInto(bus);
+
+    bus.issue(txn(0x2000, bus::BusOp::Read, 0));  // node 0 shares
+    bus.issue(txn(0x2000, bus::BusOp::Read, 2));  // node 1 shares
+    bus.issue(txn(0x2000, bus::BusOp::Rwitm, 4)); // node 2 writes
+    EXPECT_EQ(numa.presenceOf(0x2000), 0b0100);
+    EXPECT_FALSE(numa.l3Resident(0, 0x2000));
+    EXPECT_FALSE(numa.l3Resident(1, 0x2000));
+    EXPECT_TRUE(numa.l3Resident(2, 0x2000));
+    EXPECT_EQ(numa.stats().writeInvalidations, 2u);
+}
+
+TEST(NumaTest, SparseEvictionInvalidatesL3s)
+{
+    auto cfg = smallNuma();
+    cfg.sparseEntries = 4; // tiny sparse directory: 1 set at 4-way
+    cfg.sparseAssoc = 4;
+    NumaEmulator numa(cfg);
+    bus::Bus6xx bus;
+    numa.plugInto(bus);
+
+    // Five distinct lines with home 0 (stride = numNodes*granularity).
+    const Addr stride = 4 * 4096;
+    for (int i = 0; i < 5; ++i)
+        bus.issue(txn(i * stride, bus::BusOp::Read, 0));
+
+    const auto s = numa.stats();
+    EXPECT_GE(s.sparseEvictions, 1u);
+    EXPECT_GE(s.invalidationsSent, 1u);
+    // The evicted line is gone from node 0's L3 despite fitting there.
+    EXPECT_FALSE(numa.l3Resident(0, 0));
+}
+
+TEST(NumaTest, RemoteCacheCatchesRemoteReuse)
+{
+    auto cfg = smallNuma();
+    cfg.remoteCacheEnabled = true;
+    cfg.remoteCache = cache::CacheConfig{2 * MiB, 4, 128,
+                                         cache::ReplacementPolicy::LRU};
+    // Shrink the L3 so it thrashes while the remote cache retains.
+    cfg.l3 = cache::CacheConfig{2 * MiB, 1, 128,
+                                cache::ReplacementPolicy::LRU};
+    NumaEmulator numa(cfg);
+    bus::Bus6xx bus;
+    numa.plugInto(bus);
+
+    // Remote line (home 1) accessed by node 0, evicted from L3 by a
+    // conflicting line, then re-accessed: the remote cache catches it.
+    const Addr remote_line = 4096;           // home 1
+    const Addr conflicting = 4096 + 2 * MiB; // same L3 set (DM), home 1
+    bus.issue(txn(remote_line, bus::BusOp::Read, 0));
+    bus.issue(txn(conflicting, bus::BusOp::Read, 0));
+    bus.issue(txn(remote_line, bus::BusOp::Read, 0));
+    EXPECT_GE(numa.stats().remoteCacheHits, 1u);
+}
+
+TEST(NumaTest, IgnoresUnmappedCpusAndNonMemoryOps)
+{
+    NumaEmulator numa(smallNuma());
+    bus::Bus6xx bus;
+    numa.plugInto(bus);
+    bus.issue(txn(0x1000, bus::BusOp::Read, 12));  // beyond 4 nodes
+    bus.issue(txn(0x1000, bus::BusOp::IoRead, 0)); // filtered
+    const auto s = numa.stats();
+    EXPECT_EQ(s.localRequests + s.remoteRequests, 0u);
+}
+
+TEST(NumaTest, ClearResetsEverything)
+{
+    NumaEmulator numa(smallNuma());
+    bus::Bus6xx bus;
+    numa.plugInto(bus);
+    bus.issue(txn(0x2000, bus::BusOp::Read, 0));
+    numa.clear();
+    EXPECT_EQ(numa.stats().l3Misses, 0u);
+    EXPECT_FALSE(numa.l3Resident(0, 0x2000));
+    EXPECT_EQ(numa.presenceOf(0x2000), 0u);
+}
+
+TEST(NumaTest, PassiveOnTheBus)
+{
+    NumaEmulator numa(smallNuma());
+    bus::Bus6xx bus;
+    numa.plugInto(bus);
+    EXPECT_EQ(bus.issue(txn(0x1000, bus::BusOp::Read, 0)),
+              bus::SnoopResponse::None);
+}
+
+} // namespace
+} // namespace memories::ies

@@ -1,0 +1,159 @@
+/**
+ * @file
+ * Set-sampling tests: a node tracking 1/2^k of the sets must behave
+ * identically to a full directory *on the sampled sets*, skip
+ * everything else, and stretch the SDRAM budget accordingly.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "common/random.hh"
+#include "ies/board.hh"
+
+namespace memories::ies
+{
+namespace
+{
+
+NodeConfig
+sampledNode(unsigned shift)
+{
+    NodeConfig cfg;
+    cfg.cache = cache::CacheConfig{2 * MiB, 4, 128,
+                                   cache::ReplacementPolicy::LRU};
+    cfg.cpus = {0, 1, 2, 3};
+    cfg.setSamplingShift = shift;
+    return cfg;
+}
+
+bus::BusTransaction
+readTxn(Addr addr, CpuId cpu = 0)
+{
+    bus::BusTransaction t;
+    t.addr = addr;
+    t.op = bus::BusOp::Read;
+    t.cpu = cpu;
+    return t;
+}
+
+TEST(SamplingTest, ShiftZeroIsExact)
+{
+    NodeController node(0, sampledNode(0));
+    node.processLocal(readTxn(0x1000), bus::SnoopResponse::None);
+    EXPECT_EQ(node.unsampledRefs(), 0u);
+    EXPECT_EQ(node.stats().localRefs, 1u);
+}
+
+TEST(SamplingTest, UnsampledSetsAreSkipped)
+{
+    // shift 2: only sets with index % 4 == 0 are tracked. Line 1
+    // (addr 128) lands in set 1: skipped.
+    NodeController node(0, sampledNode(2));
+    node.processLocal(readTxn(128), bus::SnoopResponse::None);
+    EXPECT_EQ(node.unsampledRefs(), 1u);
+    EXPECT_EQ(node.stats().localRefs, 0u);
+    EXPECT_EQ(node.probeState(128), protocol::LineState::Invalid);
+}
+
+TEST(SamplingTest, SampledSetsBehaveExactly)
+{
+    // Addresses in set 0 (line index multiple of numSets) behave as
+    // in a full directory.
+    NodeController node(0, sampledNode(2));
+    node.processLocal(readTxn(0x0000), bus::SnoopResponse::None);
+    node.processLocal(readTxn(0x0000, 1), bus::SnoopResponse::None);
+    const auto s = node.stats();
+    EXPECT_EQ(s.localRefs, 2u);
+    EXPECT_EQ(s.localHits, 1u);
+    EXPECT_EQ(node.probeState(0x0000), protocol::LineState::Exclusive);
+}
+
+TEST(SamplingTest, SampledConflictChainMatchesFullDirectory)
+{
+    // Same-set conflict behaviour on a sampled set must match the
+    // unsampled node exactly: distinct tags, LRU victims, the lot.
+    NodeController full(0, sampledNode(0));
+    NodeController sampled(1, sampledNode(2));
+
+    // 2MB 4-way 128B -> 4096 sets; same-set stride 512KB. Set 0 is
+    // sampled under any shift.
+    const std::uint64_t stride = 512 * KiB;
+    Rng rng(3);
+    for (int i = 0; i < 2000; ++i) {
+        const Addr addr = rng.nextBounded(16) * stride;
+        full.processLocal(readTxn(addr), bus::SnoopResponse::None);
+        sampled.processLocal(readTxn(addr), bus::SnoopResponse::None);
+    }
+    const auto a = full.stats();
+    const auto b = sampled.stats();
+    EXPECT_EQ(a.localHits, b.localHits);
+    EXPECT_EQ(a.localMisses, b.localMisses);
+    EXPECT_EQ(a.fills, b.fills);
+    EXPECT_EQ(a.evictionsClean, b.evictionsClean);
+}
+
+TEST(SamplingTest, MissRatioEstimatorTracksFullDirectory)
+{
+    // Uniform traffic: the sampled estimate must sit close to the
+    // full measurement.
+    NodeController full(0, sampledNode(0));
+    NodeController sampled(1, sampledNode(3));
+    Rng rng(17);
+    for (int i = 0; i < 400000; ++i) {
+        const Addr addr = rng.nextBounded(1 << 16) * 128;
+        const auto txn = readTxn(addr, static_cast<CpuId>(i % 4));
+        full.processLocal(txn, bus::SnoopResponse::None);
+        sampled.processLocal(txn, bus::SnoopResponse::None);
+    }
+    EXPECT_GT(sampled.unsampledRefs(), 0u);
+    EXPECT_NEAR(sampled.stats().missRatio(), full.stats().missRatio(),
+                0.02);
+}
+
+TEST(SamplingTest, SamplingStretchesBudgetPast8GB)
+{
+    // 8GB at 128B lines exactly fills the 256MB budget; shift 2 makes
+    // room with 4x margin (a "32GB-equivalent" emulation).
+    BoardConfig cfg;
+    NodeConfig node;
+    node.cache = cache::CacheConfig{8 * GiB, 8, 128,
+                                    cache::ReplacementPolicy::LRU};
+    node.cpus = {0, 1, 2, 3, 4, 5, 6, 7};
+    node.setSamplingShift = 2;
+    cfg.nodes.push_back(node);
+    EXPECT_NO_THROW(cfg.validate());
+}
+
+TEST(SamplingTest, ValidationRejectsDegenerateSampling)
+{
+    BoardConfig cfg;
+    NodeConfig node;
+    node.cache = cache::CacheConfig{2 * MiB, 8, 16 * KiB,
+                                    cache::ReplacementPolicy::LRU};
+    node.cpus = {0};
+    node.setSamplingShift = 6; // 16 sets >> 6 == 0
+    cfg.nodes.push_back(node);
+    EXPECT_THROW(cfg.validate(), FatalError);
+
+    cfg.nodes[0].setSamplingShift = 20;
+    EXPECT_THROW(cfg.validate(), FatalError);
+}
+
+TEST(SamplingTest, RemoteSnoopsRespectSampling)
+{
+    NodeController node(0, sampledNode(2));
+    node.processLocal(readTxn(0x0000), bus::SnoopResponse::None);
+    // Remote RWITM on an unsampled line: ignored.
+    bus::BusTransaction remote = readTxn(128, 9);
+    remote.op = bus::BusOp::Rwitm;
+    EXPECT_EQ(node.snoopRemote(remote), bus::SnoopResponse::None);
+    EXPECT_EQ(node.unsampledRefs(), 1u);
+    // Remote RWITM on the sampled line: invalidates.
+    remote.addr = 0x0000;
+    node.snoopRemote(remote);
+    EXPECT_EQ(node.probeState(0x0000), protocol::LineState::Invalid);
+}
+
+} // namespace
+} // namespace memories::ies

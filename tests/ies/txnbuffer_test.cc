@@ -1,0 +1,142 @@
+#include "ies/txnbuffer.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace memories::ies
+{
+namespace
+{
+
+bus::BusTransaction
+txnAt(Cycle cycle, Addr addr = 0x1000)
+{
+    bus::BusTransaction txn;
+    txn.addr = addr;
+    txn.cycle = cycle;
+    txn.op = bus::BusOp::Read;
+    return txn;
+}
+
+TEST(TxnBufferTest, RejectsBadParameters)
+{
+    EXPECT_THROW(TransactionBuffer(0, 42), FatalError);
+    EXPECT_THROW(TransactionBuffer(512, 0), FatalError);
+    EXPECT_THROW(TransactionBuffer(512, 101), FatalError);
+}
+
+TEST(TxnBufferTest, PushPopFifoOrder)
+{
+    TransactionBuffer buf(8, 100);
+    buf.push(txnAt(0, 0x1000));
+    buf.push(txnAt(1, 0x2000));
+    const auto a = buf.drain(10);
+    const auto b = buf.drain(10);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(a->addr, 0x1000u);
+    EXPECT_EQ(b->addr, 0x2000u);
+}
+
+TEST(TxnBufferTest, RejectsWhenFull)
+{
+    TransactionBuffer buf(2, 42);
+    EXPECT_TRUE(buf.push(txnAt(0)));
+    EXPECT_TRUE(buf.push(txnAt(1)));
+    EXPECT_FALSE(buf.push(txnAt(2)));
+    EXPECT_EQ(buf.rejected(), 1u);
+}
+
+TEST(TxnBufferTest, DrainIsRateLimited)
+{
+    // 42% throughput: 100 elapsed cycles earn 42 retirements.
+    TransactionBuffer buf(512, 42);
+    for (int i = 0; i < 100; ++i)
+        buf.push(txnAt(0));
+    int drained = 0;
+    while (buf.drain(100))
+        ++drained;
+    EXPECT_EQ(drained, 42);
+    // Another 100 cycles drain the rest at the same rate.
+    while (buf.drain(200))
+        ++drained;
+    EXPECT_EQ(drained, 84);
+}
+
+TEST(TxnBufferTest, CreditsDoNotDrainEmptyFutureWork)
+{
+    // Idle cycles bank credits, but the bank is capped so a long idle
+    // stretch cannot buy unbounded instant throughput later.
+    TransactionBuffer buf(4, 50);
+    ASSERT_FALSE(buf.drain(1'000'000).has_value());
+    for (int i = 0; i < 4; ++i)
+        buf.push(txnAt(1'000'000));
+    int drained = 0;
+    while (buf.drain(1'000'000))
+        ++drained;
+    EXPECT_EQ(drained, 4); // at most capacity's worth of banked credits
+}
+
+TEST(TxnBufferTest, NoCreditsNoDrain)
+{
+    TransactionBuffer buf(8, 42);
+    buf.push(txnAt(0));
+    EXPECT_FALSE(buf.drain(0).has_value());
+    EXPECT_FALSE(buf.drain(1).has_value()); // 42 credits < 100
+    EXPECT_TRUE(buf.drain(3).has_value());  // 126 credits
+}
+
+TEST(TxnBufferTest, HighWaterTracksDeepestOccupancy)
+{
+    TransactionBuffer buf(8, 100);
+    buf.push(txnAt(0));
+    buf.push(txnAt(0));
+    buf.push(txnAt(0));
+    buf.drain(100);
+    buf.drain(100);
+    buf.push(txnAt(100));
+    EXPECT_EQ(buf.highWater(), 3u);
+}
+
+TEST(TxnBufferTest, DrainUnpacedIgnoresCredits)
+{
+    TransactionBuffer buf(8, 42);
+    buf.push(txnAt(0));
+    buf.push(txnAt(0));
+    int drained = 0;
+    while (buf.drainUnpaced())
+        ++drained;
+    EXPECT_EQ(drained, 2);
+    EXPECT_TRUE(buf.empty());
+}
+
+TEST(TxnBufferTest, BoardDefaultsSustainTypicalUtilization)
+{
+    // At 20% arrival (one txn per 5 cycles) and 42% drain, the buffer
+    // must never fill: the paper's board never posted a retry.
+    TransactionBuffer buf(512, 42);
+    std::uint64_t rejected = 0;
+    for (Cycle c = 0; c < 100'000; c += 5) {
+        while (buf.drain(c)) {
+        }
+        rejected += !buf.push(txnAt(c));
+    }
+    EXPECT_EQ(rejected, 0u);
+    EXPECT_LT(buf.highWater(), 16u);
+}
+
+TEST(TxnBufferTest, SustainedOverloadEventuallyRejects)
+{
+    // Above 42% sustained arrival the buffer must fill and reject.
+    TransactionBuffer buf(64, 42);
+    std::uint64_t rejected = 0;
+    for (Cycle c = 0; c < 1'000; ++c) { // 100% arrival rate
+        while (buf.drain(c)) {
+        }
+        rejected += !buf.push(txnAt(c));
+    }
+    EXPECT_GT(rejected, 0u);
+}
+
+} // namespace
+} // namespace memories::ies

@@ -1,0 +1,113 @@
+/**
+ * @file
+ * Property test: MESI coherence invariants across the host machine's
+ * L2 caches under randomized shared traffic, checked repeatedly
+ * during a run:
+ *
+ *  - single-writer: at most one hierarchy holds a line
+ *    Modified/Exclusive;
+ *  - writer exclusion: if some hierarchy holds M or E, no other
+ *    hierarchy holds the line in any valid state.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/machine.hh"
+#include "protocol/state.hh"
+#include "workload/synthetic.hh"
+
+namespace memories
+{
+namespace
+{
+
+using protocol::LineState;
+
+host::HostConfig
+tinyHost(unsigned cpus)
+{
+    host::HostConfig cfg;
+    cfg.numCpus = cpus;
+    cfg.l1 = cache::CacheConfig{4 * KiB, 2, 128,
+                                cache::ReplacementPolicy::LRU};
+    cfg.l2 = cache::CacheConfig{32 * KiB, 4, 128,
+                                cache::ReplacementPolicy::LRU};
+    cfg.cyclesPerRef = 4;
+    return cfg;
+}
+
+void
+checkInvariants(host::HostMachine &machine, std::uint64_t footprint)
+{
+    for (Addr line = 0; line < footprint; line += 128) {
+        const Addr addr = workload::workloadBaseAddr + line;
+        unsigned owners = 0;
+        unsigned sharers = 0;
+        for (unsigned c = 0; c < machine.numCpus(); ++c) {
+            const auto state =
+                machine.cpu(c).hierarchy().busLevelState(addr);
+            if (state == LineState::Modified ||
+                state == LineState::Exclusive)
+                ++owners;
+            else if (state != LineState::Invalid)
+                ++sharers;
+        }
+        ASSERT_LE(owners, 1u) << "multiple owners of line " << line;
+        if (owners == 1) {
+            ASSERT_EQ(sharers, 0u)
+                << "owner coexists with sharers at line " << line;
+        }
+    }
+}
+
+class CoherenceProperty
+    : public ::testing::TestWithParam<std::tuple<unsigned, double, int>>
+{
+};
+
+TEST_P(CoherenceProperty, MesiInvariantsHoldUnderRandomTraffic)
+{
+    const auto [cpus, write_frac, seed] = GetParam();
+    constexpr std::uint64_t footprint = 64 * KiB; // heavy contention
+    workload::UniformWorkload wl(
+        cpus, footprint, write_frac,
+        static_cast<std::uint64_t>(seed));
+    host::HostMachine machine(tinyHost(cpus), wl);
+
+    for (int round = 0; round < 8; ++round) {
+        machine.run(5000);
+        checkInvariants(machine, footprint);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Mixes, CoherenceProperty,
+    ::testing::Combine(::testing::Values(2u, 4u, 8u),
+                       ::testing::Values(0.1, 0.5, 0.9),
+                       ::testing::Values(11, 42)));
+
+TEST(CoherencePropertyTest, ReadOnlyTrafficNeverCreatesOwnersAfterShare)
+{
+    // With two CPUs reading the same region, once both have read a
+    // line neither may hold it Exclusive.
+    workload::UniformWorkload wl(2, 8 * KiB, 0.0, 5);
+    host::HostMachine machine(tinyHost(2), wl);
+    machine.run(40000);
+
+    for (Addr line = 0; line < 8 * KiB; line += 128) {
+        const Addr addr = workload::workloadBaseAddr + line;
+        const auto s0 = machine.cpu(0).hierarchy().busLevelState(addr);
+        const auto s1 = machine.cpu(1).hierarchy().busLevelState(addr);
+        const bool both_valid = s0 != LineState::Invalid &&
+                                s1 != LineState::Invalid;
+        if (both_valid) {
+            EXPECT_EQ(s0, LineState::Shared);
+            EXPECT_EQ(s1, LineState::Shared);
+        }
+        EXPECT_NE(s0, LineState::Modified);
+        EXPECT_NE(s1, LineState::Modified);
+    }
+}
+
+} // namespace
+} // namespace memories

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * End-to-end tests: workload -> host SMP -> 6xx bus -> MemorIES board,
+ * checking the cross-module invariants the case studies rely on.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/machine.hh"
+#include "ies/board.hh"
+#include "workload/oltp.hh"
+#include "workload/synthetic.hh"
+
+namespace memories
+{
+namespace
+{
+
+host::HostConfig
+smallHost(unsigned cpus = 8)
+{
+    host::HostConfig cfg;
+    cfg.numCpus = cpus;
+    cfg.l1 = cache::CacheConfig{8 * KiB, 2, 128,
+                                cache::ReplacementPolicy::LRU};
+    cfg.l2 = cache::CacheConfig{128 * KiB, 4, 128,
+                                cache::ReplacementPolicy::LRU};
+    // Four bus cycles per reference keeps utilization in the paper's
+    // 2-20% band even with these deliberately small caches.
+    cfg.cyclesPerRef = 4;
+    return cfg;
+}
+
+cache::CacheConfig
+l3Cache(std::uint64_t size = 2 * MiB)
+{
+    return cache::CacheConfig{size, 4, 128,
+                              cache::ReplacementPolicy::LRU};
+}
+
+TEST(EndToEndTest, BoardSeesExactlyCommittedBusTraffic)
+{
+    workload::UniformWorkload wl(8, 8 * MiB, 0.3);
+    host::HostMachine machine(smallHost(), wl);
+    ies::MemoriesBoard board(ies::makeUniformBoard(1, 8, l3Cache()));
+    board.plugInto(machine.bus());
+
+    machine.run(50000);
+    board.drainAll();
+
+    const auto &g = board.globalCounters();
+    EXPECT_EQ(g.valueByName("global.tenures.memory"),
+              machine.bus().stats().memoryOps);
+    // Every memory tenure is committed, dropped because another agent
+    // retried it, or bounced by the board's own buffer-overflow retry.
+    EXPECT_EQ(g.valueByName("global.tenures.committed") +
+                  g.valueByName("global.tenures.dropped_retry") +
+                  g.valueByName("global.retries_posted"),
+              g.valueByName("global.tenures.memory"));
+}
+
+TEST(EndToEndTest, NodeRefsEqualDataRequestsFromItsCpus)
+{
+    workload::UniformWorkload wl(8, 8 * MiB, 0.3);
+    host::HostMachine machine(smallHost(), wl);
+    ies::MemoriesBoard board(ies::makeUniformBoard(2, 4, l3Cache()));
+    board.plugInto(machine.bus());
+
+    machine.run(50000);
+    board.drainAll();
+
+    // Every L2 miss and upgrade from the host becomes a local ref at
+    // exactly one node.
+    const auto host_stats = machine.totalStats();
+    const std::uint64_t expected =
+        host_stats.l2Misses + host_stats.l2Upgrades;
+    const std::uint64_t node_refs = board.node(0).stats().localRefs +
+                                    board.node(1).stats().localRefs;
+    EXPECT_EQ(node_refs, expected);
+}
+
+TEST(EndToEndTest, BiggerEmulatedCacheNeverMissesMore)
+{
+    // The monotonicity behind Figures 8 and 11, measured in one run
+    // via the multi-configuration mode of Figure 4.
+    workload::OltpParams params;
+    params.threads = 8;
+    params.dbBytes = 32 * MiB;
+    workload::OltpWorkload wl(params);
+
+    host::HostMachine machine(smallHost(), wl);
+    ies::MemoriesBoard board(ies::makeMultiConfigBoard(
+        {l3Cache(1 * GiB), l3Cache(8 * MiB), l3Cache(2 * MiB)}, 8));
+    board.plugInto(machine.bus());
+
+    machine.run(400000);
+    board.drainAll();
+
+    const double huge = board.node(0).stats().missRatio();
+    const double mid = board.node(1).stats().missRatio();
+    const double small = board.node(2).stats().missRatio();
+    EXPECT_LE(huge, mid + 0.01);
+    EXPECT_LE(mid, small + 0.01);
+    EXPECT_GT(small, 0.0);
+}
+
+TEST(EndToEndTest, EmulatedL3CatchesHostL2Misses)
+{
+    // A working set larger than the host L2 but smaller than the
+    // emulated L3 must show a high L3 hit ratio after warmup.
+    workload::UniformWorkload wl(8, 1 * MiB, 0.2);
+    host::HostMachine machine(smallHost(), wl);
+    ies::MemoriesBoard board(
+        ies::makeUniformBoard(1, 8, l3Cache(16 * MiB)));
+    board.plugInto(machine.bus());
+
+    machine.run(100000); // warmup
+    board.drainAll();
+    board.clearCounters();
+
+    machine.run(200000);
+    board.drainAll();
+
+    const auto s = board.node(0).stats();
+    EXPECT_GT(s.localRefs, 1000u);
+    EXPECT_GT(1.0 - s.missRatio(), 0.85);
+}
+
+TEST(EndToEndTest, BoardRetriesNeverFireAtRealisticLoad)
+{
+    // Section 3.3's claim, end-to-end: with real L2 filtering the bus
+    // never sustains anything close to 42%, so the board never
+    // retries.
+    workload::UniformWorkload wl(8, 16 * MiB, 0.3);
+    host::HostMachine machine(smallHost(), wl);
+    ies::MemoriesBoard board(ies::makeUniformBoard(4, 2, l3Cache()));
+    board.plugInto(machine.bus());
+
+    machine.run(200000);
+    board.drainAll();
+
+    EXPECT_EQ(board.retriesPosted(), 0u);
+    EXPECT_EQ(machine.bus().stats().retries, 0u);
+    EXPECT_LT(board.bufferHighWater(), 64u);
+}
+
+TEST(EndToEndTest, HotSharingProducesInterventionTraffic)
+{
+    // Write-shared data across nodes must surface as interventions at
+    // the board level (the Figure 12 machinery).
+    workload::UniformWorkload wl(8, 256 * KiB, 0.5);
+    host::HostMachine machine(smallHost(), wl);
+    ies::MemoriesBoard board(ies::makeUniformBoard(2, 4, l3Cache()));
+    board.plugInto(machine.bus());
+
+    machine.run(200000);
+    board.drainAll();
+
+    const auto s0 = board.node(0).stats();
+    const auto s1 = board.node(1).stats();
+    EXPECT_GT(s0.satisfiedByModIntervention +
+                  s1.satisfiedByModIntervention, 0u);
+    EXPECT_GT(s0.suppliedModified + s1.suppliedModified, 0u);
+}
+
+TEST(EndToEndTest, DeterministicAcrossIdenticalRuns)
+{
+    auto run_once = [](std::uint64_t seed) {
+        workload::UniformWorkload wl(8, 4 * MiB, 0.3, seed);
+        host::HostMachine machine(smallHost(), wl);
+        ies::MemoriesBoard board(
+            ies::makeUniformBoard(2, 4, l3Cache()));
+        board.plugInto(machine.bus());
+        machine.run(50000);
+        board.drainAll();
+        return std::pair{board.node(0).stats().localMisses,
+                         board.node(1).stats().localMisses};
+    };
+    EXPECT_EQ(run_once(7), run_once(7));
+    EXPECT_NE(run_once(7), run_once(8));
+}
+
+} // namespace
+} // namespace memories

@@ -1,0 +1,123 @@
+/**
+ * @file
+ * Passivity invariants (paper sections 3.3-3.4): under realistic load
+ * the board must be entirely invisible to the host — identical host
+ * cache contents and statistics with and without the board attached.
+ */
+
+#include <gtest/gtest.h>
+
+#include "host/machine.hh"
+#include "ies/board.hh"
+#include "workload/synthetic.hh"
+
+namespace memories
+{
+namespace
+{
+
+host::HostConfig
+smallHost()
+{
+    host::HostConfig cfg;
+    cfg.numCpus = 4;
+    cfg.l1 = cache::CacheConfig{8 * KiB, 2, 128,
+                                cache::ReplacementPolicy::LRU};
+    cfg.l2 = cache::CacheConfig{128 * KiB, 4, 128,
+                                cache::ReplacementPolicy::LRU};
+    cfg.cyclesPerRef = 4; // keep utilization in the paper's band
+    return cfg;
+}
+
+host::HierarchyStats
+runHost(bool with_board, std::uint64_t refs)
+{
+    workload::UniformWorkload wl(4, 4 * MiB, 0.3, 99);
+    host::HostMachine machine(smallHost(), wl);
+    std::unique_ptr<ies::MemoriesBoard> board;
+    if (with_board) {
+        board = std::make_unique<ies::MemoriesBoard>(
+            ies::makeUniformBoard(4, 1,
+                                  cache::CacheConfig{
+                                      2 * MiB, 4, 128,
+                                      cache::ReplacementPolicy::LRU}));
+        board->plugInto(machine.bus());
+    }
+    machine.run(refs);
+    if (board)
+        board->drainAll();
+    return machine.totalStats();
+}
+
+TEST(PassivityTest, HostStatsIdenticalWithAndWithoutBoard)
+{
+    const auto without = runHost(false, 100000);
+    const auto with = runHost(true, 100000);
+    EXPECT_EQ(without.refs, with.refs);
+    EXPECT_EQ(without.l1Hits, with.l1Hits);
+    EXPECT_EQ(without.l2Hits, with.l2Hits);
+    EXPECT_EQ(without.l2Misses, with.l2Misses);
+    EXPECT_EQ(without.l2Upgrades, with.l2Upgrades);
+    EXPECT_EQ(without.writebacks, with.writebacks);
+    EXPECT_EQ(without.snoopInvalidations, with.snoopInvalidations);
+}
+
+TEST(PassivityTest, BoardCannotInvalidateHostCaches)
+{
+    // Paper 3.4: when a line is replaced in the emulated L3, the board
+    // cannot invalidate it below. Force an eviction in a tiny emulated
+    // cache and check the host L2 still holds the line.
+    workload::UniformWorkload wl(4, 4 * MiB, 0.0, 5);
+    host::HostMachine machine(smallHost(), wl);
+    ies::MemoriesBoard board(ies::makeUniformBoard(
+        1, 4,
+        cache::CacheConfig{2 * MiB, 1, 128,
+                           cache::ReplacementPolicy::LRU}));
+    board.plugInto(machine.bus());
+
+    // Two addresses conflicting in the direct-mapped emulated cache
+    // but not in the 4-way host L2.
+    auto &cpu0 = machine.cpu(0);
+    const Addr a = 0x0000, b = 2 * MiB;
+    auto access = [&](Addr addr) {
+        const auto res = cpu0.hierarchy().access(addr, false);
+        if (res.need) {
+            bus::BusTransaction txn;
+            txn.addr = res.need->lineAddr;
+            txn.op = res.need->op;
+            txn.cpu = 0;
+            const auto resp = machine.bus().issue(txn);
+            cpu0.hierarchy().completeFill(*res.need, false, resp);
+        }
+        machine.bus().tick(100);
+    };
+    access(a);
+    access(b); // evicts a from the emulated DM cache
+    board.drainAll();
+
+    EXPECT_EQ(board.node(0).probeState(a), protocol::LineState::Invalid);
+    EXPECT_TRUE(cpu0.hierarchy().residentInL2(a)); // host unaffected
+}
+
+TEST(PassivityTest, SnoopInterfaceIsConstUnderNormalLoad)
+{
+    // The board's snoop response is None for every tenure at sane
+    // utilization - it never asserts shared/modified lines.
+    workload::UniformWorkload wl(4, 4 * MiB, 0.3, 11);
+    host::HostMachine machine(smallHost(), wl);
+    ies::MemoriesBoard board(ies::makeUniformBoard(
+        2, 2,
+        cache::CacheConfig{2 * MiB, 4, 128,
+                           cache::ReplacementPolicy::LRU}));
+    board.plugInto(machine.bus());
+    machine.run(100000);
+    board.drainAll();
+    EXPECT_EQ(board.retriesPosted(), 0u);
+    // Bus-level interventions can only have come from host L2s: the
+    // board never contributes shared/modified responses.
+    // (Checked indirectly: retries are its only possible response.)
+    SUCCEED();
+}
+
+} // namespace
+} // namespace memories

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * The paper's validation methodology, §4.1: "A trace-driven C
+ * simulator ... was used as one of the methods to validate the
+ * MemorIES design." Same trace, same geometry -> the board's node
+ * controller and the detailed software simulator must agree exactly
+ * on hits, misses, fills and evictions.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "ies/board.hh"
+#include "sim/detailed.hh"
+
+namespace memories
+{
+namespace
+{
+
+std::vector<bus::BusTransaction>
+makeTrace(std::uint64_t n, std::uint64_t seed, double footprint_lines)
+{
+    std::vector<bus::BusTransaction> trace;
+    trace.reserve(n);
+    Rng rng(seed);
+    for (std::uint64_t i = 0; i < n; ++i) {
+        bus::BusTransaction txn;
+        txn.addr =
+            rng.nextBounded(static_cast<std::uint64_t>(footprint_lines))
+            * 128;
+        const auto roll = rng.nextBounded(100);
+        if (roll < 55)
+            txn.op = bus::BusOp::Read;
+        else if (roll < 70)
+            txn.op = bus::BusOp::ReadIfetch;
+        else if (roll < 85)
+            txn.op = bus::BusOp::Rwitm;
+        else if (roll < 92)
+            txn.op = bus::BusOp::DClaim;
+        else
+            txn.op = bus::BusOp::WriteBack;
+        txn.cpu = static_cast<CpuId>(rng.nextBounded(8));
+        txn.cycle = 10 * i;
+        trace.push_back(txn);
+    }
+    return trace;
+}
+
+class ValidationTest
+    : public ::testing::TestWithParam<std::tuple<unsigned, int>>
+{
+};
+
+TEST_P(ValidationTest, BoardMatchesDetailedSimulatorExactly)
+{
+    const auto [assoc, seed] = GetParam();
+    const cache::CacheConfig geometry{2 * MiB, assoc, 128,
+                                      cache::ReplacementPolicy::LRU};
+    const auto trace = makeTrace(100000, seed + 1000, 1 << 16);
+
+    // Board path: one node owning every CPU, drained unpaced.
+    ies::NodeController node(0, [&] {
+        ies::NodeConfig cfg;
+        cfg.cache = geometry;
+        cfg.cpus = {0, 1, 2, 3, 4, 5, 6, 7};
+        return cfg;
+    }());
+    for (const auto &txn : trace)
+        node.processLocal(txn, bus::SnoopResponse::None);
+
+    // Detailed simulator path.
+    sim::DetailedParams params;
+    params.cache = geometry;
+    sim::DetailedCacheSimulator simulator(params);
+    for (const auto &txn : trace)
+        simulator.process(txn);
+    simulator.finish();
+
+    // Aggregate the node's per-op hit/miss counters across the ops in
+    // the trace.
+    std::uint64_t node_hits = 0, node_misses = 0;
+    for (auto op : {bus::BusOp::Read, bus::BusOp::ReadIfetch,
+                    bus::BusOp::Rwitm, bus::BusOp::DClaim,
+                    bus::BusOp::WriteBack}) {
+        const std::string name{bus::busOpName(op)};
+        node_hits += node.counters().valueByName("node0.local." + name +
+                                                 ".hit");
+        node_misses += node.counters().valueByName("node0.local." +
+                                                   name + ".miss");
+    }
+
+    const auto sim_stats = simulator.stats();
+    EXPECT_EQ(node_hits, sim_stats.hits);
+    EXPECT_EQ(node_misses, sim_stats.misses);
+    EXPECT_EQ(node.stats().fills, sim_stats.misses);
+    EXPECT_EQ(node.stats().evictionsClean +
+                  node.stats().evictionsDirty,
+              sim_stats.evictions);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, ValidationTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 4u, 8u),
+                       ::testing::Values(1, 2)));
+
+} // namespace
+} // namespace memories

@@ -1,0 +1,174 @@
+#include "protocol/table.hh"
+
+#include <gtest/gtest.h>
+
+namespace memories::protocol
+{
+namespace
+{
+
+using bus::BusOp;
+using bus::SnoopResponse;
+
+constexpr LineState I = LineState::Invalid;
+constexpr LineState S = LineState::Shared;
+constexpr LineState E = LineState::Exclusive;
+constexpr LineState M = LineState::Modified;
+constexpr LineState O = LineState::Owned;
+
+TEST(MesiTest, ReadMissAloneFillsExclusive)
+{
+    const auto t = makeMesiTable();
+    const auto &e = t.requester(BusOp::Read, I, SnoopSummary::None);
+    EXPECT_EQ(e.next, E);
+    EXPECT_TRUE(e.allocate);
+}
+
+TEST(MesiTest, ReadMissSharedFillsShared)
+{
+    const auto t = makeMesiTable();
+    EXPECT_EQ(t.requester(BusOp::Read, I, SnoopSummary::Shared).next, S);
+    EXPECT_EQ(t.requester(BusOp::Read, I, SnoopSummary::Modified).next,
+              S);
+}
+
+TEST(MesiTest, ReadHitKeepsState)
+{
+    const auto t = makeMesiTable();
+    for (auto st : {S, E, M}) {
+        const auto &e = t.requester(BusOp::Read, st, SnoopSummary::None);
+        EXPECT_EQ(e.next, st);
+    }
+}
+
+TEST(MesiTest, RwitmAlwaysEndsModified)
+{
+    const auto t = makeMesiTable();
+    for (auto st : {I, S, E, M}) {
+        for (auto sn : {SnoopSummary::None, SnoopSummary::Shared,
+                        SnoopSummary::Modified}) {
+            EXPECT_EQ(t.requester(BusOp::Rwitm, st, sn).next, M);
+        }
+    }
+}
+
+TEST(MesiTest, DClaimUpgradesSharedToModified)
+{
+    const auto t = makeMesiTable();
+    EXPECT_EQ(t.requester(BusOp::DClaim, S, SnoopSummary::None).next, M);
+}
+
+TEST(MesiTest, SnoopReadDowngradesModifiedToShared)
+{
+    const auto t = makeMesiTable();
+    const auto &e = t.snooper(BusOp::Read, M);
+    EXPECT_EQ(e.next, S);
+    EXPECT_EQ(e.response, SnoopResponse::Modified);
+}
+
+TEST(MesiTest, SnoopReadOnExclusiveShares)
+{
+    const auto t = makeMesiTable();
+    const auto &e = t.snooper(BusOp::Read, E);
+    EXPECT_EQ(e.next, S);
+    EXPECT_EQ(e.response, SnoopResponse::Shared);
+}
+
+TEST(MesiTest, SnoopRwitmInvalidatesEverything)
+{
+    const auto t = makeMesiTable();
+    for (auto st : {S, E, M})
+        EXPECT_EQ(t.snooper(BusOp::Rwitm, st).next, I);
+    EXPECT_EQ(t.snooper(BusOp::Rwitm, M).response,
+              SnoopResponse::Modified);
+    EXPECT_EQ(t.snooper(BusOp::Rwitm, S).response,
+              SnoopResponse::Shared);
+}
+
+TEST(MesiTest, WritebackAbsorbsDirtyLine)
+{
+    const auto t = makeMesiTable();
+    const auto &e = t.requester(BusOp::WriteBack, I, SnoopSummary::None);
+    EXPECT_EQ(e.next, M);
+    EXPECT_TRUE(e.allocate);
+}
+
+TEST(MesiTest, FlushInvalidatesLocally)
+{
+    const auto t = makeMesiTable();
+    for (auto st : {S, E, M})
+        EXPECT_EQ(t.requester(BusOp::Flush, st, SnoopSummary::None).next,
+                  I);
+}
+
+TEST(MesiTest, CleanDowngradesDirty)
+{
+    const auto t = makeMesiTable();
+    EXPECT_EQ(t.requester(BusOp::Clean, M, SnoopSummary::None).next, S);
+    EXPECT_EQ(t.snooper(BusOp::Clean, M).next, S);
+}
+
+TEST(MsiTest, ReadMissAloneFillsShared)
+{
+    const auto t = makeMsiTable();
+    EXPECT_EQ(t.requester(BusOp::Read, I, SnoopSummary::None).next, S);
+}
+
+TEST(MsiTest, SnoopReadOnModifiedGoesShared)
+{
+    const auto t = makeMsiTable();
+    EXPECT_EQ(t.snooper(BusOp::Read, M).next, S);
+}
+
+TEST(MoesiTest, SnoopReadOnModifiedGoesOwned)
+{
+    const auto t = makeMoesiTable();
+    const auto &e = t.snooper(BusOp::Read, M);
+    EXPECT_EQ(e.next, O);
+    EXPECT_EQ(e.response, SnoopResponse::Modified);
+}
+
+TEST(MoesiTest, OwnedKeepsSupplyingData)
+{
+    const auto t = makeMoesiTable();
+    const auto &e = t.snooper(BusOp::Read, O);
+    EXPECT_EQ(e.next, O);
+    EXPECT_EQ(e.response, SnoopResponse::Modified);
+}
+
+TEST(MoesiTest, SnoopRwitmInvalidatesOwned)
+{
+    const auto t = makeMoesiTable();
+    const auto &e = t.snooper(BusOp::Rwitm, O);
+    EXPECT_EQ(e.next, I);
+    EXPECT_EQ(e.response, SnoopResponse::Modified);
+}
+
+TEST(BuiltinInvariantsTest, SnooperNeverResurrectsInvalid)
+{
+    for (const auto &t :
+         {makeMsiTable(), makeMesiTable(), makeMoesiTable()}) {
+        for (std::size_t op = 0; op < bus::numBusOps; ++op) {
+            const auto &e =
+                t.snooper(static_cast<BusOp>(op), I);
+            EXPECT_EQ(e.next, I);
+            EXPECT_EQ(e.response, SnoopResponse::None);
+        }
+    }
+}
+
+TEST(BuiltinInvariantsTest, InvalidatingOpsLeaveNoSharers)
+{
+    for (const auto &t :
+         {makeMsiTable(), makeMesiTable(), makeMoesiTable()}) {
+        for (auto op : {BusOp::Rwitm, BusOp::DClaim, BusOp::WriteKill,
+                        BusOp::Kill, BusOp::Flush}) {
+            for (auto st : {S, E, M, O})
+                EXPECT_EQ(t.snooper(op, st).next, I)
+                    << t.name() << " " << bus::busOpName(op);
+        }
+    }
+}
+
+} // namespace
+} // namespace memories::protocol

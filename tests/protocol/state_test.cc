@@ -1,0 +1,52 @@
+#include "protocol/state.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace memories::protocol
+{
+namespace
+{
+
+TEST(LineStateTest, InvalidIsZero)
+{
+    // The tag store treats raw state 0 as "frame empty"; Invalid must
+    // stay pinned to 0.
+    EXPECT_EQ(static_cast<int>(LineState::Invalid), 0);
+}
+
+TEST(LineStateTest, NamesRoundTrip)
+{
+    for (std::size_t i = 0; i < numLineStates; ++i) {
+        const auto s = static_cast<LineState>(i);
+        EXPECT_EQ(lineStateFromName(lineStateName(s)), s);
+    }
+}
+
+TEST(LineStateTest, UnknownNameIsFatal)
+{
+    EXPECT_THROW(lineStateFromName("X"), memories::FatalError);
+    EXPECT_THROW(lineStateFromName(""), memories::FatalError);
+}
+
+TEST(LineStateTest, DirtyStates)
+{
+    EXPECT_TRUE(isDirtyState(LineState::Modified));
+    EXPECT_TRUE(isDirtyState(LineState::Owned));
+    EXPECT_FALSE(isDirtyState(LineState::Shared));
+    EXPECT_FALSE(isDirtyState(LineState::Exclusive));
+    EXPECT_FALSE(isDirtyState(LineState::Invalid));
+}
+
+TEST(LineStateTest, ValidStates)
+{
+    EXPECT_FALSE(isValidState(LineState::Invalid));
+    EXPECT_TRUE(isValidState(LineState::Shared));
+    EXPECT_TRUE(isValidState(LineState::Exclusive));
+    EXPECT_TRUE(isValidState(LineState::Modified));
+    EXPECT_TRUE(isValidState(LineState::Owned));
+}
+
+} // namespace
+} // namespace memories::protocol

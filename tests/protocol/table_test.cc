@@ -1,0 +1,97 @@
+#include "protocol/table.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace memories::protocol
+{
+namespace
+{
+
+using bus::BusOp;
+using bus::SnoopResponse;
+
+TEST(ProtocolTableTest, DefaultIsIdentity)
+{
+    ProtocolTable t;
+    for (auto state : {LineState::Invalid, LineState::Shared,
+                       LineState::Modified}) {
+        const auto &rq =
+            t.requester(BusOp::Read, state, SnoopSummary::None);
+        EXPECT_EQ(rq.next, state);
+        EXPECT_FALSE(rq.allocate);
+        const auto &sn = t.snooper(BusOp::Rwitm, state);
+        EXPECT_EQ(sn.next, state);
+        EXPECT_EQ(sn.response, SnoopResponse::None);
+    }
+}
+
+TEST(ProtocolTableTest, SetAndGetRequester)
+{
+    ProtocolTable t;
+    t.setRequester(BusOp::Read, LineState::Invalid, SnoopSummary::None,
+                   RequesterEntry{LineState::Exclusive, true});
+    const auto &e =
+        t.requester(BusOp::Read, LineState::Invalid, SnoopSummary::None);
+    EXPECT_EQ(e.next, LineState::Exclusive);
+    EXPECT_TRUE(e.allocate);
+    // Neighbouring entries untouched.
+    EXPECT_EQ(t.requester(BusOp::Read, LineState::Invalid,
+                          SnoopSummary::Shared).next,
+              LineState::Invalid);
+}
+
+TEST(ProtocolTableTest, SetAndGetSnooper)
+{
+    ProtocolTable t;
+    t.setSnooper(BusOp::Rwitm, LineState::Modified,
+                 SnooperEntry{LineState::Invalid,
+                              SnoopResponse::Modified});
+    const auto &e = t.snooper(BusOp::Rwitm, LineState::Modified);
+    EXPECT_EQ(e.next, LineState::Invalid);
+    EXPECT_EQ(e.response, SnoopResponse::Modified);
+}
+
+TEST(ProtocolTableTest, SummarizeCollapsesRetry)
+{
+    EXPECT_EQ(summarize(SnoopResponse::None), SnoopSummary::None);
+    EXPECT_EQ(summarize(SnoopResponse::Shared), SnoopSummary::Shared);
+    EXPECT_EQ(summarize(SnoopResponse::Modified),
+              SnoopSummary::Modified);
+    EXPECT_EQ(summarize(SnoopResponse::Retry), SnoopSummary::None);
+}
+
+TEST(ProtocolTableTest, ValidateRejectsAllocateToInvalid)
+{
+    ProtocolTable t;
+    t.setRequester(BusOp::Read, LineState::Invalid, SnoopSummary::None,
+                   RequesterEntry{LineState::Invalid, true});
+    EXPECT_THROW(t.validate(), memories::FatalError);
+}
+
+TEST(ProtocolTableTest, ValidateRejectsSnooperResurrection)
+{
+    ProtocolTable t;
+    t.setSnooper(BusOp::Read, LineState::Invalid,
+                 SnooperEntry{LineState::Shared, SnoopResponse::None});
+    EXPECT_THROW(t.validate(), memories::FatalError);
+}
+
+TEST(ProtocolTableTest, ValidateAcceptsBuiltins)
+{
+    EXPECT_NO_THROW(makeMsiTable().validate());
+    EXPECT_NO_THROW(makeMesiTable().validate());
+    EXPECT_NO_THROW(makeMoesiTable().validate());
+}
+
+TEST(ProtocolTableTest, BuiltinLookupByName)
+{
+    EXPECT_EQ(makeBuiltinTable("MSI").name(), "MSI");
+    EXPECT_EQ(makeBuiltinTable("MESI").name(), "MESI");
+    EXPECT_EQ(makeBuiltinTable("MOESI").name(), "MOESI");
+    EXPECT_THROW(makeBuiltinTable("MERSI"), memories::FatalError);
+}
+
+} // namespace
+} // namespace memories::protocol

@@ -1,0 +1,103 @@
+#include "sim/execdriven.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workload/synthetic.hh"
+
+namespace memories::sim
+{
+namespace
+{
+
+ExecDrivenParams
+smallParams()
+{
+    ExecDrivenParams p;
+    p.l1 = cache::CacheConfig{8 * KiB, 2, 128,
+                              cache::ReplacementPolicy::LRU};
+    p.l2 = cache::CacheConfig{64 * KiB, 4, 128,
+                              cache::ReplacementPolicy::LRU};
+    p.shared.cache = cache::CacheConfig{1 * MiB, 4, 128,
+                                        cache::ReplacementPolicy::LRU};
+    return p;
+}
+
+TEST(ExecDrivenTest, ExecutesRequestedInstructions)
+{
+    workload::UniformWorkload wl(4, 1 * MiB, 0.2);
+    ExecutionDrivenSimulator sim(smallParams(), wl);
+    sim.run(1000);
+    EXPECT_EQ(sim.stats().instructions, 4000u); // 4 threads x 1000
+}
+
+TEST(ExecDrivenTest, MemoryRefsMatchWorkloadDensity)
+{
+    workload::UniformWorkload wl(2, 1 * MiB, 0.2);
+    ExecutionDrivenSimulator sim(smallParams(), wl);
+    sim.run(10000);
+    const auto s = sim.stats();
+    // refsPerInstruction = 0.35 -> period 2 -> one ref per 2 instrs.
+    EXPECT_NEAR(static_cast<double>(s.memoryRefs) /
+                    static_cast<double>(s.instructions),
+                0.5, 0.01);
+}
+
+TEST(ExecDrivenTest, CacheHierarchyFiltersRefs)
+{
+    workload::UniformWorkload wl(2, 16 * KiB, 0.2); // fits L2
+    ExecutionDrivenSimulator sim(smallParams(), wl);
+    sim.run(20000);
+    const auto s = sim.stats();
+    EXPECT_LT(s.l2Misses, s.l1Misses);
+    EXPECT_LT(s.l1Misses, s.memoryRefs);
+    // After warmup nearly everything hits.
+    EXPECT_LT(static_cast<double>(s.l2Misses) /
+                  static_cast<double>(s.memoryRefs),
+              0.05);
+}
+
+TEST(ExecDrivenTest, SharedCacheSeesL2Misses)
+{
+    workload::UniformWorkload wl(2, 8 * MiB, 0.2); // misses everywhere
+    ExecutionDrivenSimulator sim(smallParams(), wl);
+    sim.run(20000);
+    const auto s = sim.stats();
+    EXPECT_EQ(s.shared.accesses, s.l2Misses);
+    EXPECT_GT(s.shared.accesses, 100u);
+}
+
+TEST(ExecDrivenTest, SimulatedCyclesGrowWithMisses)
+{
+    workload::UniformWorkload hot(2, 8 * KiB, 0.2);
+    workload::UniformWorkload cold(2, 8 * MiB, 0.2);
+    ExecutionDrivenSimulator fast(smallParams(), hot);
+    ExecutionDrivenSimulator slow(smallParams(), cold);
+    fast.run(20000);
+    slow.run(20000);
+    EXPECT_GT(slow.stats().simulatedCycles,
+              fast.stats().simulatedCycles);
+}
+
+TEST(ExecDrivenTest, RejectsBadRefsPerInstruction)
+{
+    class BadWorkload : public workload::Workload
+    {
+      public:
+        workload::MemRef next(unsigned) override { return {}; }
+        unsigned threads() const override { return 1; }
+        std::uint64_t footprintBytes() const override { return 1024; }
+        const std::string &name() const override { return name_; }
+        double refsPerInstruction() const override { return 0.0; }
+
+      private:
+        std::string name_ = "bad";
+    };
+
+    BadWorkload wl;
+    EXPECT_THROW(ExecutionDrivenSimulator sim(smallParams(), wl),
+                 FatalError);
+}
+
+} // namespace
+} // namespace memories::sim

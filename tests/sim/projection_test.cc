@@ -1,0 +1,59 @@
+#include "sim/projection.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace memories::sim
+{
+namespace
+{
+
+TEST(ProjectionTest, MemoriesTimeMatchesTable3)
+{
+    // Table 3: 10 billion vectors at 100MHz / 20% = 500 seconds
+    // ~= 8.33 minutes... the paper says 16.67 minutes, which is
+    // 10e9 / (1e8 x 0.10): their 20%-utilization wording corresponds
+    // to counting data+address tenure cycles. We reproduce the
+    // published number with the effective 10% address-tenure rate.
+    const double secs = memoriesSeconds(10e9, 1e8, 0.10);
+    EXPECT_NEAR(secs / 60.0, 16.67, 0.05);
+}
+
+TEST(ProjectionTest, SmallTraceMatchesTable3Milliseconds)
+{
+    // Table 3: 32768 vectors -> 3.28 ms at the same effective rate.
+    const double secs = memoriesSeconds(32768, 1e8, 0.10);
+    EXPECT_NEAR(secs * 1e3, 3.28, 0.02);
+}
+
+TEST(ProjectionTest, SimulatorTimeScalesLinearly)
+{
+    const double t1 = simulatorSeconds(1e6, 30.0);
+    const double t2 = simulatorSeconds(2e6, 30.0);
+    EXPECT_DOUBLE_EQ(t2, 2.0 * t1);
+    EXPECT_DOUBLE_EQ(t1, 0.03);
+}
+
+TEST(ProjectionTest, RejectsBadRates)
+{
+    EXPECT_THROW(memoriesSeconds(1e6, 0.0, 0.2), FatalError);
+    EXPECT_THROW(memoriesSeconds(1e6, 1e8, 0.0), FatalError);
+    EXPECT_THROW(memoriesSeconds(1e6, 1e8, 1.5), FatalError);
+}
+
+TEST(ProjectionTest, ScaleToPaperHostSlowsDown)
+{
+    // A 3GHz machine is ~22.5x the paper's 133MHz simulation host.
+    EXPECT_NEAR(scaleToPaperHost(10.0, 3.0, 133.0), 225.56, 0.1);
+}
+
+TEST(ProjectionTest, HumanTimeRenders)
+{
+    EXPECT_NE(humanTime(3.28e-3).find("ms"), std::string::npos);
+    EXPECT_NE(humanTime(1000.5).find("min"), std::string::npos);
+    EXPECT_NE(humanTime(260000.0).find("days"), std::string::npos);
+}
+
+} // namespace
+} // namespace memories::sim

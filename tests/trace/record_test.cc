@@ -1,0 +1,102 @@
+#include "trace/record.hh"
+
+#include <gtest/gtest.h>
+
+namespace memories::trace
+{
+namespace
+{
+
+bus::BusTransaction
+makeTxn(Addr addr, bus::BusOp op, CpuId cpu, Cycle cycle)
+{
+    bus::BusTransaction txn;
+    txn.addr = addr;
+    txn.op = op;
+    txn.cpu = cpu;
+    txn.cycle = cycle;
+    return txn;
+}
+
+TEST(BusRecordTest, RoundTripsAlignedAddress)
+{
+    const auto txn = makeTxn(0x1234'5680, bus::BusOp::Read, 3, 100);
+    const auto rec = BusRecord::pack(txn, 90);
+    EXPECT_EQ(rec.addr(), 0x1234'5680u & ~0x7full);
+    EXPECT_EQ(rec.op(), bus::BusOp::Read);
+    EXPECT_EQ(rec.cpu(), 3);
+    EXPECT_EQ(rec.cycleDelta(), 10u);
+}
+
+TEST(BusRecordTest, DropsLow7AddressBits)
+{
+    // Records capture at 128B granularity: sub-line offsets are lost,
+    // which is harmless for caches with >=128B lines (Table 2's
+    // minimum).
+    const auto txn = makeTxn(0x1000 + 77, bus::BusOp::Read, 0, 0);
+    const auto rec = BusRecord::pack(txn, 0);
+    EXPECT_EQ(rec.addr(), 0x1000u);
+}
+
+TEST(BusRecordTest, RoundTripsEveryOp)
+{
+    for (std::size_t i = 0; i < bus::numBusOps; ++i) {
+        const auto op = static_cast<bus::BusOp>(i);
+        const auto rec = BusRecord::pack(makeTxn(0x8000, op, 1, 5), 5);
+        EXPECT_EQ(rec.op(), op);
+    }
+}
+
+TEST(BusRecordTest, RoundTripsEveryCpu)
+{
+    for (unsigned cpu = 0; cpu < 16; ++cpu) {
+        const auto rec = BusRecord::pack(
+            makeTxn(0x8000, bus::BusOp::Rwitm,
+                    static_cast<CpuId>(cpu), 0), 0);
+        EXPECT_EQ(rec.cpu(), cpu);
+    }
+}
+
+TEST(BusRecordTest, CycleDeltaSaturatesAt255)
+{
+    const auto rec = BusRecord::pack(
+        makeTxn(0x8000, bus::BusOp::Read, 0, 10'000), 0);
+    EXPECT_EQ(rec.cycleDelta(), maxCycleDelta);
+}
+
+TEST(BusRecordTest, BackwardCycleClampsToZero)
+{
+    const auto rec = BusRecord::pack(
+        makeTxn(0x8000, bus::BusOp::Read, 0, 5), 10);
+    EXPECT_EQ(rec.cycleDelta(), 0u);
+}
+
+TEST(BusRecordTest, UnpackReconstructsCycleChain)
+{
+    const auto txn = makeTxn(0x40000, bus::BusOp::DClaim, 7, 230);
+    const auto rec = BusRecord::pack(txn, 200);
+    const auto back = rec.unpack(200);
+    EXPECT_EQ(back.addr, txn.addr);
+    EXPECT_EQ(back.op, txn.op);
+    EXPECT_EQ(back.cpu, txn.cpu);
+    EXPECT_EQ(back.cycle, 230u);
+}
+
+TEST(BusRecordTest, LargeAddressesSurvive)
+{
+    // 48 bits of line address = up to 2^55 bytes of physical space.
+    const Addr big = (Addr{1} << 54) + (Addr{1} << 20);
+    const auto rec = BusRecord::pack(makeTxn(big, bus::BusOp::Read, 0, 0),
+                                     0);
+    EXPECT_EQ(rec.addr(), big);
+}
+
+TEST(BusRecordTest, RecordIsEightBytes)
+{
+    // "8-byte wide bus references" (paper section 2.3).
+    static_assert(sizeof(BusRecord) == 8);
+    SUCCEED();
+}
+
+} // namespace
+} // namespace memories::trace

@@ -1,0 +1,132 @@
+#include "trace/tracefile.hh"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "common/logging.hh"
+
+namespace memories::trace
+{
+namespace
+{
+
+class TraceFileTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override
+    {
+        path_ = ::testing::TempDir() + "trace_test_" +
+                std::to_string(reinterpret_cast<std::uintptr_t>(this)) +
+                ".ies";
+    }
+
+    void TearDown() override { std::remove(path_.c_str()); }
+
+    std::string path_;
+};
+
+bus::BusTransaction
+txnAt(Addr addr, Cycle cycle, CpuId cpu = 0)
+{
+    bus::BusTransaction txn;
+    txn.addr = addr;
+    txn.cycle = cycle;
+    txn.cpu = cpu;
+    txn.op = bus::BusOp::Read;
+    return txn;
+}
+
+TEST_F(TraceFileTest, WriteThenReadBack)
+{
+    {
+        TraceWriter writer(path_);
+        for (int i = 0; i < 1000; ++i)
+            writer.append(txnAt(0x1000u + 128u * i, 3u * i));
+        writer.flush();
+        EXPECT_EQ(writer.count(), 1000u);
+    }
+    TraceReader reader(path_);
+    EXPECT_EQ(reader.count(), 1000u);
+    bus::BusTransaction txn;
+    int n = 0;
+    Cycle prev = 0;
+    while (reader.next(txn)) {
+        EXPECT_EQ(txn.addr, 0x1000u + 128u * n);
+        EXPECT_GE(txn.cycle, prev);
+        prev = txn.cycle;
+        ++n;
+    }
+    EXPECT_EQ(n, 1000);
+}
+
+TEST_F(TraceFileTest, EmptyTraceReadsZeroRecords)
+{
+    {
+        TraceWriter writer(path_);
+        writer.flush();
+    }
+    TraceReader reader(path_);
+    EXPECT_EQ(reader.count(), 0u);
+    BusRecord rec;
+    EXPECT_FALSE(reader.next(rec));
+}
+
+TEST_F(TraceFileTest, RewindRestartsStream)
+{
+    {
+        TraceWriter writer(path_);
+        for (int i = 0; i < 10; ++i)
+            writer.append(txnAt(0x2000u + 128u * i, i));
+        writer.flush();
+    }
+    TraceReader reader(path_);
+    bus::BusTransaction txn;
+    while (reader.next(txn)) {
+    }
+    reader.rewind();
+    int n = 0;
+    while (reader.next(txn))
+        ++n;
+    EXPECT_EQ(n, 10);
+}
+
+TEST_F(TraceFileTest, MissingFileIsFatal)
+{
+    EXPECT_THROW(TraceReader("/nonexistent/path/trace.ies"), FatalError);
+}
+
+TEST_F(TraceFileTest, BadMagicIsFatal)
+{
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const char garbage[64] = "not a trace file";
+        std::fwrite(garbage, 1, sizeof(garbage), f);
+        std::fclose(f);
+    }
+    EXPECT_THROW(TraceReader reader(path_), FatalError);
+}
+
+TEST_F(TraceFileTest, SurvivesBufferBoundary)
+{
+    // Cross the 64K-record I/O chunk boundary.
+    const std::uint64_t n = (1 << 16) + 37;
+    {
+        TraceWriter writer(path_);
+        for (std::uint64_t i = 0; i < n; ++i)
+            writer.append(txnAt(0x100000u + 128u * (i % 1024), i));
+        writer.flush();
+    }
+    TraceReader reader(path_);
+    EXPECT_EQ(reader.count(), n);
+    bus::BusTransaction txn;
+    std::uint64_t count = 0;
+    while (reader.next(txn))
+        ++count;
+    EXPECT_EQ(count, n);
+}
+
+} // namespace
+} // namespace memories::trace

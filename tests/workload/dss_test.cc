@@ -1,0 +1,119 @@
+#include "workload/dss.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace memories::workload
+{
+namespace
+{
+
+DssParams
+smallParams()
+{
+    DssParams p;
+    p.threads = 4;
+    p.factBytes = 64 * MiB;
+    p.dimBytes = 8 * MiB;
+    return p;
+}
+
+TEST(DssTest, RejectsDegenerateConfigs)
+{
+    DssParams p = smallParams();
+    p.threads = 0;
+    EXPECT_THROW(DssWorkload{p}, FatalError);
+
+    p = smallParams();
+    p.factBytes = 64; // partition < stride
+    EXPECT_THROW(DssWorkload{p}, FatalError);
+}
+
+TEST(DssTest, AddressesStayInFootprint)
+{
+    DssWorkload wl(smallParams());
+    for (int i = 0; i < 20000; ++i) {
+        const auto ref = wl.next(i % 4);
+        EXPECT_GE(ref.addr, workloadBaseAddr);
+        EXPECT_LT(ref.addr, workloadBaseAddr + 72 * MiB);
+    }
+}
+
+TEST(DssTest, ScansAreSequentialReads)
+{
+    DssParams p = smallParams();
+    p.scanFrac = 1.0;
+    DssWorkload wl(p);
+    Addr prev = 0;
+    for (int i = 0; i < 100; ++i) {
+        const auto ref = wl.next(0);
+        EXPECT_FALSE(ref.write);
+        if (i > 0) {
+            EXPECT_EQ(ref.addr, prev + p.scanStride);
+        }
+        prev = ref.addr;
+    }
+}
+
+TEST(DssTest, ScanPartitionsAreDisjoint)
+{
+    DssParams p = smallParams();
+    p.scanFrac = 1.0;
+    DssWorkload wl(p);
+    const std::uint64_t partition = p.factBytes / p.threads;
+    const Addr fact_base = workloadBaseAddr + p.dimBytes;
+    for (unsigned t = 0; t < p.threads; ++t) {
+        for (int i = 0; i < 50; ++i) {
+            const auto ref = wl.next(t);
+            EXPECT_GE(ref.addr, fact_base + t * partition);
+            EXPECT_LT(ref.addr, fact_base + (t + 1) * partition);
+        }
+    }
+}
+
+TEST(DssTest, ProbesLandInDimensionTables)
+{
+    DssParams p = smallParams();
+    p.scanFrac = 0.0;
+    DssWorkload wl(p);
+    for (int i = 0; i < 5000; ++i) {
+        const auto ref = wl.next(i % 4);
+        EXPECT_LT(ref.addr, workloadBaseAddr + p.dimBytes);
+    }
+}
+
+TEST(DssTest, ProbesAreSkewed)
+{
+    DssParams p = smallParams();
+    p.scanFrac = 0.0;
+    p.theta = 0.9;
+    DssWorkload wl(p);
+    std::uint64_t top = 0;
+    const int n = 50000;
+    for (int i = 0; i < n; ++i) {
+        const auto ref = wl.next(i % 4);
+        top += ref.addr < workloadBaseAddr + p.dimBytes / 100;
+    }
+    EXPECT_GT(top, static_cast<std::uint64_t>(n) / 10);
+}
+
+TEST(DssTest, ReadMostly)
+{
+    DssWorkload wl(smallParams());
+    int writes = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        writes += wl.next(i % 4).write;
+    EXPECT_LT(writes / static_cast<double>(n), 0.05);
+}
+
+TEST(DssTest, FootprintSumsTables)
+{
+    const auto p = smallParams();
+    EXPECT_EQ(DssWorkload(p).footprintBytes(),
+              p.factBytes + p.dimBytes);
+}
+
+} // namespace
+} // namespace memories::workload

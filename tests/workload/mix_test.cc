@@ -1,0 +1,97 @@
+#include "workload/mix.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+#include "workload/oltp.hh"
+#include "workload/synthetic.hh"
+
+namespace memories::workload
+{
+namespace
+{
+
+std::unique_ptr<Workload>
+uniform(unsigned threads, std::uint64_t footprint, std::uint64_t seed)
+{
+    return std::make_unique<UniformWorkload>(threads, footprint, 0.2,
+                                             seed);
+}
+
+TEST(MixTest, RejectsDegenerateConfigs)
+{
+    EXPECT_THROW(
+        MixWorkload mix(std::vector<std::unique_ptr<Workload>>{}),
+        FatalError);
+
+    std::vector<std::unique_ptr<Workload>> too_many;
+    too_many.push_back(uniform(12, 1 * MiB, 1));
+    too_many.push_back(uniform(12, 1 * MiB, 2));
+    EXPECT_THROW(MixWorkload mix(std::move(too_many)), FatalError);
+}
+
+TEST(MixTest, ThreadsSumAcrossParts)
+{
+    std::vector<std::unique_ptr<Workload>> parts;
+    parts.push_back(uniform(3, 1 * MiB, 1));
+    parts.push_back(uniform(5, 2 * MiB, 2));
+    MixWorkload mix(std::move(parts));
+    EXPECT_EQ(mix.threads(), 8u);
+    EXPECT_EQ(mix.footprintBytes(), 3 * MiB);
+    EXPECT_EQ(mix.parts(), 2u);
+}
+
+TEST(MixTest, ThreadsRouteToTheirPart)
+{
+    std::vector<std::unique_ptr<Workload>> parts;
+    parts.push_back(uniform(2, 1 * MiB, 1));
+    parts.push_back(uniform(2, 1 * MiB, 2));
+    MixWorkload mix(std::move(parts));
+    EXPECT_EQ(&mix.partOf(0), &mix.partOf(1));
+    EXPECT_EQ(&mix.partOf(2), &mix.partOf(3));
+    EXPECT_NE(&mix.partOf(0), &mix.partOf(2));
+}
+
+TEST(MixTest, PartsOccupyDisjointAddressWindows)
+{
+    std::vector<std::unique_ptr<Workload>> parts;
+    parts.push_back(uniform(2, 4 * MiB, 1));
+    parts.push_back(uniform(2, 4 * MiB, 2));
+    MixWorkload mix(std::move(parts));
+    for (int i = 0; i < 5000; ++i) {
+        const auto a = mix.next(0).addr; // part 0
+        const auto b = mix.next(2).addr; // part 1
+        EXPECT_LT(a, Addr{1} << 40);
+        EXPECT_GE(b, Addr{1} << 40);
+        EXPECT_LT(b, Addr{2} << 40);
+    }
+}
+
+TEST(MixTest, NameListsParts)
+{
+    std::vector<std::unique_ptr<Workload>> parts;
+    OltpParams oltp;
+    oltp.threads = 4;
+    oltp.dbBytes = 64 * MiB;
+    parts.push_back(std::make_unique<OltpWorkload>(oltp));
+    parts.push_back(uniform(4, 1 * MiB, 3));
+    MixWorkload mix(std::move(parts));
+    EXPECT_NE(mix.name().find("tpcc-like"), std::string::npos);
+    EXPECT_NE(mix.name().find("uniform"), std::string::npos);
+}
+
+TEST(MixTest, RefsPerInstructionIsThreadWeighted)
+{
+    // OLTP (0.30) on 4 threads + uniform (0.35) on 4 threads -> 0.325.
+    std::vector<std::unique_ptr<Workload>> parts;
+    OltpParams oltp;
+    oltp.threads = 4;
+    oltp.dbBytes = 64 * MiB;
+    parts.push_back(std::make_unique<OltpWorkload>(oltp));
+    parts.push_back(uniform(4, 1 * MiB, 3));
+    MixWorkload mix(std::move(parts));
+    EXPECT_NEAR(mix.refsPerInstruction(), 0.325, 1e-9);
+}
+
+} // namespace
+} // namespace memories::workload

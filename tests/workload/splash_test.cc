@@ -1,0 +1,172 @@
+#include "workload/splash.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace memories::workload
+{
+namespace
+{
+
+SplashParams
+tinyParams()
+{
+    SplashParams p;
+    p.threads = 4;
+    p.footprintBytes = 64 * MiB;
+    p.sharedBytes = 4 * MiB;
+    p.windowBytes = 1 * MiB;
+    p.windowAdvanceRefs = 1000;
+    return p;
+}
+
+TEST(SplashTest, RejectsDegenerateConfigs)
+{
+    SplashParams p = tinyParams();
+    p.threads = 0;
+    EXPECT_THROW(SplashWorkload{p}, FatalError);
+
+    p = tinyParams();
+    p.sharedBytes = p.footprintBytes;
+    EXPECT_THROW(SplashWorkload{p}, FatalError);
+
+    p = tinyParams();
+    p.windowAdvanceRefs = 0;
+    EXPECT_THROW(SplashWorkload{p}, FatalError);
+}
+
+TEST(SplashTest, AddressesStayInFootprint)
+{
+    SplashWorkload wl(tinyParams());
+    for (int i = 0; i < 20000; ++i) {
+        const auto ref = wl.next(i % 4);
+        EXPECT_GE(ref.addr, workloadBaseAddr);
+        EXPECT_LT(ref.addr, workloadBaseAddr + 64 * MiB);
+    }
+}
+
+TEST(SplashTest, SharedRegionTouchedByAllThreads)
+{
+    SplashParams p = tinyParams();
+    p.sharedFrac = 0.5;
+    SplashWorkload wl(p);
+    std::vector<int> shared_hits(4, 0);
+    for (int i = 0; i < 20000; ++i) {
+        const unsigned tid = i % 4;
+        const auto ref = wl.next(tid);
+        if (ref.addr < workloadBaseAddr + p.sharedBytes)
+            ++shared_hits[tid];
+    }
+    for (int h : shared_hits)
+        EXPECT_GT(h, 1500);
+}
+
+TEST(SplashTest, PartitionAccessesRespectWindow)
+{
+    SplashParams p = tinyParams();
+    p.sharedFrac = 0.0;
+    p.windowAdvanceRefs = 1u << 30; // window never advances
+    SplashWorkload wl(p);
+    const std::uint64_t partition =
+        (p.footprintBytes - p.sharedBytes) / p.threads;
+    const Addr base = workloadBaseAddr + p.sharedBytes;
+    for (int i = 0; i < 5000; ++i) {
+        const auto ref = wl.next(0);
+        EXPECT_GE(ref.addr, base);
+        EXPECT_LT(ref.addr, base + partition);
+        // Window pinned at base: offsets stay within windowBytes.
+        EXPECT_LT(ref.addr - base, p.windowBytes);
+    }
+}
+
+TEST(SplashTest, WindowAdvancesExposeNewData)
+{
+    SplashParams p = tinyParams();
+    p.sharedFrac = 0.0;
+    p.seqFrac = 0.0;
+    p.windowBytes = 64 * KiB;
+    p.windowAdvanceRefs = 100;
+    SplashWorkload wl(p);
+    Addr max_seen = 0;
+    for (int i = 0; i < 100; ++i)
+        max_seen = std::max(max_seen, wl.next(0).addr);
+    const Addr early_max = max_seen;
+    for (int i = 0; i < 5000; ++i)
+        max_seen = std::max(max_seen, wl.next(0).addr);
+    EXPECT_GT(max_seen, early_max + p.windowBytes);
+}
+
+TEST(SplashTest, PaperSuiteHasFiveApps)
+{
+    const auto suite = paperSplashSuite(8, 1.0 / 64.0);
+    ASSERT_EQ(suite.size(), 5u);
+    EXPECT_EQ(suite[0].name, "FMM");
+    EXPECT_EQ(suite[1].name, "FFT");
+    EXPECT_EQ(suite[2].name, "OCEAN");
+    EXPECT_EQ(suite[3].name, "WATER");
+    EXPECT_EQ(suite[4].name, "BARNES");
+}
+
+TEST(SplashTest, PaperFootprintsMatchTable5)
+{
+    // Table 5: FMM 8.34GB, FFT 12.58GB, Ocean 14.5GB, Water 1.38GB,
+    // Barnes 3.1GB. Our generators must land within ~15%.
+    const auto suite = paperSplashSuite(8, 1.0);
+    const double expected_gb[] = {8.34, 12.58, 14.5, 1.38, 3.1};
+    for (std::size_t i = 0; i < suite.size(); ++i) {
+        const double gb =
+            static_cast<double>(suite[i].footprintBytes) / (1ull << 30);
+        EXPECT_NEAR(gb, expected_gb[i], expected_gb[i] * 0.15)
+            << suite[i].name;
+    }
+}
+
+TEST(SplashTest, ScaleShrinksFootprints)
+{
+    const auto full = fftParams(24, 8, 1.0);
+    const auto scaled = fftParams(24, 8, 1.0 / 16.0);
+    EXPECT_NEAR(static_cast<double>(scaled.footprintBytes),
+                static_cast<double>(full.footprintBytes) / 16.0,
+                static_cast<double>(full.footprintBytes) * 0.01);
+}
+
+TEST(SplashTest, Splash2SuiteIsMuchSmaller)
+{
+    const auto small = splash2SizeSuite(8, 1.0);
+    const auto large = paperSplashSuite(8, 1.0);
+    for (std::size_t i = 0; i < small.size(); ++i)
+        EXPECT_LT(small[i].footprintBytes, large[i].footprintBytes / 10)
+            << small[i].name;
+}
+
+TEST(SplashTest, FmmSharesMoreThanFft)
+{
+    // The paper singles out FMM's intervention traffic; its shared
+    // write activity must exceed FFT's by construction.
+    const auto fmm = fmmParams(4'000'000, 8, 1.0 / 64.0);
+    const auto fft = fftParams(28, 8, 1.0 / 64.0);
+    EXPECT_GT(fmm.sharedFrac * fmm.sharedWriteFrac,
+              3 * fft.sharedFrac * fft.sharedWriteFrac);
+}
+
+TEST(SplashTest, WindowClampedToPartition)
+{
+    SplashParams p = tinyParams();
+    p.windowBytes = 1 * GiB; // larger than the partition
+    SplashWorkload wl(p);
+    EXPECT_LE(wl.params().windowBytes,
+              (p.footprintBytes - p.sharedBytes) / p.threads);
+}
+
+TEST(SplashTest, RefsPerInstructionPositive)
+{
+    for (const auto &params : paperSplashSuite(8, 1.0 / 64.0)) {
+        SplashWorkload wl(params);
+        EXPECT_GT(wl.refsPerInstruction(), 0.0);
+        EXPECT_LE(wl.refsPerInstruction(), 1.0);
+    }
+}
+
+} // namespace
+} // namespace memories::workload

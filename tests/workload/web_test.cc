@@ -1,0 +1,140 @@
+#include "workload/web.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/logging.hh"
+
+namespace memories::workload
+{
+namespace
+{
+
+WebParams
+smallParams()
+{
+    WebParams p;
+    p.threads = 4;
+    p.docBytes = 64 * MiB;
+    p.metadataBytes = 1 * MiB;
+    return p;
+}
+
+TEST(WebTest, RejectsDegenerateConfigs)
+{
+    auto p = smallParams();
+    p.threads = 0;
+    EXPECT_THROW(WebWorkload{p}, FatalError);
+
+    p = smallParams();
+    p.docBytes = 64 * KiB; // too few documents
+    EXPECT_THROW(WebWorkload{p}, FatalError);
+
+    p = smallParams();
+    p.connectionFrac = 0.7;
+    p.metadataFrac = 0.4; // sums past 1
+    EXPECT_THROW(WebWorkload{p}, FatalError);
+}
+
+TEST(WebTest, AddressesStayInFootprint)
+{
+    WebWorkload wl(smallParams());
+    const auto limit = workloadBaseAddr + wl.footprintBytes() +
+                       4 * smallParams().meanDocBytes;
+    for (int i = 0; i < 50000; ++i) {
+        const auto ref = wl.next(i % 4);
+        EXPECT_GE(ref.addr, workloadBaseAddr);
+        EXPECT_LT(ref.addr, limit);
+    }
+}
+
+TEST(WebTest, DocumentStreamingIsSequential)
+{
+    auto p = smallParams();
+    p.connectionFrac = 0.0;
+    p.metadataFrac = 0.0;
+    WebWorkload wl(p);
+    Addr prev = wl.next(0).addr;
+    int sequential = 0;
+    const int n = 1000;
+    for (int i = 0; i < n; ++i) {
+        const Addr cur = wl.next(0).addr;
+        sequential += cur == prev + 64;
+        prev = cur;
+    }
+    // Nearly every reference advances the stream; breaks only at
+    // request boundaries.
+    EXPECT_GT(sequential, n * 8 / 10);
+}
+
+TEST(WebTest, RequestsAdvanceWithStreaming)
+{
+    auto p = smallParams();
+    p.connectionFrac = 0.0;
+    p.metadataFrac = 0.0;
+    WebWorkload wl(p);
+    const auto before = wl.requestsServed();
+    for (int i = 0; i < 100000; ++i)
+        wl.next(0);
+    EXPECT_GT(wl.requestsServed(), before + 10);
+}
+
+TEST(WebTest, PopularDocumentsDominate)
+{
+    auto p = smallParams();
+    p.connectionFrac = 0.0;
+    p.metadataFrac = 0.0;
+    p.theta = 0.9;
+    WebWorkload wl(p);
+    const Addr doc_base = workloadBaseAddr + p.metadataBytes +
+                          p.threads * p.connectionBytes;
+    const Addr hot_end = doc_base + (p.docBytes / 100);
+    std::uint64_t hot = 0;
+    const int n = 100000;
+    for (int i = 0; i < n; ++i)
+        hot += wl.next(i % 4).addr < hot_end;
+    // Top ~1% of the cache draws far more than 1% of traffic.
+    EXPECT_GT(hot, static_cast<std::uint64_t>(n) / 8);
+}
+
+TEST(WebTest, ConnectionStateIsThreadPrivate)
+{
+    auto p = smallParams();
+    p.connectionFrac = 1.0;
+    p.metadataFrac = 0.0;
+    WebWorkload wl(p);
+    const Addr conn_base = workloadBaseAddr + p.metadataBytes;
+    for (unsigned t = 0; t < 4; ++t) {
+        for (int i = 0; i < 200; ++i) {
+            const auto ref = wl.next(t);
+            EXPECT_GE(ref.addr, conn_base + t * p.connectionBytes);
+            EXPECT_LT(ref.addr, conn_base + (t + 1) * p.connectionBytes);
+        }
+    }
+}
+
+TEST(WebTest, DocumentReadsAreNeverWrites)
+{
+    auto p = smallParams();
+    p.connectionFrac = 0.0;
+    p.metadataFrac = 0.0;
+    WebWorkload wl(p);
+    for (int i = 0; i < 5000; ++i)
+        EXPECT_FALSE(wl.next(i % 4).write);
+}
+
+TEST(WebTest, MetadataSeesWrites)
+{
+    auto p = smallParams();
+    p.connectionFrac = 0.0;
+    p.metadataFrac = 1.0;
+    p.metadataWriteFrac = 0.5;
+    WebWorkload wl(p);
+    int writes = 0;
+    const int n = 20000;
+    for (int i = 0; i < n; ++i)
+        writes += wl.next(i % 4).write;
+    EXPECT_NEAR(writes / static_cast<double>(n), 0.5, 0.05);
+}
+
+} // namespace
+} // namespace memories::workload
