@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_buffering.dir/ablate_buffering.cc.o"
+  "CMakeFiles/ablate_buffering.dir/ablate_buffering.cc.o.d"
+  "ablate_buffering"
+  "ablate_buffering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_buffering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

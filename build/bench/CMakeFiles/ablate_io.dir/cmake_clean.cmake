@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_io.dir/ablate_io.cc.o"
+  "CMakeFiles/ablate_io.dir/ablate_io.cc.o.d"
+  "ablate_io"
+  "ablate_io.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_io.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablate_policies.dir/ablate_policies.cc.o"
+  "CMakeFiles/ablate_policies.dir/ablate_policies.cc.o.d"
+  "ablate_policies"
+  "ablate_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablate_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_tpcc_profile.dir/fig10_tpcc_profile.cc.o"
+  "CMakeFiles/fig10_tpcc_profile.dir/fig10_tpcc_profile.cc.o.d"
+  "fig10_tpcc_profile"
+  "fig10_tpcc_profile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_tpcc_profile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_l3_missratio.dir/fig11_l3_missratio.cc.o"
+  "CMakeFiles/fig11_l3_missratio.dir/fig11_l3_missratio.cc.o.d"
+  "fig11_l3_missratio"
+  "fig11_l3_missratio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_l3_missratio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

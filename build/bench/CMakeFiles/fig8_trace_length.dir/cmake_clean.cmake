@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_trace_length.dir/fig8_trace_length.cc.o"
+  "CMakeFiles/fig8_trace_length.dir/fig8_trace_length.cc.o.d"
+  "fig8_trace_length"
+  "fig8_trace_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_trace_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig9_sharing.dir/fig9_sharing.cc.o"
+  "CMakeFiles/fig9_sharing.dir/fig9_sharing.cc.o.d"
+  "fig9_sharing"
+  "fig9_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig9_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_throughput.dir/microbench_throughput.cc.o"
+  "CMakeFiles/microbench_throughput.dir/microbench_throughput.cc.o.d"
+  "microbench_throughput"
+  "microbench_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

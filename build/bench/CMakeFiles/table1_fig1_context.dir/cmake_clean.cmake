@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_fig1_context.dir/table1_fig1_context.cc.o"
+  "CMakeFiles/table1_fig1_context.dir/table1_fig1_context.cc.o.d"
+  "table1_fig1_context"
+  "table1_fig1_context.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_fig1_context.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_sim_vs_ies.dir/table3_sim_vs_ies.cc.o"
+  "CMakeFiles/table3_sim_vs_ies.dir/table3_sim_vs_ies.cc.o.d"
+  "table3_sim_vs_ies"
+  "table3_sim_vs_ies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_sim_vs_ies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_augmint_vs_ies.dir/table4_augmint_vs_ies.cc.o"
+  "CMakeFiles/table4_augmint_vs_ies.dir/table4_augmint_vs_ies.cc.o.d"
+  "table4_augmint_vs_ies"
+  "table4_augmint_vs_ies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_augmint_vs_ies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for table4_augmint_vs_ies.
+# This may be replaced when dependencies are built.

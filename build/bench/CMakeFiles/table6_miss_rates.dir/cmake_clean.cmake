@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table6_miss_rates.dir/table6_miss_rates.cc.o"
+  "CMakeFiles/table6_miss_rates.dir/table6_miss_rates.cc.o.d"
+  "table6_miss_rates"
+  "table6_miss_rates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table6_miss_rates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/commercial_mix.dir/commercial_mix.cpp.o"
+  "CMakeFiles/commercial_mix.dir/commercial_mix.cpp.o.d"
+  "commercial_mix"
+  "commercial_mix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/commercial_mix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/console_session.dir/console_session.cpp.o"
+  "CMakeFiles/console_session.dir/console_session.cpp.o.d"
+  "console_session"
+  "console_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/console_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

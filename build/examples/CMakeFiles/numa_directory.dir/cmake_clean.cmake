@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/numa_directory.dir/numa_directory.cpp.o"
+  "CMakeFiles/numa_directory.dir/numa_directory.cpp.o.d"
+  "numa_directory"
+  "numa_directory.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/numa_directory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for numa_directory.
+# This may be replaced when dependencies are built.

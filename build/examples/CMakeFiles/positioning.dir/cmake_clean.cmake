@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/positioning.dir/positioning.cpp.o"
+  "CMakeFiles/positioning.dir/positioning.cpp.o.d"
+  "positioning"
+  "positioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/positioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

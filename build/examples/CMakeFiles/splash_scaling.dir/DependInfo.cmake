@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/splash_scaling.cpp" "examples/CMakeFiles/splash_scaling.dir/splash_scaling.cpp.o" "gcc" "examples/CMakeFiles/splash_scaling.dir/splash_scaling.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ies/CMakeFiles/memories_ies.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memories_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/memories_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/memories_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/memories_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/memories_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/memories_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/memories_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memories_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/splash_scaling.dir/splash_scaling.cpp.o"
+  "CMakeFiles/splash_scaling.dir/splash_scaling.cpp.o.d"
+  "splash_scaling"
+  "splash_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/splash_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tpcc_cache_study.dir/tpcc_cache_study.cpp.o"
+  "CMakeFiles/tpcc_cache_study.dir/tpcc_cache_study.cpp.o.d"
+  "tpcc_cache_study"
+  "tpcc_cache_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tpcc_cache_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memories_bus.dir/bus6xx.cc.o"
+  "CMakeFiles/memories_bus.dir/bus6xx.cc.o.d"
+  "CMakeFiles/memories_bus.dir/busop.cc.o"
+  "CMakeFiles/memories_bus.dir/busop.cc.o.d"
+  "libmemories_bus.a"
+  "libmemories_bus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memories_bus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

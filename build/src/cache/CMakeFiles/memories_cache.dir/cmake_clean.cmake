@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memories_cache.dir/config.cc.o"
+  "CMakeFiles/memories_cache.dir/config.cc.o.d"
+  "CMakeFiles/memories_cache.dir/tagstore.cc.o"
+  "CMakeFiles/memories_cache.dir/tagstore.cc.o.d"
+  "libmemories_cache.a"
+  "libmemories_cache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memories_cache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

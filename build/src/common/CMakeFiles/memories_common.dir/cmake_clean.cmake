@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memories_common.dir/counters.cc.o"
+  "CMakeFiles/memories_common.dir/counters.cc.o.d"
+  "CMakeFiles/memories_common.dir/logging.cc.o"
+  "CMakeFiles/memories_common.dir/logging.cc.o.d"
+  "CMakeFiles/memories_common.dir/random.cc.o"
+  "CMakeFiles/memories_common.dir/random.cc.o.d"
+  "CMakeFiles/memories_common.dir/stats.cc.o"
+  "CMakeFiles/memories_common.dir/stats.cc.o.d"
+  "CMakeFiles/memories_common.dir/units.cc.o"
+  "CMakeFiles/memories_common.dir/units.cc.o.d"
+  "libmemories_common.a"
+  "libmemories_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memories_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmemories_common.a"
+)

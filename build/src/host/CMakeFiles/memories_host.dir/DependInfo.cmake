@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/host/hostcache.cc" "src/host/CMakeFiles/memories_host.dir/hostcache.cc.o" "gcc" "src/host/CMakeFiles/memories_host.dir/hostcache.cc.o.d"
+  "/root/repo/src/host/iobridge.cc" "src/host/CMakeFiles/memories_host.dir/iobridge.cc.o" "gcc" "src/host/CMakeFiles/memories_host.dir/iobridge.cc.o.d"
+  "/root/repo/src/host/machine.cc" "src/host/CMakeFiles/memories_host.dir/machine.cc.o" "gcc" "src/host/CMakeFiles/memories_host.dir/machine.cc.o.d"
+  "/root/repo/src/host/timing.cc" "src/host/CMakeFiles/memories_host.dir/timing.cc.o" "gcc" "src/host/CMakeFiles/memories_host.dir/timing.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bus/CMakeFiles/memories_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/memories_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memories_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/memories_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/memories_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memories_host.dir/hostcache.cc.o"
+  "CMakeFiles/memories_host.dir/hostcache.cc.o.d"
+  "CMakeFiles/memories_host.dir/iobridge.cc.o"
+  "CMakeFiles/memories_host.dir/iobridge.cc.o.d"
+  "CMakeFiles/memories_host.dir/machine.cc.o"
+  "CMakeFiles/memories_host.dir/machine.cc.o.d"
+  "CMakeFiles/memories_host.dir/timing.cc.o"
+  "CMakeFiles/memories_host.dir/timing.cc.o.d"
+  "libmemories_host.a"
+  "libmemories_host.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memories_host.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ies/analysis.cc" "src/ies/CMakeFiles/memories_ies.dir/analysis.cc.o" "gcc" "src/ies/CMakeFiles/memories_ies.dir/analysis.cc.o.d"
+  "/root/repo/src/ies/board.cc" "src/ies/CMakeFiles/memories_ies.dir/board.cc.o" "gcc" "src/ies/CMakeFiles/memories_ies.dir/board.cc.o.d"
+  "/root/repo/src/ies/boardconfig.cc" "src/ies/CMakeFiles/memories_ies.dir/boardconfig.cc.o" "gcc" "src/ies/CMakeFiles/memories_ies.dir/boardconfig.cc.o.d"
+  "/root/repo/src/ies/busprofiler.cc" "src/ies/CMakeFiles/memories_ies.dir/busprofiler.cc.o" "gcc" "src/ies/CMakeFiles/memories_ies.dir/busprofiler.cc.o.d"
+  "/root/repo/src/ies/commandmap.cc" "src/ies/CMakeFiles/memories_ies.dir/commandmap.cc.o" "gcc" "src/ies/CMakeFiles/memories_ies.dir/commandmap.cc.o.d"
+  "/root/repo/src/ies/console.cc" "src/ies/CMakeFiles/memories_ies.dir/console.cc.o" "gcc" "src/ies/CMakeFiles/memories_ies.dir/console.cc.o.d"
+  "/root/repo/src/ies/hotspot.cc" "src/ies/CMakeFiles/memories_ies.dir/hotspot.cc.o" "gcc" "src/ies/CMakeFiles/memories_ies.dir/hotspot.cc.o.d"
+  "/root/repo/src/ies/nodecontroller.cc" "src/ies/CMakeFiles/memories_ies.dir/nodecontroller.cc.o" "gcc" "src/ies/CMakeFiles/memories_ies.dir/nodecontroller.cc.o.d"
+  "/root/repo/src/ies/numa.cc" "src/ies/CMakeFiles/memories_ies.dir/numa.cc.o" "gcc" "src/ies/CMakeFiles/memories_ies.dir/numa.cc.o.d"
+  "/root/repo/src/ies/txnbuffer.cc" "src/ies/CMakeFiles/memories_ies.dir/txnbuffer.cc.o" "gcc" "src/ies/CMakeFiles/memories_ies.dir/txnbuffer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/bus/CMakeFiles/memories_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/memories_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memories_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/memories_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/memories_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memories_ies.dir/analysis.cc.o"
+  "CMakeFiles/memories_ies.dir/analysis.cc.o.d"
+  "CMakeFiles/memories_ies.dir/board.cc.o"
+  "CMakeFiles/memories_ies.dir/board.cc.o.d"
+  "CMakeFiles/memories_ies.dir/boardconfig.cc.o"
+  "CMakeFiles/memories_ies.dir/boardconfig.cc.o.d"
+  "CMakeFiles/memories_ies.dir/busprofiler.cc.o"
+  "CMakeFiles/memories_ies.dir/busprofiler.cc.o.d"
+  "CMakeFiles/memories_ies.dir/commandmap.cc.o"
+  "CMakeFiles/memories_ies.dir/commandmap.cc.o.d"
+  "CMakeFiles/memories_ies.dir/console.cc.o"
+  "CMakeFiles/memories_ies.dir/console.cc.o.d"
+  "CMakeFiles/memories_ies.dir/hotspot.cc.o"
+  "CMakeFiles/memories_ies.dir/hotspot.cc.o.d"
+  "CMakeFiles/memories_ies.dir/nodecontroller.cc.o"
+  "CMakeFiles/memories_ies.dir/nodecontroller.cc.o.d"
+  "CMakeFiles/memories_ies.dir/numa.cc.o"
+  "CMakeFiles/memories_ies.dir/numa.cc.o.d"
+  "CMakeFiles/memories_ies.dir/txnbuffer.cc.o"
+  "CMakeFiles/memories_ies.dir/txnbuffer.cc.o.d"
+  "libmemories_ies.a"
+  "libmemories_ies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memories_ies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

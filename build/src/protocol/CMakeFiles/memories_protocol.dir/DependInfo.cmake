@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/protocol/protocols.cc" "src/protocol/CMakeFiles/memories_protocol.dir/protocols.cc.o" "gcc" "src/protocol/CMakeFiles/memories_protocol.dir/protocols.cc.o.d"
+  "/root/repo/src/protocol/state.cc" "src/protocol/CMakeFiles/memories_protocol.dir/state.cc.o" "gcc" "src/protocol/CMakeFiles/memories_protocol.dir/state.cc.o.d"
+  "/root/repo/src/protocol/table.cc" "src/protocol/CMakeFiles/memories_protocol.dir/table.cc.o" "gcc" "src/protocol/CMakeFiles/memories_protocol.dir/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memories_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/memories_bus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

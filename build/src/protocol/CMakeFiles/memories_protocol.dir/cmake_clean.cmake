@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memories_protocol.dir/protocols.cc.o"
+  "CMakeFiles/memories_protocol.dir/protocols.cc.o.d"
+  "CMakeFiles/memories_protocol.dir/state.cc.o"
+  "CMakeFiles/memories_protocol.dir/state.cc.o.d"
+  "CMakeFiles/memories_protocol.dir/table.cc.o"
+  "CMakeFiles/memories_protocol.dir/table.cc.o.d"
+  "libmemories_protocol.a"
+  "libmemories_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memories_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

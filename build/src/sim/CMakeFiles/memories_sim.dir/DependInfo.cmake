@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/detailed.cc" "src/sim/CMakeFiles/memories_sim.dir/detailed.cc.o" "gcc" "src/sim/CMakeFiles/memories_sim.dir/detailed.cc.o.d"
+  "/root/repo/src/sim/execdriven.cc" "src/sim/CMakeFiles/memories_sim.dir/execdriven.cc.o" "gcc" "src/sim/CMakeFiles/memories_sim.dir/execdriven.cc.o.d"
+  "/root/repo/src/sim/projection.cc" "src/sim/CMakeFiles/memories_sim.dir/projection.cc.o" "gcc" "src/sim/CMakeFiles/memories_sim.dir/projection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/cache/CMakeFiles/memories_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memories_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/memories_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/memories_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/memories_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/memories_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/memories_bus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

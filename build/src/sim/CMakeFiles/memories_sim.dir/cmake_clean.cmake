@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memories_sim.dir/detailed.cc.o"
+  "CMakeFiles/memories_sim.dir/detailed.cc.o.d"
+  "CMakeFiles/memories_sim.dir/execdriven.cc.o"
+  "CMakeFiles/memories_sim.dir/execdriven.cc.o.d"
+  "CMakeFiles/memories_sim.dir/projection.cc.o"
+  "CMakeFiles/memories_sim.dir/projection.cc.o.d"
+  "libmemories_sim.a"
+  "libmemories_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memories_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

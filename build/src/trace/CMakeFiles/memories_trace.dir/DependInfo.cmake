@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/trace/capture.cc" "src/trace/CMakeFiles/memories_trace.dir/capture.cc.o" "gcc" "src/trace/CMakeFiles/memories_trace.dir/capture.cc.o.d"
+  "/root/repo/src/trace/record.cc" "src/trace/CMakeFiles/memories_trace.dir/record.cc.o" "gcc" "src/trace/CMakeFiles/memories_trace.dir/record.cc.o.d"
+  "/root/repo/src/trace/tracefile.cc" "src/trace/CMakeFiles/memories_trace.dir/tracefile.cc.o" "gcc" "src/trace/CMakeFiles/memories_trace.dir/tracefile.cc.o.d"
+  "/root/repo/src/trace/tracestats.cc" "src/trace/CMakeFiles/memories_trace.dir/tracestats.cc.o" "gcc" "src/trace/CMakeFiles/memories_trace.dir/tracestats.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memories_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/memories_bus.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memories_trace.dir/capture.cc.o"
+  "CMakeFiles/memories_trace.dir/capture.cc.o.d"
+  "CMakeFiles/memories_trace.dir/record.cc.o"
+  "CMakeFiles/memories_trace.dir/record.cc.o.d"
+  "CMakeFiles/memories_trace.dir/tracefile.cc.o"
+  "CMakeFiles/memories_trace.dir/tracefile.cc.o.d"
+  "CMakeFiles/memories_trace.dir/tracestats.cc.o"
+  "CMakeFiles/memories_trace.dir/tracestats.cc.o.d"
+  "libmemories_trace.a"
+  "libmemories_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memories_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

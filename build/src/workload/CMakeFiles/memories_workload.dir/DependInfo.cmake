@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workload/dss.cc" "src/workload/CMakeFiles/memories_workload.dir/dss.cc.o" "gcc" "src/workload/CMakeFiles/memories_workload.dir/dss.cc.o.d"
+  "/root/repo/src/workload/mix.cc" "src/workload/CMakeFiles/memories_workload.dir/mix.cc.o" "gcc" "src/workload/CMakeFiles/memories_workload.dir/mix.cc.o.d"
+  "/root/repo/src/workload/oltp.cc" "src/workload/CMakeFiles/memories_workload.dir/oltp.cc.o" "gcc" "src/workload/CMakeFiles/memories_workload.dir/oltp.cc.o.d"
+  "/root/repo/src/workload/splash.cc" "src/workload/CMakeFiles/memories_workload.dir/splash.cc.o" "gcc" "src/workload/CMakeFiles/memories_workload.dir/splash.cc.o.d"
+  "/root/repo/src/workload/synthetic.cc" "src/workload/CMakeFiles/memories_workload.dir/synthetic.cc.o" "gcc" "src/workload/CMakeFiles/memories_workload.dir/synthetic.cc.o.d"
+  "/root/repo/src/workload/web.cc" "src/workload/CMakeFiles/memories_workload.dir/web.cc.o" "gcc" "src/workload/CMakeFiles/memories_workload.dir/web.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/memories_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

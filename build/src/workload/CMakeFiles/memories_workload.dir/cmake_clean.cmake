@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memories_workload.dir/dss.cc.o"
+  "CMakeFiles/memories_workload.dir/dss.cc.o.d"
+  "CMakeFiles/memories_workload.dir/mix.cc.o"
+  "CMakeFiles/memories_workload.dir/mix.cc.o.d"
+  "CMakeFiles/memories_workload.dir/oltp.cc.o"
+  "CMakeFiles/memories_workload.dir/oltp.cc.o.d"
+  "CMakeFiles/memories_workload.dir/splash.cc.o"
+  "CMakeFiles/memories_workload.dir/splash.cc.o.d"
+  "CMakeFiles/memories_workload.dir/synthetic.cc.o"
+  "CMakeFiles/memories_workload.dir/synthetic.cc.o.d"
+  "CMakeFiles/memories_workload.dir/web.cc.o"
+  "CMakeFiles/memories_workload.dir/web.cc.o.d"
+  "libmemories_workload.a"
+  "libmemories_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memories_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

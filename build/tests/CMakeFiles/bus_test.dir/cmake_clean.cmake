@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bus_test.dir/bus/bus6xx_test.cc.o"
+  "CMakeFiles/bus_test.dir/bus/bus6xx_test.cc.o.d"
+  "CMakeFiles/bus_test.dir/bus/busop_test.cc.o"
+  "CMakeFiles/bus_test.dir/bus/busop_test.cc.o.d"
+  "CMakeFiles/bus_test.dir/bus/databus_test.cc.o"
+  "CMakeFiles/bus_test.dir/bus/databus_test.cc.o.d"
+  "bus_test"
+  "bus_test.pdb"
+  "bus_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bus_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,41 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ies/analysis_test.cc" "tests/CMakeFiles/ies_test.dir/ies/analysis_test.cc.o" "gcc" "tests/CMakeFiles/ies_test.dir/ies/analysis_test.cc.o.d"
+  "/root/repo/tests/ies/board_test.cc" "tests/CMakeFiles/ies_test.dir/ies/board_test.cc.o" "gcc" "tests/CMakeFiles/ies_test.dir/ies/board_test.cc.o.d"
+  "/root/repo/tests/ies/busprofiler_test.cc" "tests/CMakeFiles/ies_test.dir/ies/busprofiler_test.cc.o" "gcc" "tests/CMakeFiles/ies_test.dir/ies/busprofiler_test.cc.o.d"
+  "/root/repo/tests/ies/checkpoint_test.cc" "tests/CMakeFiles/ies_test.dir/ies/checkpoint_test.cc.o" "gcc" "tests/CMakeFiles/ies_test.dir/ies/checkpoint_test.cc.o.d"
+  "/root/repo/tests/ies/commandmap_test.cc" "tests/CMakeFiles/ies_test.dir/ies/commandmap_test.cc.o" "gcc" "tests/CMakeFiles/ies_test.dir/ies/commandmap_test.cc.o.d"
+  "/root/repo/tests/ies/console_fuzz_test.cc" "tests/CMakeFiles/ies_test.dir/ies/console_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/ies_test.dir/ies/console_fuzz_test.cc.o.d"
+  "/root/repo/tests/ies/console_script_test.cc" "tests/CMakeFiles/ies_test.dir/ies/console_script_test.cc.o" "gcc" "tests/CMakeFiles/ies_test.dir/ies/console_script_test.cc.o.d"
+  "/root/repo/tests/ies/console_test.cc" "tests/CMakeFiles/ies_test.dir/ies/console_test.cc.o" "gcc" "tests/CMakeFiles/ies_test.dir/ies/console_test.cc.o.d"
+  "/root/repo/tests/ies/dirscheme_test.cc" "tests/CMakeFiles/ies_test.dir/ies/dirscheme_test.cc.o" "gcc" "tests/CMakeFiles/ies_test.dir/ies/dirscheme_test.cc.o.d"
+  "/root/repo/tests/ies/hotspot_test.cc" "tests/CMakeFiles/ies_test.dir/ies/hotspot_test.cc.o" "gcc" "tests/CMakeFiles/ies_test.dir/ies/hotspot_test.cc.o.d"
+  "/root/repo/tests/ies/nodecontroller_test.cc" "tests/CMakeFiles/ies_test.dir/ies/nodecontroller_test.cc.o" "gcc" "tests/CMakeFiles/ies_test.dir/ies/nodecontroller_test.cc.o.d"
+  "/root/repo/tests/ies/numa_test.cc" "tests/CMakeFiles/ies_test.dir/ies/numa_test.cc.o" "gcc" "tests/CMakeFiles/ies_test.dir/ies/numa_test.cc.o.d"
+  "/root/repo/tests/ies/sampling_test.cc" "tests/CMakeFiles/ies_test.dir/ies/sampling_test.cc.o" "gcc" "tests/CMakeFiles/ies_test.dir/ies/sampling_test.cc.o.d"
+  "/root/repo/tests/ies/txnbuffer_test.cc" "tests/CMakeFiles/ies_test.dir/ies/txnbuffer_test.cc.o" "gcc" "tests/CMakeFiles/ies_test.dir/ies/txnbuffer_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ies/CMakeFiles/memories_ies.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memories_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/memories_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/memories_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/memories_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/memories_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/memories_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/memories_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memories_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ies_test.dir/ies/analysis_test.cc.o"
+  "CMakeFiles/ies_test.dir/ies/analysis_test.cc.o.d"
+  "CMakeFiles/ies_test.dir/ies/board_test.cc.o"
+  "CMakeFiles/ies_test.dir/ies/board_test.cc.o.d"
+  "CMakeFiles/ies_test.dir/ies/busprofiler_test.cc.o"
+  "CMakeFiles/ies_test.dir/ies/busprofiler_test.cc.o.d"
+  "CMakeFiles/ies_test.dir/ies/checkpoint_test.cc.o"
+  "CMakeFiles/ies_test.dir/ies/checkpoint_test.cc.o.d"
+  "CMakeFiles/ies_test.dir/ies/commandmap_test.cc.o"
+  "CMakeFiles/ies_test.dir/ies/commandmap_test.cc.o.d"
+  "CMakeFiles/ies_test.dir/ies/console_fuzz_test.cc.o"
+  "CMakeFiles/ies_test.dir/ies/console_fuzz_test.cc.o.d"
+  "CMakeFiles/ies_test.dir/ies/console_script_test.cc.o"
+  "CMakeFiles/ies_test.dir/ies/console_script_test.cc.o.d"
+  "CMakeFiles/ies_test.dir/ies/console_test.cc.o"
+  "CMakeFiles/ies_test.dir/ies/console_test.cc.o.d"
+  "CMakeFiles/ies_test.dir/ies/dirscheme_test.cc.o"
+  "CMakeFiles/ies_test.dir/ies/dirscheme_test.cc.o.d"
+  "CMakeFiles/ies_test.dir/ies/hotspot_test.cc.o"
+  "CMakeFiles/ies_test.dir/ies/hotspot_test.cc.o.d"
+  "CMakeFiles/ies_test.dir/ies/nodecontroller_test.cc.o"
+  "CMakeFiles/ies_test.dir/ies/nodecontroller_test.cc.o.d"
+  "CMakeFiles/ies_test.dir/ies/numa_test.cc.o"
+  "CMakeFiles/ies_test.dir/ies/numa_test.cc.o.d"
+  "CMakeFiles/ies_test.dir/ies/sampling_test.cc.o"
+  "CMakeFiles/ies_test.dir/ies/sampling_test.cc.o.d"
+  "CMakeFiles/ies_test.dir/ies/txnbuffer_test.cc.o"
+  "CMakeFiles/ies_test.dir/ies/txnbuffer_test.cc.o.d"
+  "ies_test"
+  "ies_test.pdb"
+  "ies_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ies_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

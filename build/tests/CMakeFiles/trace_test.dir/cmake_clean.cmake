@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/trace_test.dir/trace/capture_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/capture_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/record_fuzz_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/record_fuzz_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/record_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/record_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/tracefile_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/tracefile_test.cc.o.d"
+  "CMakeFiles/trace_test.dir/trace/tracestats_test.cc.o"
+  "CMakeFiles/trace_test.dir/trace/tracestats_test.cc.o.d"
+  "trace_test"
+  "trace_test.pdb"
+  "trace_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/trace_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

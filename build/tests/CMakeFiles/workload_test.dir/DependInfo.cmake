@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/workload/determinism_test.cc" "tests/CMakeFiles/workload_test.dir/workload/determinism_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/determinism_test.cc.o.d"
+  "/root/repo/tests/workload/dss_test.cc" "tests/CMakeFiles/workload_test.dir/workload/dss_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/dss_test.cc.o.d"
+  "/root/repo/tests/workload/mix_test.cc" "tests/CMakeFiles/workload_test.dir/workload/mix_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/mix_test.cc.o.d"
+  "/root/repo/tests/workload/oltp_test.cc" "tests/CMakeFiles/workload_test.dir/workload/oltp_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/oltp_test.cc.o.d"
+  "/root/repo/tests/workload/splash_test.cc" "tests/CMakeFiles/workload_test.dir/workload/splash_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/splash_test.cc.o.d"
+  "/root/repo/tests/workload/synthetic_test.cc" "tests/CMakeFiles/workload_test.dir/workload/synthetic_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/synthetic_test.cc.o.d"
+  "/root/repo/tests/workload/web_test.cc" "tests/CMakeFiles/workload_test.dir/workload/web_test.cc.o" "gcc" "tests/CMakeFiles/workload_test.dir/workload/web_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ies/CMakeFiles/memories_ies.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/memories_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/memories_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/host/CMakeFiles/memories_host.dir/DependInfo.cmake"
+  "/root/repo/build/src/cache/CMakeFiles/memories_cache.dir/DependInfo.cmake"
+  "/root/repo/build/src/protocol/CMakeFiles/memories_protocol.dir/DependInfo.cmake"
+  "/root/repo/build/src/bus/CMakeFiles/memories_bus.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/memories_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/memories_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

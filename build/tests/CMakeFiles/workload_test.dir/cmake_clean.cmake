@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/workload_test.dir/workload/determinism_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload/determinism_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload/dss_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload/dss_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload/mix_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload/mix_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload/oltp_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload/oltp_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload/splash_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload/splash_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload/synthetic_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload/synthetic_test.cc.o.d"
+  "CMakeFiles/workload_test.dir/workload/web_test.cc.o"
+  "CMakeFiles/workload_test.dir/workload/web_test.cc.o.d"
+  "workload_test"
+  "workload_test.pdb"
+  "workload_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/workload_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
