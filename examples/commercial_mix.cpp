@@ -23,7 +23,7 @@ void
 study(const char *label, workload::Workload &wl, std::uint64_t refs)
 {
     host::HostMachine machine(host::s7aConfig(), wl);
-    ies::MemoriesBoard board(ies::makeMultiConfigBoard(
+    auto board = ies::MemoriesBoard::make(ies::makeMultiConfigBoard(
         {cache::CacheConfig{16 * MiB, 4, 128,
                             cache::ReplacementPolicy::LRU},
          cache::CacheConfig{64 * MiB, 4, 128,
@@ -31,13 +31,13 @@ study(const char *label, workload::Workload &wl, std::uint64_t refs)
          cache::CacheConfig{256 * MiB, 8, 128,
                             cache::ReplacementPolicy::LRU}},
         8));
-    board.plugInto(machine.bus());
+    board->plugInto(machine.bus());
     machine.run(refs);
-    board.drainAll();
+    board->drainAll();
 
     std::printf("%-10s footprint %-8s |", label,
                 formatByteSize(wl.footprintBytes()).c_str());
-    for (const auto &point : ies::missRatioCurve(board))
+    for (const auto &point : ies::missRatioCurve(*board))
         std::printf("  %s: %.4f", formatByteSize(point.sizeBytes).c_str(),
                     point.missRatio);
     std::printf("  (bus util %.1f%%)\n",

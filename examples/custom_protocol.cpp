@@ -80,17 +80,17 @@ snooper KILL   M -> I none
             cfg.nodes.push_back(std::move(node));
         }
     }
-    ies::MemoriesBoard board(cfg);
-    board.plugInto(machine.bus());
+    auto board = ies::MemoriesBoard::make(cfg);
+    board->plugInto(machine.bus());
     machine.run(refs);
-    board.drainAll();
+    board->drainAll();
 
     std::printf("\n%-14s %10s %14s %14s\n", "node", "miss ratio",
                 "remote-inv", "supplied-mod");
-    for (std::size_t n = 0; n < board.numNodes(); ++n) {
-        const auto s = board.node(n).stats();
+    for (std::size_t n = 0; n < board->numNodes(); ++n) {
+        const auto s = board->node(n).stats();
         std::printf("%-14s %10.4f %14llu %14llu\n",
-                    board.node(n).config().label.c_str(), s.missRatio(),
+                    board->node(n).config().label.c_str(), s.missRatio(),
                     static_cast<unsigned long long>(
                         s.remoteInvalidations),
                     static_cast<unsigned long long>(
@@ -99,8 +99,8 @@ snooper KILL   M -> I none
 
     std::uint64_t mesi_inv = 0, meirb_inv = 0;
     for (unsigned n = 0; n < 2; ++n) {
-        mesi_inv += board.node(n).stats().remoteInvalidations;
-        meirb_inv += board.node(2 + n).stats().remoteInvalidations;
+        mesi_inv += board->node(n).stats().remoteInvalidations;
+        meirb_inv += board->node(2 + n).stats().remoteInvalidations;
     }
     std::printf("\nthe no-Shared protocol suffers %.1fx the remote "
                 "invalidations of MESI on\nread-shared data - visible "

@@ -54,16 +54,16 @@ main(int argc, char **argv)
     {
         workload::OltpWorkload wl(oltpParams());
         host::HostMachine machine(host::s7aConfig(), wl);
-        ies::MemoriesBoard board(boardConfig());
-        board.plugInto(machine.bus());
+        auto board = ies::MemoriesBoard::make(boardConfig());
+        board->plugInto(machine.bus());
         std::printf("warming %llu refs once...\n",
                     static_cast<unsigned long long>(refs));
         machine.run(refs);
-        board.drainAll();
-        board.saveState(state);
+        board->drainAll();
+        board->saveState(state);
         std::printf("checkpointed %llu warm directory lines\n\n",
                     static_cast<unsigned long long>(
-                        board.node(0).directoryOccupancy()));
+                        board->node(0).directoryOccupancy()));
     }
 
     // Phase 2: three measurement variants, each starting at the
@@ -76,12 +76,12 @@ main(int argc, char **argv)
         params.writeFrac = write_frac;
         workload::OltpWorkload wl(params);
         host::HostMachine machine(host::s7aConfig(), wl);
-        ies::MemoriesBoard board(boardConfig());
-        board.loadState(state);
-        board.plugInto(machine.bus());
+        auto board = ies::MemoriesBoard::make(boardConfig());
+        board->loadState(state);
+        board->plugInto(machine.bus());
         machine.run(refs / 4); // short measurement window
-        board.drainAll();
-        const auto s = board.node(0).stats();
+        board->drainAll();
+        const auto s = board->node(0).stats();
         char label[32];
         std::snprintf(label, sizeof(label), "writeFrac=%.2f",
                       write_frac);
@@ -93,12 +93,12 @@ main(int argc, char **argv)
     {
         workload::OltpWorkload wl(oltpParams());
         host::HostMachine machine(host::s7aConfig(), wl);
-        ies::MemoriesBoard board(boardConfig());
-        board.plugInto(machine.bus());
+        auto board = ies::MemoriesBoard::make(boardConfig());
+        board->plugInto(machine.bus());
         machine.run(refs / 4);
-        board.drainAll();
+        board->drainAll();
         std::printf("%-22s %12.4f   (cold-start bias)\n", "cold, no "
-                    "checkpoint", board.node(0).stats().missRatio());
+                    "checkpoint", board->node(0).stats().missRatio());
     }
 
     std::printf("\nthe warm-start variants measure steady-state "

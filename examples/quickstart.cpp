@@ -35,21 +35,21 @@ main()
     host::HostMachine machine(host::s7aConfig(), wl);
 
     // 3. The board: one emulated node, 64MB 4-way L3, MESI, all CPUs.
-    ies::MemoriesBoard board(ies::makeUniformBoard(
+    auto board = ies::MemoriesBoard::make(ies::makeUniformBoard(
         1, 8,
         cache::CacheConfig{64 * MiB, 4, 128,
                            cache::ReplacementPolicy::LRU}));
-    board.plugInto(machine.bus());
+    board->plugInto(machine.bus());
 
     // Run 20 million references in real time; the board observes the
     // L2 miss traffic without slowing the host down.
     std::printf("running 20M references on the emulated host...\n");
     machine.run(20'000'000);
-    board.drainAll();
+    board->drainAll();
 
     // 4. Extract statistics.
     const auto host_stats = machine.totalStats();
-    const auto node = board.node(0).stats();
+    const auto node = board->node(0).stats();
     std::printf("\nhost: %llu refs, L2 miss ratio %.4f, bus util %.1f%%\n",
                 static_cast<unsigned long long>(host_stats.refs),
                 static_cast<double>(host_stats.l2Misses) /
@@ -63,8 +63,8 @@ main()
                 static_cast<unsigned long long>(node.satisfiedByCache),
                 static_cast<unsigned long long>(node.satisfiedByMemory));
     std::printf("board posted %llu retries (passive when 0)\n",
-                static_cast<unsigned long long>(board.retriesPosted()));
+                static_cast<unsigned long long>(board->retriesPosted()));
 
-    std::printf("\nfull console dump:\n%s", board.dumpStats().c_str());
+    std::printf("\nfull console dump:\n%s", board->dumpStats().c_str());
     return 0;
 }

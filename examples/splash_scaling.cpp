@@ -31,13 +31,13 @@ runApp(const workload::SplashParams &params, std::uint64_t refs)
 {
     workload::SplashWorkload wl(params);
     host::HostMachine machine(host::s7aConfig(), wl);
-    ies::MemoriesBoard board(ies::makeUniformBoard(
+    auto board = ies::MemoriesBoard::make(ies::makeUniformBoard(
         1, 8,
         cache::CacheConfig{64 * MiB, 4, 128,
                            cache::ReplacementPolicy::LRU}));
-    board.plugInto(machine.bus());
+    board->plugInto(machine.bus());
     machine.run(refs);
-    board.drainAll();
+    board->drainAll();
 
     const auto host_stats = machine.totalStats();
     const double instructions = host::TimingModel::instructions(
@@ -47,7 +47,7 @@ runApp(const workload::SplashParams &params, std::uint64_t refs)
     result.name = params.name;
     result.missesPerKi = host::TimingModel::missesPerKiloInstruction(
         host_stats.l2Misses, instructions);
-    const auto node = board.node(0).stats();
+    const auto node = board->node(0).stats();
     result.l3HitRatio = 1.0 - node.missRatio();
     result.footprintGb =
         static_cast<double>(params.footprintBytes) / (1ull << 30);

@@ -33,17 +33,17 @@ sweepGeometries(workload::OltpParams oltp, std::uint64_t refs)
 
     workload::OltpWorkload wl(oltp);
     host::HostMachine machine(host::s7aConfig(), wl);
-    ies::MemoriesBoard board(ies::makeMultiConfigBoard(configs, 8));
-    board.plugInto(machine.bus());
+    auto board = ies::MemoriesBoard::make(ies::makeMultiConfigBoard(configs, 8));
+    board->plugInto(machine.bus());
     machine.run(refs);
-    board.drainAll();
+    board->drainAll();
 
     std::printf("%-28s %12s %12s %10s\n", "configuration", "L3 refs",
                 "misses", "ratio");
-    for (std::size_t n = 0; n < board.numNodes(); ++n) {
-        const auto s = board.node(n).stats();
+    for (std::size_t n = 0; n < board->numNodes(); ++n) {
+        const auto s = board->node(n).stats();
         std::printf("%-28s %12llu %12llu %9.4f\n",
-                    board.node(n).config().cache.describe().c_str(),
+                    board->node(n).config().cache.describe().c_str(),
                     static_cast<unsigned long long>(s.localRefs),
                     static_cast<unsigned long long>(s.localMisses),
                     s.missRatio());
@@ -60,19 +60,19 @@ journalingProfile(workload::OltpParams oltp, std::uint64_t refs)
     oltp.journalBurstRefs = refs / 80;
     workload::OltpWorkload wl(oltp);
     host::HostMachine machine(host::s7aConfig(), wl);
-    ies::MemoriesBoard board(ies::makeUniformBoard(
+    auto board = ies::MemoriesBoard::make(ies::makeUniformBoard(
         1, 8,
         cache::CacheConfig{64 * MiB, 4, 128,
                            cache::ReplacementPolicy::LRU}));
-    board.plugInto(machine.bus());
+    board->plugInto(machine.bus());
 
     IntervalSeries series(20000);
     std::uint64_t prev_refs = 0, prev_misses = 0;
     const std::uint64_t chunk = refs / 64;
     for (std::uint64_t done = 0; done < refs; done += chunk) {
         machine.run(chunk);
-        board.drainAll();
-        const auto s = board.node(0).stats();
+        board->drainAll();
+        const auto s = board->node(0).stats();
         series.record(s.localMisses - prev_misses,
                       s.localRefs - prev_refs);
         prev_misses = s.localMisses;

@@ -94,14 +94,14 @@ demo()
                            cache::ReplacementPolicy::LRU});
     cfg.traceCapture = true;
     cfg.traceCaptureRecords = 1 << 22;
-    ies::MemoriesBoard board(cfg);
-    board.plugInto(machine.bus());
+    auto board = ies::MemoriesBoard::make(cfg);
+    board->plugInto(machine.bus());
     machine.run(2'000'000);
-    board.drainAll();
-    board.captureBuffer()->dumpToFile(path);
+    board->drainAll();
+    board->captureBuffer()->dumpToFile(path);
     std::printf("captured %llu bus records\n\n",
                 static_cast<unsigned long long>(
-                    board.captureBuffer()->size()));
+                    board->captureBuffer()->size()));
 
     std::printf("== stats ==\n");
     cmdStats(path);

@@ -132,6 +132,14 @@ class Bus6xx
     std::size_t snooperCount() const { return snoopers_.size(); }
 
     /**
+     * Number of attached second-phase observers. Observers are the
+     * bus's tap hook: they see every tenure with its combined response
+     * but can never drive one, so attaching an observer (e.g. an
+     * ExperimentFleet tap) cannot perturb the host stream.
+     */
+    std::size_t observerCount() const { return observers_.size(); }
+
+    /**
      * Width of the data bus in bytes per beat (6xx: 16B). Data-bearing
      * transactions consume size/width data beats, tracked in
      * BusStats::dataCycles. The address bus stays one cycle per tenure

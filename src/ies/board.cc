@@ -33,6 +33,12 @@ MemoriesBoard::MemoriesBoard(const BoardConfig &config, std::uint64_t seed)
 
 MemoriesBoard::~MemoriesBoard() = default;
 
+std::unique_ptr<MemoriesBoard>
+MemoriesBoard::make(const BoardConfig &config, std::uint64_t seed)
+{
+    return std::make_unique<MemoriesBoard>(config, seed);
+}
+
 void
 MemoriesBoard::plugInto(bus::Bus6xx &bus)
 {
@@ -127,6 +133,38 @@ MemoriesBoard::observeResult(const bus::BusTransaction &txn,
                        "response window");
     }
     pending_.reset();
+}
+
+bool
+MemoriesBoard::feedCommitted(const bus::BusTransaction &txn)
+{
+    if (bus::isFilteredOp(txn.op)) {
+        global_.bump(hFiltered_);
+        return true;
+    }
+    global_.bump(hTenures_);
+    if (bus::isReadOp(txn.op))
+        global_.bump(hReads_);
+    if (bus::isWriteIntentOp(txn.op))
+        global_.bump(hWrites_);
+    if (txn.op == bus::BusOp::WriteBack)
+        global_.bump(hWritebacks_);
+
+    drainDue(txn.cycle);
+
+    if (buffer_.size() >= buffer_.capacity()) {
+        global_.bump(hRetriesPosted_);
+        return false;
+    }
+
+    global_.bump(hCommitted_);
+    if (capture_)
+        capture_->record(txn);
+    if (!buffer_.push(txn)) {
+        MEMORIES_PANIC("transaction buffer overflowed after its "
+                       "capacity check");
+    }
+    return true;
 }
 
 void

@@ -41,6 +41,15 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
     MemoriesBoard(const MemoriesBoard &) = delete;
     MemoriesBoard &operator=(const MemoriesBoard &) = delete;
 
+    /**
+     * Factory returning an owned board. The board is neither copyable
+     * nor movable (the bus holds raw snooper/observer pointers into
+     * it), so contexts that transfer ownership — ExperimentFleet,
+     * containers of boards — standardize on this.
+     */
+    static std::unique_ptr<MemoriesBoard> make(const BoardConfig &config,
+                                               std::uint64_t seed = 1);
+
     /** Attach to the host bus (snoop + response-window observer). */
     void plugInto(bus::Bus6xx &bus);
 
@@ -54,6 +63,20 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
     /** BusObserver: commit or drop the tenure once responses combine. */
     void observeResult(const bus::BusTransaction &txn,
                        bus::SnoopResponse combined) override;
+
+    /**
+     * Replay path: feed one already-committed tenure (a tenure some
+     * live bus completed without a Retry). Behaves exactly like
+     * snoop() followed by observeResult() for that tenure — same
+     * counters, same pacing, same capacity check — minus the
+     * response-window bookkeeping a live bus needs.
+     *
+     * @return false when the transaction buffer was full, i.e. the
+     *         point where a live board would have posted a bus retry
+     *         (retries_posted is counted either way); the caller
+     *         decides how to surface the dropped tenure.
+     */
+    bool feedCommitted(const bus::BusTransaction &txn);
 
     /**
      * Process everything still sitting in the transaction buffers

@@ -39,6 +39,7 @@
 #include "ies/busprofiler.hh"
 #include "ies/commandmap.hh"
 #include "ies/console.hh"
+#include "ies/fanout.hh"
 #include "ies/hotspot.hh"
 #include "ies/nodecontroller.hh"
 #include "ies/numa.hh"

@@ -10,7 +10,10 @@
 
 #include <functional>
 #include <memory>
+#include <sstream>
 
+#include "host/machine.hh"
+#include "ies/fanout.hh"
 #include "workload/dss.hh"
 #include "workload/oltp.hh"
 #include "workload/splash.hh"
@@ -127,6 +130,70 @@ TEST_P(DeterminismTest, DifferentSeedsDiverge)
 
 INSTANTIATE_TEST_SUITE_P(AllWorkloads, DeterminismTest,
                          ::testing::Range<std::size_t>(0, 7));
+
+/**
+ * Run one workload through an ExperimentFleet with @p workers threads
+ * and render every board counter (fleet-level determinism must hold
+ * all the way down to the emulated directories, not just the reference
+ * stream).
+ */
+std::string
+fleetFingerprint(std::size_t workers, std::uint64_t seed)
+{
+    auto wl = factories()[1].make(seed); // zipf: shared hot blocks
+    host::HostConfig host_cfg;
+    host_cfg.numCpus = 4;
+    host_cfg.l2 = cache::CacheConfig{256 * KiB, 4, 128,
+                                     cache::ReplacementPolicy::LRU};
+    host_cfg.cyclesPerRef = 6; // stay in the paper's utilization band
+    host::HostMachine machine(host_cfg, *wl);
+
+    ies::ExperimentFleet fleet;
+    for (std::uint64_t mb : {2, 4, 8}) {
+        fleet.addExperiment(
+            ies::makeUniformBoard(
+                2, 2,
+                cache::CacheConfig{mb * MiB, 4, 128,
+                                   cache::ReplacementPolicy::LRU}),
+            seed);
+    }
+    fleet.attach(machine.bus());
+    fleet.start(workers);
+    machine.run(60'000);
+    fleet.finish();
+
+    std::ostringstream os;
+    for (std::size_t b = 0; b < fleet.numExperiments(); ++b) {
+        os << "board " << b << "\n";
+        for (std::size_t n = 0; n < fleet.board(b).numNodes(); ++n)
+            os << fleet.board(b).node(n).counters().dump();
+    }
+    return os.str();
+}
+
+/**
+ * Two fleet runs with the same seed must produce identical counters
+ * even with different worker counts — this is what catches any
+ * iteration-order dependence hiding in the fan-out ring.
+ */
+TEST(FleetDeterminismTest, SameSeedSameCountersAcrossWorkerCounts)
+{
+    const std::string one = fleetFingerprint(1, 42);
+    const std::string two = fleetFingerprint(2, 42);
+    const std::string three = fleetFingerprint(3, 42);
+    EXPECT_EQ(one, two);
+    EXPECT_EQ(one, three);
+}
+
+TEST(FleetDeterminismTest, SameSeedSameCountersAcrossRepeats)
+{
+    EXPECT_EQ(fleetFingerprint(2, 7), fleetFingerprint(2, 7));
+}
+
+TEST(FleetDeterminismTest, DifferentSeedsDiverge)
+{
+    EXPECT_NE(fleetFingerprint(2, 1), fleetFingerprint(2, 2));
+}
 
 } // namespace
 } // namespace memories::workload
