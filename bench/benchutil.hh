@@ -3,9 +3,12 @@
  * Shared plumbing for the table/figure reproduction harnesses.
  *
  * Every bench accepts:
- *   --refs=N      host references to run, in millions (default per
- *                 bench; raise to approach paper-sized runs)
- *   --scale=F     footprint scale factor relative to the bench default
+ *   --refs=N        host references to run, in millions (default per
+ *                   bench; raise to approach paper-sized runs)
+ *   --scale=F       footprint scale factor relative to the bench default
+ *   --telemetry=DIR write windowed telemetry files into DIR (benches
+ *                   that support it; off by default so the timed loops
+ *                   stay instrumentation-free)
  *
  * The harnesses print the same rows/series the paper's tables and
  * figures report, alongside the paper's published values where they
@@ -29,6 +32,7 @@ struct BenchArgs
 {
     double refsMillions = 0;  //!< 0 = use the bench's default
     double scale = 1.0;
+    std::string telemetryDir; //!< empty = no telemetry emission
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -39,6 +43,8 @@ struct BenchArgs
                 args.refsMillions = std::strtod(argv[i] + 7, nullptr);
             else if (std::strncmp(argv[i], "--scale=", 8) == 0)
                 args.scale = std::strtod(argv[i] + 8, nullptr);
+            else if (std::strncmp(argv[i], "--telemetry=", 12) == 0)
+                args.telemetryDir = argv[i] + 12;
             else
                 std::fprintf(stderr, "ignoring unknown option %s\n",
                              argv[i]);

@@ -12,6 +12,8 @@
  */
 
 #include <cstdio>
+#include <filesystem>
+#include <memory>
 #include <vector>
 
 #include "bench/benchutil.hh"
@@ -56,6 +58,28 @@ main(int argc, char **argv)
             cache::CacheConfig{64 * MiB, 4, 128,
                                cache::ReplacementPolicy::LRU}));
         board.plugInto(bus);
+
+        // Optional telemetry emission; the default (flag absent) keeps
+        // the timed loop instrumentation-free, which is the number the
+        // real-time claim rests on.
+        std::unique_ptr<telemetry::Sampler> sampler;
+        std::unique_ptr<telemetry::JsonLinesExporter> jsonl;
+        std::unique_ptr<telemetry::CsvExporter> csv;
+        if (!args.telemetryDir.empty()) {
+            std::filesystem::create_directories(args.telemetryDir);
+            sampler = std::make_unique<telemetry::Sampler>(500'000);
+            const std::string base =
+                args.telemetryDir + "/microbench";
+            jsonl = std::make_unique<telemetry::JsonLinesExporter>(
+                base + ".jsonl");
+            csv = std::make_unique<telemetry::CsvExporter>(base +
+                                                           ".csv");
+            sampler->addExporter(*jsonl);
+            sampler->addExporter(*csv);
+            board.attachTelemetry(*sampler);
+            bus.attachSampler(*sampler);
+        }
+
         bench::Stopwatch clock;
         for (const auto &txn : trace) {
             bus.advanceTo(txn.cycle);
@@ -64,6 +88,14 @@ main(int argc, char **argv)
         board.drainAll();
         report("board path (1 node), bus refs", clock.seconds(),
                static_cast<double>(trace.size()));
+        if (sampler) {
+            bus.detachSampler();
+            sampler->finish(bus.now());
+            std::printf("  telemetry: %llu windows -> %s.{jsonl,csv}\n",
+                        static_cast<unsigned long long>(
+                            sampler->windowsEmitted()),
+                        (args.telemetryDir + "/microbench").c_str());
+        }
     }
     {
         bus::Bus6xx bus;

@@ -12,11 +12,20 @@
  *
  * Build and run:
  *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/config_sweep [workers]
+ *   ./build/examples/config_sweep [workers] [telemetry-dir]
+ *
+ * With a telemetry-dir, each application's measurement pass also emits
+ * windowed telemetry (host refs, bus utilization, per-board fleet
+ * drop/stall counters) as sweep_<app>.jsonl and sweep_<app>.csv, plus
+ * a sweep_fleet.csv fidelity report.
  */
 
 #include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -32,6 +41,9 @@ main(int argc, char **argv)
         workers = static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10));
     if (workers == 0)
         workers = 1;
+    const std::string telemetry_dir = argc > 2 ? argv[2] : "";
+    if (!telemetry_dir.empty())
+        std::filesystem::create_directories(telemetry_dir);
 
     setLoggingQuiet(true);
 
@@ -44,6 +56,22 @@ main(int argc, char **argv)
     constexpr std::uint64_t refs = 4'000'000;
     auto suite = workload::paperSplashSuite(8, 1.0 / 64.0);
 
+    // Check every configuration up front and report the full problem
+    // list, instead of aborting inside the first bad board build.
+    std::vector<ies::BoardConfig> configs;
+    for (const auto &l3 : sizes)
+        configs.push_back(ies::makeUniformBoard(1, 8, l3));
+    for (std::size_t c = 0; c < configs.size(); ++c) {
+        const auto errors = configs[c].validationErrors();
+        if (errors.empty())
+            continue;
+        std::fprintf(stderr, "configuration %zu (%s) is invalid:\n", c,
+                     formatByteSize(sizes[c].sizeBytes).c_str());
+        for (const auto &e : errors)
+            std::fprintf(stderr, "  - %s\n", e.c_str());
+        return 1;
+    }
+
     std::printf("config_sweep: %zu L3 sizes x %zu SPLASH2 apps, "
                 "%zu workers, %llu refs per app\n\n",
                 sizes.size(), suite.size(), workers,
@@ -55,14 +83,16 @@ main(int argc, char **argv)
 
     std::vector<std::vector<double>> ratios(sizes.size());
     std::uint64_t total_stalls = 0;
+    std::uint64_t total_drops = 0;
+    std::string fleet_csv;
     for (const auto &app : suite) {
         workload::SplashWorkload wl(app);
         host::HostMachine machine(host::s7aConfig(), wl);
 
         ies::ExperimentFleet fleet;
-        for (const auto &l3 : sizes)
-            fleet.addExperiment(ies::makeUniformBoard(1, 8, l3), 1,
-                                formatByteSize(l3.sizeBytes));
+        for (std::size_t c = 0; c < configs.size(); ++c)
+            fleet.addExperiment(configs[c], 1,
+                                formatByteSize(sizes[c].sizeBytes));
         fleet.attach(machine.bus());
 
         // Warmup pass, then measure the steady state: the boards stay
@@ -74,16 +104,74 @@ main(int argc, char **argv)
         for (std::size_t c = 0; c < sizes.size(); ++c)
             fleet.board(c).clearCounters();
 
+        // Measurement pass, optionally with windowed telemetry. Only
+        // thread-safe sources are registered (host, bus, fleet
+        // atomics): the boards' own banks belong to worker threads.
+        std::unique_ptr<telemetry::Sampler> sampler;
+        std::unique_ptr<telemetry::JsonLinesExporter> jsonl;
+        std::unique_ptr<telemetry::CsvExporter> csv;
+        if (!telemetry_dir.empty()) {
+            sampler = std::make_unique<telemetry::Sampler>(250'000);
+            const std::string base =
+                telemetry_dir + "/sweep_" + app.name;
+            jsonl = std::make_unique<telemetry::JsonLinesExporter>(
+                base + ".jsonl");
+            csv = std::make_unique<telemetry::CsvExporter>(base +
+                                                           ".csv");
+            sampler->addExporter(*jsonl);
+            sampler->addExporter(*csv);
+            // Per-board worker progress is scheduling-dependent; the
+            // uploaded artifacts must be byte-stable run-to-run, so
+            // register only bus-thread sources (the per-board fidelity
+            // numbers land in sweep_fleet.csv after finish()).
+            fleet.attachTelemetry(*sampler, /*board_progress=*/false);
+            machine.attachTelemetry(*sampler);
+        }
+
         fleet.attach(machine.bus());
         fleet.start(workers);
+        if (sampler) {
+            // start() zeroed the fleet counters and the warmup pass
+            // left bus time far from zero: re-baseline and skip ahead.
+            sampler->resync(machine.bus().now());
+        }
         machine.run(refs);
         fleet.finish();
+        if (sampler) {
+            machine.bus().detachSampler();
+            sampler->finish(machine.bus().now());
+        }
+
+        const auto fleet_report = ies::FleetReport::capture(fleet);
+        total_drops += fleet_report.totalOverflowDrops();
+        if (fleet_report.totalOverflowDrops() > 0)
+            std::printf("%s\n", fleet_report.toText().c_str());
+        if (fleet_csv.empty())
+            fleet_csv = "app,board,consumed,overflow_drops,"
+                        "backpressure_stalls,published,tap_filtered,"
+                        "tap_retry_dropped\n";
+        for (const auto &line : fleet_report.boards) {
+            fleet_csv += app.name + "," + line.label + "," +
+                         std::to_string(line.consumed) + "," +
+                         std::to_string(line.overflowDrops) + "," +
+                         std::to_string(line.backpressureStalls) + "," +
+                         std::to_string(fleet_report.published) + "," +
+                         std::to_string(fleet_report.tapFiltered) + "," +
+                         std::to_string(fleet_report.tapRetryDropped) +
+                         "\n";
+        }
 
         for (std::size_t c = 0; c < sizes.size(); ++c) {
             const auto s = fleet.board(c).node(0).stats();
             ratios[c].push_back(s.missRatio());
             total_stalls += fleet.backpressureStalls(c);
         }
+    }
+
+    if (!telemetry_dir.empty()) {
+        std::ofstream out(telemetry_dir + "/sweep_fleet.csv",
+                          std::ios::trunc);
+        out << fleet_csv;
     }
 
     for (std::size_t c = 0; c < sizes.size(); ++c) {
@@ -105,8 +193,13 @@ main(int argc, char **argv)
                 "decreasing with L3 size (Figure 11).\n",
                 monotone, suite.size());
     std::printf("fan-out: entire sweep took 1 host pass per app "
-                "instead of %zu; producer backpressure stalls: %llu\n",
+                "instead of %zu; producer backpressure stalls: %llu, "
+                "overflow drops: %llu\n",
                 sizes.size(),
-                static_cast<unsigned long long>(total_stalls));
+                static_cast<unsigned long long>(total_stalls),
+                static_cast<unsigned long long>(total_drops));
+    if (!telemetry_dir.empty())
+        std::printf("telemetry written to %s/sweep_*.{jsonl,csv}\n",
+                    telemetry_dir.c_str());
     return 0;
 }

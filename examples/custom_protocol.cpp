@@ -80,6 +80,15 @@ snooper KILL   M -> I none
             cfg.nodes.push_back(std::move(node));
         }
     }
+    // Report configuration problems as a list instead of aborting
+    // inside the board build (a hand-written protocol plus hand-wired
+    // CPU maps is exactly where several mistakes land at once).
+    if (const auto errors = cfg.validationErrors(); !errors.empty()) {
+        std::fprintf(stderr, "invalid board configuration:\n");
+        for (const auto &e : errors)
+            std::fprintf(stderr, "  - %s\n", e.c_str());
+        return 1;
+    }
     auto board = ies::MemoriesBoard::make(cfg);
     board->plugInto(machine.bus());
     machine.run(refs);

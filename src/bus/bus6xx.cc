@@ -80,11 +80,47 @@ Bus6xx::advanceTo(Cycle cycle)
 {
     if (cycle > now_)
         now_ = cycle;
+    if (sampler_)
+        sampler_->advanceTo(now_);
+}
+
+void
+Bus6xx::attachSampler(telemetry::Sampler &sampler)
+{
+    sampler_ = &sampler;
+    sampler.addValue("bus.tenures", [this] { return stats_.tenures; });
+    sampler.addValue("bus.memory_ops",
+                     [this] { return stats_.memoryOps; });
+    sampler.addValue("bus.retries", [this] { return stats_.retries; });
+    sampler.addValue("bus.data_cycles",
+                     [this] { return stats_.dataCycles; });
+    sampler.addGauge("bus.utilization",
+                     [this] { return stats_.utilization(now_); });
+
+    // Distribution of per-window address-bus load: the live view behind
+    // the paper's "2% to 20%" observation (section 3.3).
+    if (!utilizationHist_) {
+        utilizationHist_ = std::make_unique<telemetry::Histogram>(
+            "bus.window_utilization_percent", 5, 20);
+    }
+    sampler.addHistogram(*utilizationHist_);
+    sampler.addWindowCallback(
+        [this, prev = stats_.tenures](
+            const telemetry::WindowRecord &w) mutable {
+            const Cycle span = w.endCycle - w.beginCycle;
+            if (span == 0)
+                return;
+            const std::uint64_t cur = stats_.tenures;
+            utilizationHist_->record((cur - prev) * 100 / span);
+            prev = cur;
+        });
 }
 
 SnoopResponse
 Bus6xx::issue(BusTransaction txn)
 {
+    if (sampler_)
+        sampler_->advanceTo(now_);
     txn.cycle = now_;
     ++now_; // the address tenure occupies one bus cycle
     ++stats_.tenures;

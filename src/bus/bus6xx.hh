@@ -20,11 +20,13 @@
 #define MEMORIES_BUS_BUS6XX_HH
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bus/transaction.hh"
 #include "common/types.hh"
+#include "telemetry/sampler.hh"
 
 namespace memories::bus
 {
@@ -115,7 +117,12 @@ class Bus6xx
     SnoopResponse issue(BusTransaction txn);
 
     /** Advance bus time by @p cycles idle cycles. */
-    void tick(Cycle cycles) { now_ += cycles; }
+    void tick(Cycle cycles)
+    {
+        now_ += cycles;
+        if (sampler_)
+            sampler_->advanceTo(now_);
+    }
 
     /** Advance bus time to an absolute cycle (no-op if in the past). */
     void advanceTo(Cycle cycle);
@@ -148,12 +155,29 @@ class Bus6xx
     void setDataBusBytesPerBeat(unsigned bytes);
     unsigned dataBusBytesPerBeat() const { return dataBeatBytes_; }
 
+    /**
+     * Attach a telemetry sampler. The bus becomes the sampler's clock
+     * (every tick/advance drives window closes on emulated bus time,
+     * never wall clock) and registers its own counters — tenures,
+     * memory ops, retries, data-bus cycles — plus a per-window
+     * address-bus utilization histogram. The sampler must outlive the
+     * bus or be detached first. Costs one null-check per tick when not
+     * attached.
+     */
+    void attachSampler(telemetry::Sampler &sampler);
+
+    /** Stop driving the sampler (registered sources stay registered). */
+    void detachSampler() { sampler_ = nullptr; }
+
   private:
     std::vector<BusSnooper *> snoopers_;
     std::vector<BusObserver *> observers_;
     Cycle now_ = 0;
     unsigned dataBeatBytes_ = 16;
     BusStats stats_;
+    telemetry::Sampler *sampler_ = nullptr;
+    /** Per-window address-bus utilization in percent (0-100+). */
+    std::unique_ptr<telemetry::Histogram> utilizationHist_;
 };
 
 } // namespace memories::bus

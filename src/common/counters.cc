@@ -52,12 +52,22 @@ CounterBank::clearAll()
         c.clear();
 }
 
+std::vector<CounterSample>
+CounterBank::snapshot() const
+{
+    std::vector<CounterSample> samples;
+    samples.reserve(counters_.size());
+    snapshot([&](const CounterSample &s) { samples.push_back(s); });
+    return samples;
+}
+
 std::string
 CounterBank::dump() const
 {
     std::ostringstream os;
-    for (std::size_t i = 0; i < counters_.size(); ++i)
-        os << names_[i] << ' ' << counters_[i].value() << '\n';
+    snapshot([&](const CounterSample &s) {
+        os << s.name << ' ' << s.value << '\n';
+    });
     return os.str();
 }
 

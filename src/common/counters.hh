@@ -38,8 +38,31 @@ class Counter40
     /** Reset to zero (console "clear counters" command). */
     void clear() { value_ = 0; }
 
+    /**
+     * Events elapsed between two reads of the same counter, exact as
+     * long as fewer than 2^40 events happened in between — the windowed
+     * sampling the console performs live (paper section 3: the counter
+     * width buys >30 hours between mandatory polls).
+     */
+    static constexpr std::uint64_t delta(std::uint64_t newer,
+                                         std::uint64_t older)
+    {
+        return (newer - older) & mask;
+    }
+
   private:
     std::uint64_t value_ = 0;
+};
+
+/** Handle identifying one counter within a CounterBank. */
+using CounterHandle = std::uint32_t;
+
+/** One counter's state as read out by CounterBank::snapshot(). */
+struct CounterSample
+{
+    std::string_view name;
+    CounterHandle handle = 0;
+    std::uint64_t value = 0;
 };
 
 /**
@@ -51,7 +74,7 @@ class Counter40
 class CounterBank
 {
   public:
-    using Handle = std::uint32_t;
+    using Handle = CounterHandle;
 
     /**
      * Register a counter and return its handle.
@@ -83,7 +106,29 @@ class CounterBank
     /** Zero every counter. */
     void clearAll();
 
-    /** Render "name value" lines, one per counter, for console dumps. */
+    /**
+     * Structured read-out of every counter, in handle order. This is
+     * the surface everything else formats from: dump(), the CSV
+     * exporters, and the telemetry sampler all consume samples rather
+     * than re-parsing rendered text.
+     */
+    std::vector<CounterSample> snapshot() const;
+
+    /**
+     * Visitor overload: invoke @p visit with each CounterSample in
+     * handle order without materializing a vector (hot telemetry
+     * paths).
+     */
+    template <typename Visitor>
+    void snapshot(Visitor &&visit) const
+    {
+        for (std::size_t i = 0; i < counters_.size(); ++i) {
+            visit(CounterSample{names_[i], static_cast<Handle>(i),
+                                counters_[i].value()});
+        }
+    }
+
+    /** Render "name value" lines: a thin formatter over snapshot(). */
     std::string dump() const;
 
   private:

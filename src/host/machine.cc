@@ -120,12 +120,14 @@ HostMachine::HostMachine(const HostConfig &config, workload::Workload &wl)
 void
 HostMachine::run(std::uint64_t refs)
 {
+    // Counted per reference (not in one lump afterwards) so telemetry
+    // windows closing mid-run read a current host.refs.
     for (std::uint64_t i = 0; i < refs; ++i) {
         cpus_[nextCpu_]->step();
+        ++refsExecuted_;
         bus_.tick(config_.cyclesPerRef);
         nextCpu_ = (nextCpu_ + 1) % cpus_.size();
     }
-    refsExecuted_ += refs;
 }
 
 void
@@ -134,6 +136,17 @@ HostMachine::clearStats()
     for (auto &cpu : cpus_)
         cpu->clearStats();
     bus_.clearStats();
+}
+
+void
+HostMachine::attachTelemetry(telemetry::Sampler &sampler)
+{
+    bus_.attachSampler(sampler);
+    sampler.addValue("host.refs", [this] { return refsExecuted_; });
+    sampler.addValue("host.l2_misses",
+                     [this] { return totalStats().l2Misses; });
+    sampler.addValue("host.writebacks",
+                     [this] { return totalStats().writebacks; });
 }
 
 HierarchyStats

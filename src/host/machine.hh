@@ -120,6 +120,15 @@ class HostMachine
 
     const HostConfig &config() const { return config_; }
 
+    /**
+     * Attach a telemetry sampler: the machine's bus becomes its clock
+     * (see Bus6xx::attachSampler) and the machine registers aggregate
+     * host-side sources — references executed, L2 misses, writebacks —
+     * so every windowed export carries the host's view alongside the
+     * board's.
+     */
+    void attachTelemetry(telemetry::Sampler &sampler);
+
   private:
     HostConfig config_;
     workload::Workload &workload_;

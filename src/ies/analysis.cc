@@ -101,9 +101,68 @@ countersToCsv(const CounterBank &bank)
 {
     std::ostringstream os;
     os << "counter,value\n";
-    for (std::size_t i = 0; i < bank.size(); ++i) {
-        os << bank.name(static_cast<CounterBank::Handle>(i)) << ','
-           << bank.value(static_cast<CounterBank::Handle>(i)) << '\n';
+    bank.snapshot([&os](const CounterSample &s) {
+        os << s.name << ',' << s.value << '\n';
+    });
+    return os.str();
+}
+
+FleetReport
+FleetReport::capture(const ExperimentFleet &fleet)
+{
+    FleetReport report;
+    report.published = fleet.eventsPublished();
+    report.tapFiltered = fleet.tapFiltered();
+    report.tapRetryDropped = fleet.tapRetryDropped();
+    for (std::size_t i = 0; i < fleet.numExperiments(); ++i) {
+        BoardLine line;
+        line.label = fleet.label(i);
+        line.consumed = fleet.eventsConsumed(i);
+        line.overflowDrops = fleet.overflowDrops(i);
+        line.backpressureStalls = fleet.backpressureStalls(i);
+        report.boards.push_back(std::move(line));
+    }
+    return report;
+}
+
+std::uint64_t
+FleetReport::totalOverflowDrops() const
+{
+    std::uint64_t total = 0;
+    for (const BoardLine &b : boards)
+        total += b.overflowDrops;
+    return total;
+}
+
+std::string
+FleetReport::toCsv() const
+{
+    std::ostringstream os;
+    os << "board,consumed,overflow_drops,backpressure_stalls,"
+          "published,tap_filtered,tap_retry_dropped\n";
+    for (const BoardLine &b : boards) {
+        os << b.label << ',' << b.consumed << ',' << b.overflowDrops
+           << ',' << b.backpressureStalls << ',' << published << ','
+           << tapFiltered << ',' << tapRetryDropped << '\n';
+    }
+    return os.str();
+}
+
+std::string
+FleetReport::toText() const
+{
+    std::ostringstream os;
+    os << "tap published " << published << ", filtered " << tapFiltered
+       << ", retry-dropped " << tapRetryDropped << "\n";
+    for (const BoardLine &b : boards) {
+        os << "  " << b.label << ": consumed " << b.consumed
+           << " drops " << b.overflowDrops << " stalls "
+           << b.backpressureStalls;
+        if (b.overflowDrops > 0) {
+            os << "  ** lossy: this board saw " << b.overflowDrops
+               << " fewer tenures than the host bus **";
+        }
+        os << "\n";
     }
     return os.str();
 }

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "ies/board.hh"
+#include "ies/fanout.hh"
 
 namespace memories::ies
 {
@@ -64,6 +65,43 @@ struct BoardReport
  * Export any counter bank as two-column CSV ("counter,value").
  */
 std::string countersToCsv(const CounterBank &bank);
+
+/**
+ * Structured snapshot of a fleet replay's fidelity: what the tap
+ * published and, per board, what arrived — including the tenures a
+ * board silently lost to transaction-buffer overflow, where a live
+ * board would have retried on the bus instead. A study that ignores
+ * nonzero overflow drops is comparing boards that saw different
+ * traffic; this report makes that impossible to miss.
+ *
+ * Capture after ExperimentFleet::finish().
+ */
+struct FleetReport
+{
+    std::uint64_t published = 0;
+    std::uint64_t tapFiltered = 0;
+    std::uint64_t tapRetryDropped = 0;
+
+    struct BoardLine
+    {
+        std::string label;
+        std::uint64_t consumed = 0;
+        std::uint64_t overflowDrops = 0;
+        std::uint64_t backpressureStalls = 0;
+    };
+    std::vector<BoardLine> boards;
+
+    static FleetReport capture(const ExperimentFleet &fleet);
+
+    /** Sum of overflow drops across all boards. */
+    std::uint64_t totalOverflowDrops() const;
+
+    /** CSV: one header row, one row per board. */
+    std::string toCsv() const;
+
+    /** Aligned human-readable text (flags lossy boards). */
+    std::string toText() const;
+};
 
 /**
  * Case Study 3's back-of-envelope: estimated speedup from adding an

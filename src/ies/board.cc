@@ -212,6 +212,32 @@ MemoriesBoard::emulate(const bus::BusTransaction &txn)
 }
 
 void
+MemoriesBoard::attachTelemetry(telemetry::Sampler &sampler,
+                               const std::string &prefix)
+{
+    sampler.addBank(prefix, global_);
+    for (const auto &node : nodes_)
+        sampler.addBank(prefix, node->counters());
+    sampler.addGauge(prefix + ".buffer.occupancy", [this] {
+        return static_cast<double>(buffer_.size());
+    });
+
+    if (!occupancyHist_) {
+        // Occupancy in 16-entry steps covers the 512-entry board buffer
+        // exactly; latency buckets span 0..2047 cycles before the
+        // overflow bin (a full buffer draining at 42% sits near 1200).
+        occupancyHist_ = std::make_unique<telemetry::Histogram>(
+            prefix + ".buffer.occupancy", 16, 32);
+        commitLatencyHist_ = std::make_unique<telemetry::Histogram>(
+            prefix + ".commit_latency_cycles", 64, 32);
+        buffer_.setTelemetry(occupancyHist_.get(),
+                             commitLatencyHist_.get());
+    }
+    sampler.addHistogram(*occupancyHist_);
+    sampler.addHistogram(*commitLatencyHist_);
+}
+
+void
 MemoriesBoard::clearCounters()
 {
     global_.clearAll();

@@ -135,6 +135,22 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
 
     const BoardConfig &config() const { return config_; }
 
+    /**
+     * Register this board's observables with a telemetry sampler: the
+     * global-events bank and every node bank (windowed, wrap-correct
+     * deltas), a buffer-occupancy gauge, plus two histograms fed by the
+     * transaction buffer — occupancy at each accepted push and
+     * snoop-to-commit latency in bus cycles at each paced retirement.
+     * Metric names are prefixed "<prefix>."; pass distinct prefixes to
+     * tell boards apart in one sampler.
+     *
+     * Threading: registered sources are read on the sampler's (bus
+     * time) thread. Only attach a board that is emulated on that same
+     * thread — never a live ExperimentFleet worker board.
+     */
+    void attachTelemetry(telemetry::Sampler &sampler,
+                         const std::string &prefix = "board");
+
   private:
     void emulate(const bus::BusTransaction &txn);
     void drainDue(Cycle now);
@@ -143,6 +159,10 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
     std::vector<std::unique_ptr<NodeController>> nodes_;
     TransactionBuffer buffer_;
     std::optional<trace::CaptureBuffer> capture_;
+
+    /** Owned by the board, fed by buffer_ (see attachTelemetry). */
+    std::unique_ptr<telemetry::Histogram> occupancyHist_;
+    std::unique_ptr<telemetry::Histogram> commitLatencyHist_;
 
     /** Tenure seen by snoop() awaiting its response window. */
     std::optional<bus::BusTransaction> pending_;

@@ -1,54 +1,99 @@
 #include "ies/boardconfig.hh"
 
+#include <sstream>
+
 #include "common/logging.hh"
 #include "common/units.hh"
 
 namespace memories::ies
 {
 
-void
-BoardConfig::validate() const
+namespace
 {
+
+/**
+ * Run a nested validator that reports through fatal() and convert its
+ * verdict into an optional message, so board-level validation can keep
+ * collecting instead of unwinding at the first bad node.
+ */
+template <typename Check>
+void
+collect(std::vector<std::string> &errors, const std::string &where,
+        Check &&check)
+{
+    try {
+        check();
+    } catch (const FatalError &err) {
+        errors.push_back(where + ": " + err.what());
+    }
+}
+
+} // namespace
+
+std::vector<std::string>
+BoardConfig::validationErrors() const
+{
+    std::vector<std::string> errors;
+    auto error = [&errors](auto &&...parts) {
+        std::ostringstream os;
+        (os << ... << parts);
+        errors.push_back(os.str());
+    };
+
     if (nodes.empty())
-        fatal("board configured with no emulated nodes");
-    if (nodes.size() > 2 * maxBoardNodes)
-        fatal("at most ", 2 * maxBoardNodes,
-              " emulated nodes supported (two lock-stepped boards)");
-    if (nodes.size() > maxBoardNodes) {
+        error("board configured with no emulated nodes");
+    if (nodes.size() > 2 * maxBoardNodes) {
+        error("at most ", 2 * maxBoardNodes,
+              " emulated nodes supported (two lock-stepped boards), got ",
+              nodes.size());
+    } else if (nodes.size() > maxBoardNodes) {
         warn("configuration uses ", nodes.size(), " nodes; one physical "
              "board has ", maxBoardNodes,
              " node controllers - emulating two lock-stepped boards");
     }
     if (bufferEntries == 0)
-        fatal("transaction buffer depth must be nonzero");
-    if (sdramThroughputPercent == 0 || sdramThroughputPercent > 100)
-        fatal("SDRAM throughput percent must be in (0, 100]");
+        error("transaction buffer depth must be nonzero");
+    if (sdramThroughputPercent == 0 || sdramThroughputPercent > 100) {
+        error("SDRAM throughput percent must be in (0, 100], got ",
+              sdramThroughputPercent);
+    }
 
     for (std::size_t i = 0; i < nodes.size(); ++i) {
         const NodeConfig &node = nodes[i];
-        node.cache.validate(cache::boardBounds());
-        if (node.setSamplingShift > 8)
-            fatal("node ", i, " set-sampling shift ",
-                  node.setSamplingShift, " is implausibly deep");
-        if (node.setSamplingShift > 0 &&
-            (node.cache.numSets() >> node.setSamplingShift) == 0) {
-            fatal("node ", i, " set sampling leaves no sets");
+        const std::string where = "node " + std::to_string(i);
+        collect(errors, where,
+                [&] { node.cache.validate(cache::boardBounds()); });
+        if (node.setSamplingShift > 8) {
+            error(where, " set-sampling shift ", node.setSamplingShift,
+                  " is implausibly deep");
+        } else if (node.setSamplingShift > 0 &&
+                   (node.cache.numSets() >> node.setSamplingShift) == 0) {
+            error(where, " set sampling leaves no sets");
         }
         const std::uint64_t dir_bytes =
             node.cache.directoryBytes() >> node.setSamplingShift;
         if (dir_bytes > cache::nodeSdramBudget) {
-            fatal("node ", i, " (", node.cache.describe(),
-                  ") needs ", formatByteSize(dir_bytes),
+            error(where, " (", node.cache.describe(), ") needs ",
+                  formatByteSize(dir_bytes),
                   " of directory SDRAM but each node controller has ",
                   formatByteSize(cache::nodeSdramBudget));
         }
         if (node.cpus.empty())
-            fatal("node ", i, " has no CPUs assigned");
-        if (node.cpus.size() > 8)
-            fatal("node ", i, " has ", node.cpus.size(),
+            error(where, " has no CPUs assigned");
+        if (node.cpus.size() > 8) {
+            error(where, " has ", node.cpus.size(),
                   " CPUs; the board supports 1-8 processors per shared "
                   "cache node");
-        node.protocol.validate();
+        }
+        for (CpuId cpu : node.cpus) {
+            if (cpu >= maxHostCpus) {
+                error(where, " references CPU ",
+                      static_cast<unsigned>(cpu),
+                      " beyond the host bus (ids 0-", maxHostCpus - 1,
+                      ")");
+            }
+        }
+        collect(errors, where, [&] { node.protocol.validate(); });
 
         // Within one target machine, a CPU may belong to only one node.
         for (std::size_t j = 0; j < i; ++j) {
@@ -57,7 +102,7 @@ BoardConfig::validate() const
             for (CpuId a : node.cpus) {
                 for (CpuId b : nodes[j].cpus) {
                     if (a == b) {
-                        fatal("CPU ", static_cast<unsigned>(a),
+                        error("CPU ", static_cast<unsigned>(a),
                               " assigned to nodes ", j, " and ", i,
                               " of target machine ", node.targetMachine);
                     }
@@ -65,6 +110,21 @@ BoardConfig::validate() const
             }
         }
     }
+    return errors;
+}
+
+void
+BoardConfig::validate() const
+{
+    const std::vector<std::string> errors = validationErrors();
+    if (errors.empty())
+        return;
+    std::ostringstream os;
+    os << "invalid board configuration (" << errors.size()
+       << " problem" << (errors.size() == 1 ? "" : "s") << "):";
+    for (const std::string &e : errors)
+        os << "\n  - " << e;
+    fatal(os.str());
 }
 
 } // namespace memories::ies

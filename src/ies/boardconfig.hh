@@ -68,7 +68,20 @@ struct BoardConfig
     /** Trace-capture capacity in records (board max: 1G records). */
     std::uint64_t traceCaptureRecords = 1u << 20;
 
-    /** Validate every node and the board-level budgets; fatal() on error. */
+    /**
+     * Check every node and the board-level budgets, collecting *all*
+     * problems instead of stopping at the first: one human-readable
+     * message per violation, empty when the configuration is buildable.
+     * Front ends (examples, consoles) print the whole list so an
+     * operator fixes a configuration in one round trip.
+     */
+    std::vector<std::string> validationErrors() const;
+
+    /**
+     * fatal() with every message from validationErrors(), or return
+     * quietly when there are none. MemoriesBoard::make runs this once;
+     * nothing downstream re-checks.
+     */
     void validate() const;
 };
 

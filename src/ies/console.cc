@@ -1,14 +1,113 @@
 #include "ies/console.hh"
 
 #include <cstdio>
+#include <iomanip>
+#include <map>
 #include <sstream>
 
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "ies/analysis.hh"
+#include "telemetry/exporter.hh"
 
 namespace memories::ies
 {
+
+namespace
+{
+
+/**
+ * Internal exporter behind the console's "monitor" command: keeps a
+ * formatted view of the most recent closed window — per-node miss
+ * ratios computed from window *deltas* (the live readout the hardware
+ * console gave the operator) plus bus activity.
+ */
+class MonitorView final : public telemetry::Exporter
+{
+  public:
+    void exportWindow(const telemetry::WindowRecord &w) override
+    {
+        struct NodeWindow
+        {
+            std::uint64_t hits = 0;
+            std::uint64_t misses = 0;
+        };
+        std::map<std::string, NodeWindow> nodes;
+        std::uint64_t busTenures = 0;
+        bool sawBus = false;
+
+        for (const auto &c : w.counters) {
+            const std::string &name = *c.name;
+            if (name == "bus.tenures") {
+                busTenures = c.delta;
+                sawBus = true;
+                continue;
+            }
+            // Per-node references look like
+            // "<prefix>.nodeN.local.<op>.hit|miss".
+            const auto local = name.find(".local.");
+            if (local == std::string::npos)
+                continue;
+            const auto node = name.rfind("node", local);
+            if (node == std::string::npos)
+                continue;
+            NodeWindow &nw = nodes[name.substr(node, local - node)];
+            if (name.size() >= 4 &&
+                name.compare(name.size() - 4, 4, ".hit") == 0)
+                nw.hits += c.delta;
+            else if (name.size() >= 5 &&
+                     name.compare(name.size() - 5, 5, ".miss") == 0)
+                nw.misses += c.delta;
+        }
+
+        std::ostringstream os;
+        os << "window " << w.index << " [" << w.beginCycle << ", "
+           << w.endCycle << ")";
+        if (sawBus) {
+            const Cycle span = w.endCycle - w.beginCycle;
+            os << " bus tenures " << busTenures;
+            if (span > 0) {
+                os << " utilization " << std::fixed
+                   << std::setprecision(1)
+                   << 100.0 * static_cast<double>(busTenures) /
+                          static_cast<double>(span)
+                   << "%";
+            }
+        }
+        os << "\n";
+        for (const auto &[label, nw] : nodes) {
+            const std::uint64_t refs = nw.hits + nw.misses;
+            os << "  " << label << ": refs " << refs << " misses "
+               << nw.misses << " miss-ratio ";
+            if (refs == 0) {
+                os << "n/a";
+            } else {
+                os << std::fixed << std::setprecision(4)
+                   << static_cast<double>(nw.misses) /
+                          static_cast<double>(refs);
+            }
+            os << "\n";
+        }
+        latest_ = os.str();
+    }
+
+    const std::string &latest() const { return latest_; }
+
+  private:
+    std::string latest_;
+};
+
+} // namespace
+
+/** Owns one monitor session: the sampler, its view, and file sinks. */
+struct ConsoleMonitor
+{
+    telemetry::Sampler sampler;
+    MonitorView view;
+    std::unique_ptr<telemetry::JsonLinesExporter> jsonl;
+
+    explicit ConsoleMonitor(Cycle window) : sampler(window) {}
+};
 
 namespace
 {
@@ -67,8 +166,19 @@ Console::Console(bus::Bus6xx &bus) : bus_(bus)
 
 Console::~Console()
 {
+    stopMonitor();
     if (board_)
         board_->unplug(bus_);
+}
+
+void
+Console::stopMonitor()
+{
+    if (!monitor_)
+        return;
+    bus_.detachSampler();
+    monitor_->sampler.finish(bus_.now());
+    monitor_.reset();
 }
 
 NodeConfig &
@@ -204,10 +314,14 @@ Console::handle(const std::vector<std::string> &tokens)
         return require_board().dumpStats();
     if (cmd == "counters") {
         auto &board = require_board();
-        std::string out = board.globalCounters().dump();
+        std::ostringstream os;
+        const auto emit = [&os](const CounterSample &s) {
+            os << s.name << " " << s.value << "\n";
+        };
+        board.globalCounters().snapshot(emit);
         for (std::size_t i = 0; i < board.numNodes(); ++i)
-            out += board.node(i).counters().dump();
-        return out;
+            board.node(i).counters().snapshot(emit);
+        return os.str();
     }
     if (cmd == "clear") {
         require_board().clearCounters();
@@ -280,6 +394,51 @@ Console::handle(const std::vector<std::string> &tokens)
             fatal("failed writing '", tokens[1], "'");
         return "exported statistics to " + tokens[1];
     }
+    if (cmd == "monitor") {
+        auto &board = require_board();
+        if (tokens.size() == 1 || tokens[1] == "show") {
+            if (!monitor_)
+                fatal("no monitor session; use: monitor start "
+                      "<cycles> [jsonl-path]");
+            if (monitor_->view.latest().empty())
+                return "no window closed yet (monitoring every " +
+                       std::to_string(monitor_->sampler.windowCycles()) +
+                       " bus cycles)";
+            return monitor_->view.latest();
+        }
+        if (tokens[1] == "start") {
+            if (tokens.size() < 3 || tokens.size() > 4)
+                fatal("usage: monitor start <cycles> [jsonl-path]");
+            if (monitor_)
+                fatal("monitor already running; 'monitor stop' first");
+            const Cycle window = parseNumber(tokens[2]);
+            auto mon = std::make_unique<ConsoleMonitor>(window);
+            board.attachTelemetry(mon->sampler);
+            mon->sampler.addExporter(mon->view);
+            if (tokens.size() == 4) {
+                mon->jsonl =
+                    std::make_unique<telemetry::JsonLinesExporter>(
+                        tokens[3]);
+                mon->sampler.addExporter(*mon->jsonl);
+            }
+            monitor_ = std::move(mon);
+            // Attach last: registers the bus's own sources and makes
+            // the bus clock the sampler from here on. The session may
+            // already be deep into bus time, so skip the sampler ahead
+            // rather than emitting every empty window since cycle 0.
+            bus_.attachSampler(monitor_->sampler);
+            monitor_->sampler.resync(bus_.now());
+            return "monitoring every " + tokens[2] + " bus cycles" +
+                   (tokens.size() == 4 ? " -> " + tokens[3] : "");
+        }
+        if (tokens[1] == "stop") {
+            if (!monitor_)
+                fatal("no monitor session to stop");
+            stopMonitor();
+            return "monitor stopped";
+        }
+        fatal("unknown monitor subcommand '", tokens[1], "'");
+    }
     if (cmd == "script") {
         if (tokens.size() != 2)
             fatal("usage: script <path>");
@@ -310,13 +469,14 @@ Console::handle(const std::vector<std::string> &tokens)
     }
     if (cmd == "shutdown") {
         auto &board = require_board();
+        stopMonitor(); // its sampler reads this board's counters
         board.unplug(bus_);
         board_.reset();
         return "board detached";
     }
     if (cmd == "help") {
         return "commands: node buffer throughput capture init stats "
-               "counters clear reset dump-trace shutdown";
+               "counters monitor clear reset dump-trace shutdown";
     }
     fatal("unknown command '", cmd, "'");
 }

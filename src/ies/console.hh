@@ -22,6 +22,10 @@
  *   dump-trace <path>        -- write the capture buffer to disk
  *   save-protocol <i> <path> -- write node i's table as a map file
  *   export-csv <path>        -- write per-node statistics as CSV
+ *   monitor start <cycles> [jsonl-path]
+ *                            -- begin windowed telemetry sampling
+ *   monitor                  -- live view of the last closed window
+ *   monitor stop             -- finish sampling (flushes exporters)
  *   script <path>            -- execute commands from a file
  *   shutdown                 -- unplug from the bus
  *
@@ -41,6 +45,9 @@
 
 namespace memories::ies
 {
+
+/** Monitor-session state (sampler + live view); see console.cc. */
+struct ConsoleMonitor;
 
 /** Text-command console controlling one board on one host bus. */
 class Console
@@ -64,9 +71,12 @@ class Console
     std::string handle(const std::vector<std::string> &tokens);
     NodeConfig &nodeFor(std::size_t index);
 
+    void stopMonitor();
+
     bus::Bus6xx &bus_;
     BoardConfig staged_;
     std::unique_ptr<MemoriesBoard> board_;
+    std::unique_ptr<ConsoleMonitor> monitor_;
 };
 
 } // namespace memories::ies

@@ -179,8 +179,15 @@ ExperimentFleet::start(std::size_t workers)
                                         boards_.size());
     producerBuf_.clear();
     producerBuf_.reserve(opts_.batchSize);
-    overflowDrops_.assign(boards_.size(), 0);
-    eventsConsumed_.assign(boards_.size(), 0);
+    slotCount_ = boards_.size();
+    overflowDrops_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(slotCount_);
+    eventsConsumed_ =
+        std::make_unique<std::atomic<std::uint64_t>[]>(slotCount_);
+    for (std::size_t i = 0; i < slotCount_; ++i) {
+        overflowDrops_[i].store(0, std::memory_order_relaxed);
+        eventsConsumed_[i].store(0, std::memory_order_relaxed);
+    }
     published_ = 0;
     tapFiltered_ = 0;
     tapRetryDropped_ = 0;
@@ -304,10 +311,10 @@ ExperimentFleet::feedBoard(std::size_t i, const FleetEvent *events,
             // A live board would have posted a bus retry and seen the
             // host replay the tenure; in replay there is no host to
             // replay it, so the event is lost to this board only.
-            ++overflowDrops_[i];
+            overflowDrops_[i].fetch_add(1, std::memory_order_relaxed);
         }
     }
-    eventsConsumed_[i] += n;
+    eventsConsumed_[i].fetch_add(n, std::memory_order_relaxed);
 }
 
 void
@@ -328,14 +335,14 @@ std::uint64_t
 ExperimentFleet::overflowDrops(std::size_t i) const
 {
     requireIdle("overflowDrops");
-    return i < overflowDrops_.size() ? overflowDrops_[i] : 0;
+    return overflowDropsRelaxed(i);
 }
 
 std::uint64_t
 ExperimentFleet::eventsConsumed(std::size_t i) const
 {
     requireIdle("eventsConsumed");
-    return i < eventsConsumed_.size() ? eventsConsumed_[i] : 0;
+    return eventsConsumedRelaxed(i);
 }
 
 std::string
@@ -348,13 +355,35 @@ ExperimentFleet::dumpStats() const
        << " tap-retry-dropped " << tapRetryDropped_ << "\n";
     for (std::size_t i = 0; i < boards_.size(); ++i) {
         os << "board " << i << " (" << labels_[i] << "): consumed "
-           << (i < eventsConsumed_.size() ? eventsConsumed_[i] : 0)
-           << " overflow-drops "
-           << (i < overflowDrops_.size() ? overflowDrops_[i] : 0)
-           << " backpressure-stalls " << (ring_ ? ring_->stalls(i) : 0)
-           << "\n";
+           << eventsConsumedRelaxed(i) << " overflow-drops "
+           << overflowDropsRelaxed(i) << " backpressure-stalls "
+           << (ring_ ? ring_->stalls(i) : 0) << "\n";
     }
     return os.str();
+}
+
+void
+ExperimentFleet::attachTelemetry(telemetry::Sampler &sampler,
+                                 bool board_progress)
+{
+    sampler.addValue("fleet.published", [this] { return published_; });
+    sampler.addValue("fleet.tap_filtered",
+                     [this] { return tapFiltered_; });
+    sampler.addValue("fleet.tap_retry_dropped",
+                     [this] { return tapRetryDropped_; });
+    if (!board_progress)
+        return;
+    for (std::size_t i = 0; i < boards_.size(); ++i) {
+        const std::string prefix =
+            "fleet.board" + std::to_string(i) + ".";
+        sampler.addValue(prefix + "events_consumed",
+                         [this, i] { return eventsConsumedRelaxed(i); });
+        sampler.addValue(prefix + "overflow_drops",
+                         [this, i] { return overflowDropsRelaxed(i); });
+        sampler.addValue(prefix + "ring_stalls", [this, i] {
+            return ring_ ? ring_->stalls(i) : 0;
+        });
+    }
 }
 
 } // namespace memories::ies

@@ -40,6 +40,7 @@
 #ifndef MEMORIES_IES_FANOUT_HH
 #define MEMORIES_IES_FANOUT_HH
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
@@ -238,6 +239,33 @@ class ExperimentFleet final : public bus::BusObserver
     /** Multi-line fleet diagnostics (read after finish()). */
     std::string dumpStats() const;
 
+    /**
+     * Register the fleet's thread-safe observables with a sampler:
+     * tap-side totals (published, filtered, retry-dropped) plus, when
+     * @p board_progress is set, per-board events-consumed,
+     * overflow-drop, and ring-stall counts under "fleet.board<i>.".
+     * Call after every addExperiment() so all boards get sources, and
+     * Sampler::resync() after start() — start() zeroes the fleet
+     * counters, which would corrupt baselines captured earlier.
+     *
+     * Only these are safe to sample live: the tap counters are written
+     * on the bus-time thread (the sampler's thread) and the per-board
+     * counts are relaxed atomics / mutex-protected. The boards' own
+     * CounterBanks are written by worker threads and must NOT be
+     * registered while the fleet runs — use
+     * MemoriesBoard::attachTelemetry only on single-owner boards.
+     *
+     * The tap counters advance on the bus thread, so their windows are
+     * deterministic for a deterministic host run. The per-board counts
+     * measure *worker* progress against bus time: their final values
+     * are scheduling-independent, but the window each increment lands
+     * in is not. Pass board_progress=false when the telemetry stream
+     * must be byte-stable run-to-run (CI artifacts); the deterministic
+     * per-board fidelity numbers are in FleetReport after finish().
+     */
+    void attachTelemetry(telemetry::Sampler &sampler,
+                         bool board_progress = true);
+
   private:
     void workerMain(std::size_t worker, std::size_t worker_count);
     void feedBoard(std::size_t i, const FleetEvent *events,
@@ -254,12 +282,31 @@ class ExperimentFleet final : public bus::BusObserver
     bus::Bus6xx *tappedBus_ = nullptr;
     bool running_ = false;
 
+    std::uint64_t overflowDropsRelaxed(std::size_t i) const
+    {
+        return i < slotCount_
+                   ? overflowDrops_[i].load(std::memory_order_relaxed)
+                   : 0;
+    }
+    std::uint64_t eventsConsumedRelaxed(std::size_t i) const
+    {
+        return i < slotCount_
+                   ? eventsConsumed_[i].load(std::memory_order_relaxed)
+                   : 0;
+    }
+
     std::uint64_t published_ = 0;
     std::uint64_t tapFiltered_ = 0;
     std::uint64_t tapRetryDropped_ = 0;
-    /** Written only by the owning worker; read after the join. */
-    std::vector<std::uint64_t> overflowDrops_;
-    std::vector<std::uint64_t> eventsConsumed_;
+    /**
+     * Written only by the owning worker, but relaxed-atomic so a
+     * telemetry sampler on the bus-time thread may read them live
+     * (plain uint64 reads would race under TSan). Arrays rather than
+     * vectors because std::atomic is not movable; sized at start().
+     */
+    std::unique_ptr<std::atomic<std::uint64_t>[]> overflowDrops_;
+    std::unique_ptr<std::atomic<std::uint64_t>[]> eventsConsumed_;
+    std::size_t slotCount_ = 0;
 };
 
 } // namespace memories::ies

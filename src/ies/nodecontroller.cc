@@ -31,11 +31,13 @@ NodeController::NodeController(NodeId id, const NodeConfig &config,
 {
     lineShift_ = log2i(config.cache.lineSize);
     sampleMask_ = lowMask(config.setSamplingShift);
+    // CPU-range errors are caught up front (with every other problem)
+    // by BoardConfig::validationErrors, which MemoriesBoard::make runs
+    // once; ids are masked here so a directly-built controller with an
+    // unvalidated config cannot shift out of the mask's range.
     for (CpuId cpu : config.cpus) {
-        if (cpu >= maxHostCpus)
-            fatal("node ", static_cast<unsigned>(id), " references CPU ",
-                  static_cast<unsigned>(cpu), " beyond the host bus");
-        cpuMask_ |= std::uint64_t{1} << cpu;
+        if (cpu < maxHostCpus)
+            cpuMask_ |= std::uint64_t{1} << cpu;
     }
 
     const std::string prefix =

@@ -25,6 +25,8 @@ TransactionBuffer::push(const bus::BusTransaction &txn)
     fifo_.push_back(txn);
     if (fifo_.size() > highWater_)
         highWater_ = fifo_.size();
+    if (occupancyHist_)
+        occupancyHist_->record(fifo_.size());
     return true;
 }
 
@@ -46,6 +48,9 @@ TransactionBuffer::drain(Cycle now)
     credits_ -= 100;
     bus::BusTransaction txn = fifo_.front();
     fifo_.pop_front();
+    ++retired_;
+    if (latencyHist_ && now >= txn.cycle)
+        latencyHist_->record(now - txn.cycle);
     return txn;
 }
 
@@ -56,6 +61,7 @@ TransactionBuffer::drainUnpaced()
         return std::nullopt;
     bus::BusTransaction txn = fifo_.front();
     fifo_.pop_front();
+    ++retired_;
     return txn;
 }
 

@@ -24,6 +24,7 @@
 
 #include "bus/transaction.hh"
 #include "common/types.hh"
+#include "telemetry/histogram.hh"
 
 namespace memories::ies
 {
@@ -68,6 +69,25 @@ class TransactionBuffer
     /** Pushes rejected because the buffer was full. */
     std::uint64_t rejected() const { return rejected_; }
 
+    /** Entries retired by the SDRAM side (paced or unpaced). */
+    std::uint64_t retired() const { return retired_; }
+
+    /**
+     * Telemetry hook: record occupancy after every accepted push into
+     * @p occupancy, and snoop-to-commit residency (retire cycle minus
+     * arrival cycle) of every paced retirement into @p latency. Either
+     * may be null; the caller retains ownership. Costs one null check
+     * per push/drain when detached. Unpaced end-of-run flushes skip the
+     * latency histogram (the host has stopped, so bus time is frozen
+     * and residency is no longer meaningful).
+     */
+    void setTelemetry(telemetry::Histogram *occupancy,
+                      telemetry::Histogram *latency)
+    {
+        occupancyHist_ = occupancy;
+        latencyHist_ = latency;
+    }
+
   private:
     std::size_t capacity_;
     unsigned throughputPercent_;
@@ -76,6 +96,9 @@ class TransactionBuffer
     std::uint64_t credits_ = 0; //!< hundredths of a retirement
     std::size_t highWater_ = 0;
     std::uint64_t rejected_ = 0;
+    std::uint64_t retired_ = 0;
+    telemetry::Histogram *occupancyHist_ = nullptr;
+    telemetry::Histogram *latencyHist_ = nullptr;
 };
 
 } // namespace memories::ies

@@ -49,6 +49,9 @@
 #include "sim/detailed.hh"
 #include "sim/execdriven.hh"
 #include "sim/projection.hh"
+#include "telemetry/exporter.hh"
+#include "telemetry/histogram.hh"
+#include "telemetry/sampler.hh"
 #include "trace/capture.hh"
 #include "trace/record.hh"
 #include "trace/tracefile.hh"

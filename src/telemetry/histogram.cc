@@ -1,0 +1,29 @@
+#include "telemetry/histogram.hh"
+
+#include "common/logging.hh"
+
+namespace memories::telemetry
+{
+
+Histogram::Histogram(std::string name, std::uint64_t bucket_width,
+                     std::size_t buckets)
+    : name_(std::move(name)), bucketWidth_(bucket_width),
+      counts_(buckets, 0)
+{
+    if (bucket_width == 0)
+        fatal("histogram '", name_, "' needs a nonzero bucket width");
+    if (buckets == 0)
+        fatal("histogram '", name_, "' needs at least one bucket");
+}
+
+void
+Histogram::clear()
+{
+    counts_.assign(counts_.size(), 0);
+    overflow_ = 0;
+    samples_ = 0;
+    sum_ = 0;
+    maxSeen_ = 0;
+}
+
+} // namespace memories::telemetry

@@ -115,5 +115,68 @@ TEST(CounterBankTest, NamePreserved)
     EXPECT_EQ(bank.name(h), "node0.local.READ.hit");
 }
 
+TEST(Counter40Test, DeltaIsExactAcrossWrap)
+{
+    // A sampler reading 40-bit values across a wrap must see the true
+    // movement: old value near the top, new value past zero.
+    const std::uint64_t older = Counter40::mask - 4;
+    const std::uint64_t newer = 10;
+    EXPECT_EQ(Counter40::delta(newer, older), 15u);
+    EXPECT_EQ(Counter40::delta(older, older), 0u);
+    EXPECT_EQ(Counter40::delta(Counter40::mask, 0), Counter40::mask);
+}
+
+TEST(CounterBankTest, SnapshotReturnsRegistrationOrder)
+{
+    CounterBank bank;
+    auto a = bank.add("alpha");
+    bank.add("beta");
+    bank.bump(a, 7);
+
+    const std::vector<CounterSample> samples = bank.snapshot();
+    ASSERT_EQ(samples.size(), 2u);
+    EXPECT_EQ(samples[0].name, "alpha");
+    EXPECT_EQ(samples[0].handle, a);
+    EXPECT_EQ(samples[0].value, 7u);
+    EXPECT_EQ(samples[1].name, "beta");
+    EXPECT_EQ(samples[1].value, 0u);
+}
+
+TEST(CounterBankTest, SnapshotVisitorSeesEveryCounter)
+{
+    CounterBank bank;
+    bank.bump(bank.add("x"), 1);
+    bank.bump(bank.add("y"), 2);
+    std::uint64_t sum = 0;
+    std::size_t count = 0;
+    bank.snapshot([&](const CounterSample &s) {
+        sum += s.value;
+        ++count;
+    });
+    EXPECT_EQ(count, 2u);
+    EXPECT_EQ(sum, 3u);
+}
+
+TEST(CounterBankTest, SnapshotValuesAreWrapped40Bit)
+{
+    CounterBank bank;
+    auto h = bank.add("wrapping");
+    bank.bump(h, Counter40::mask);
+    bank.bump(h, 2);
+    const auto samples = bank.snapshot();
+    ASSERT_EQ(samples.size(), 1u);
+    EXPECT_EQ(samples[0].value, 1u);
+}
+
+TEST(CounterBankTest, DumpMatchesSnapshotFormatting)
+{
+    // dump() is now a formatter over snapshot(); the legacy line shape
+    // "name value\n" must be preserved for console users.
+    CounterBank bank;
+    bank.bump(bank.add("hits"), 3);
+    bank.bump(bank.add("misses"), 4);
+    EXPECT_EQ(bank.dump(), "hits 3\nmisses 4\n");
+}
+
 } // namespace
 } // namespace memories

@@ -311,5 +311,54 @@ TEST(BoardTest, UnmappedCpuTrafficSnoopsAllNodes)
               protocol::LineState::Invalid);
 }
 
+TEST(BoardConfigTest, ValidationErrorsEmptyForGoodConfig)
+{
+    EXPECT_TRUE(
+        makeUniformBoard(2, 4, smallCache()).validationErrors().empty());
+}
+
+TEST(BoardConfigTest, ValidationErrorsCollectsEveryProblem)
+{
+    // One broken config, many independent problems: the collector must
+    // report them all instead of unwinding at the first like validate().
+    BoardConfig cfg = makeUniformBoard(2, 4, smallCache());
+    cfg.bufferEntries = 0;                // problem 1
+    cfg.sdramThroughputPercent = 101;     // problem 2
+    cfg.nodes[0].cpus = {};               // problem 3
+    cfg.nodes[1].cpus.push_back(20);      // problem 4: beyond host bus
+
+    const auto errors = cfg.validationErrors();
+    ASSERT_EQ(errors.size(), 4u);
+
+    auto contains = [&errors](const std::string &needle) {
+        for (const std::string &e : errors)
+            if (e.find(needle) != std::string::npos)
+                return true;
+        return false;
+    };
+    EXPECT_TRUE(contains("transaction buffer depth"));
+    EXPECT_TRUE(contains("SDRAM throughput percent"));
+    EXPECT_TRUE(contains("node 0 has no CPUs"));
+    EXPECT_TRUE(contains("node 1 references CPU 20 beyond the host bus"));
+}
+
+TEST(BoardConfigTest, ValidateReportsAllProblemsInOneThrow)
+{
+    BoardConfig cfg = makeUniformBoard(1, 4, smallCache());
+    cfg.bufferEntries = 0;
+    cfg.sdramThroughputPercent = 0;
+    try {
+        cfg.validate();
+        FAIL() << "validate() should have thrown";
+    } catch (const FatalError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("2 problems"), std::string::npos);
+        EXPECT_NE(what.find("transaction buffer depth"),
+                  std::string::npos);
+        EXPECT_NE(what.find("SDRAM throughput percent"),
+                  std::string::npos);
+    }
+}
+
 } // namespace
 } // namespace memories::ies

@@ -167,5 +167,73 @@ TEST(ConsoleTest, HelpListsCommands)
     EXPECT_NE(help.find("stats"), std::string::npos);
 }
 
+TEST(ConsoleTest, MonitorShowsLiveWindows)
+{
+    bus::Bus6xx bus;
+    Console console(bus);
+    console.execute("node 0 cache 2MB 4 128B");
+    console.execute("node 0 cpus 0,1");
+    console.execute("init");
+
+    EXPECT_NE(console.execute("monitor start 1000")
+                  .find("monitoring every 1000 bus cycles"),
+              std::string::npos);
+    EXPECT_NE(console.execute("monitor").find("no window closed yet"),
+              std::string::npos);
+
+    bus.issue(readTxn(0x1000, 0));
+    bus.tick(2500); // crosses at least two window boundaries
+
+    const auto view = console.execute("monitor");
+    EXPECT_NE(view.find("window"), std::string::npos);
+    EXPECT_NE(view.find("utilization"), std::string::npos);
+    EXPECT_NE(view.find("node0: refs"), std::string::npos);
+
+    EXPECT_NE(console.execute("monitor stop").find("monitor stopped"),
+              std::string::npos);
+    // The bus must no longer drive a sampler.
+    EXPECT_NO_THROW(bus.tick(5000));
+}
+
+TEST(ConsoleTest, MonitorRequiresBoardAndSingleSession)
+{
+    bus::Bus6xx bus;
+    Console console(bus);
+    EXPECT_NE(console.execute("monitor start 1000").find("error"),
+              std::string::npos);
+
+    console.execute("node 0 cache 2MB 4 128B");
+    console.execute("node 0 cpus 0,1");
+    console.execute("init");
+    console.execute("monitor start 1000");
+    EXPECT_NE(console.execute("monitor start 500").find("error"),
+              std::string::npos);
+    EXPECT_NE(console.execute("monitor stop").find("stopped"),
+              std::string::npos);
+    EXPECT_NE(console.execute("monitor stop").find("error"),
+              std::string::npos);
+}
+
+TEST(ConsoleTest, MonitorStartsMidSessionWithoutBackfill)
+{
+    // Starting the monitor after bus time has advanced must not emit
+    // the empty windows since cycle 0 — the first closed window begins
+    // at the attach-time boundary.
+    bus::Bus6xx bus;
+    Console console(bus);
+    console.execute("node 0 cache 2MB 4 128B");
+    console.execute("node 0 cpus 0,1");
+    console.execute("init");
+
+    bus.tick(10'000);
+    console.execute("monitor start 1000");
+    bus.issue(readTxn(0x2000, 0));
+    bus.tick(1'500); // to cycle 11500: closes [10000,11000) only
+
+    const auto view = console.execute("monitor");
+    EXPECT_NE(view.find("[10000, 11000)"), std::string::npos)
+        << view;
+}
+
 } // namespace
 } // namespace memories::ies

@@ -84,9 +84,13 @@ fingerprint(const MemoriesBoard &board)
 {
     std::ostringstream os;
     for (std::size_t n = 0; n < board.numNodes(); ++n) {
-        os << "node " << n << "\n"
-           << board.node(n).counters().dump() << "occupancy "
-           << board.node(n).directoryOccupancy() << "\n";
+        os << "node " << n << "\n";
+        board.node(n).counters().snapshot(
+            [&os](const memories::CounterSample &s) {
+                os << s.name << " " << s.value << "\n";
+            });
+        os << "occupancy " << board.node(n).directoryOccupancy()
+           << "\n";
     }
     return os.str();
 }

@@ -165,8 +165,12 @@ fleetFingerprint(std::size_t workers, std::uint64_t seed)
     std::ostringstream os;
     for (std::size_t b = 0; b < fleet.numExperiments(); ++b) {
         os << "board " << b << "\n";
-        for (std::size_t n = 0; n < fleet.board(b).numNodes(); ++n)
-            os << fleet.board(b).node(n).counters().dump();
+        for (std::size_t n = 0; n < fleet.board(b).numNodes(); ++n) {
+            fleet.board(b).node(n).counters().snapshot(
+                [&os](const memories::CounterSample &s) {
+                    os << s.name << " " << s.value << "\n";
+                });
+        }
     }
     return os.str();
 }
