@@ -120,6 +120,45 @@ main(int argc, char **argv)
                static_cast<double>(trace.size()));
     }
     {
+        // Lifecycle-tracing overhead: the board+bus path again, first
+        // with no recorder attached (the one-branch "detached" cost
+        // every run now pays) and then with a flight recorder actually
+        // recording. The detached number must stay within noise of the
+        // plain board path above — the recorder's always-on claim.
+        bus::Bus6xx bus;
+        ies::MemoriesBoard board(ies::makeUniformBoard(
+            1, 8,
+            cache::CacheConfig{64 * MiB, 4, 128,
+                               cache::ReplacementPolicy::LRU}));
+        board.plugInto(bus);
+        bench::Stopwatch detached;
+        for (const auto &txn : trace) {
+            bus.advanceTo(txn.cycle);
+            bus.issue(txn);
+        }
+        board.drainAll();
+        report("board path, recorder detached", detached.seconds(),
+               static_cast<double>(trace.size()));
+
+        trace::FlightRecorder recorder(std::size_t{1} << 16);
+        bus.attachFlightRecorder(recorder);
+        board.attachFlightRecorder(recorder, 0);
+        bench::Stopwatch attached;
+        for (const auto &txn : trace) {
+            bus.advanceTo(txn.cycle);
+            bus.issue(txn);
+        }
+        board.drainAll();
+        report("board path, recorder attached", attached.seconds(),
+               static_cast<double>(trace.size()));
+        std::printf("  flight recorder: %llu events recorded, %llu "
+                    "retained, %llu overwritten\n",
+                    static_cast<unsigned long long>(recorder.recorded()),
+                    static_cast<unsigned long long>(recorder.size()),
+                    static_cast<unsigned long long>(
+                        recorder.overwritten()));
+    }
+    {
         workload::OltpParams oltp;
         oltp.threads = 8;
         oltp.dbBytes = 256 * MiB;

@@ -6,10 +6,19 @@
  *   tracetool slice  <in> <out> <from> <count> cut a window
  *   tracetool filter <in> <out> <cpu>          keep one CPU's tenures
  *   tracetool replay <trace> <size> <assoc>    detailed-sim replay
- *   tracetool demo                             self-contained demo
+ *   tracetool chrome <trace> <out.json>        lifecycle timeline JSON
+ *   tracetool demo [--chrome-trace out.json]   self-contained demo
  *
  * The demo generates a capture via the board, then exercises every
  * subcommand on it — run it with no arguments to see the workflow.
+ *
+ * `chrome` replays the captured bus stream through a bus + board with a
+ * flight recorder attached (the full lifecycle pipeline) and writes the
+ * event stream in Chrome trace-event JSON — load the file in
+ * chrome://tracing or https://ui.perfetto.dev to see every tenure's
+ * issue-to-combine span, its buffer residency, and the cache events it
+ * caused. The demo's --chrome-trace flag leaves that JSON on disk (CI
+ * validates and archives it).
  */
 
 #include <cstdio>
@@ -78,7 +87,53 @@ cmdReplay(const std::string &path, const std::string &size,
 }
 
 int
-demo()
+cmdChrome(const std::string &in, const std::string &out)
+{
+    // Replay through the real pipeline so the timeline shows the same
+    // lifecycle a live run would record: bus issue/snoop/combine spans,
+    // board commit-to-retire residency, per-node cache events.
+    trace::FlightRecorder recorder;
+    bus::Bus6xx bus;
+    bus.attachFlightRecorder(recorder);
+
+    // Two 8-CPU nodes cover every host CPU id a capture can contain.
+    auto board = ies::MemoriesBoard::make(ies::makeUniformBoard(
+        2, 8,
+        cache::CacheConfig{16 * MiB, 4, 128,
+                           cache::ReplacementPolicy::LRU}));
+    board->plugInto(bus);
+    board->attachFlightRecorder(recorder, 0);
+
+    trace::TraceReader reader(in);
+    bus::BusTransaction txn;
+    std::uint64_t replayed = 0;
+    while (reader.next(txn)) {
+        bus.advanceTo(txn.cycle);
+        bus.issue(txn);
+        ++replayed;
+    }
+    board->drainAll();
+    board->unplug(bus);
+
+    const auto events = recorder.snapshot();
+    trace::writeChromeTraceFile(events, out, &recorder);
+    std::printf("replayed %llu records; wrote %llu lifecycle events "
+                "as Chrome trace JSON to %s\n",
+                static_cast<unsigned long long>(replayed),
+                static_cast<unsigned long long>(events.size()),
+                out.c_str());
+    if (recorder.overwritten() > 0) {
+        std::printf("note: ring wrapped; the oldest %llu events were "
+                    "overwritten (raise the ring size for a full "
+                    "timeline)\n",
+                    static_cast<unsigned long long>(
+                        recorder.overwritten()));
+    }
+    return 0;
+}
+
+int
+demo(const std::string &chrome_out)
 {
     const std::string path = "/tmp/memories_tracetool_demo.ies";
 
@@ -111,6 +166,10 @@ demo()
     cmdFilter(path, path + ".cpu0", 0);
     std::printf("\n== replay ==\n");
     cmdReplay(path, "16MB", 4);
+    if (!chrome_out.empty()) {
+        std::printf("\n== chrome trace ==\n");
+        cmdChrome(path, chrome_out);
+    }
 
     std::remove((path + ".slice").c_str());
     std::remove((path + ".cpu0").c_str());
@@ -124,8 +183,14 @@ int
 main(int argc, char **argv)
 {
     try {
-        if (argc < 2 || std::strcmp(argv[1], "demo") == 0)
-            return demo();
+        if (argc < 2 || std::strcmp(argv[1], "demo") == 0) {
+            std::string chrome_out;
+            for (int i = 2; i + 1 < argc; ++i) {
+                if (std::strcmp(argv[i], "--chrome-trace") == 0)
+                    chrome_out = argv[i + 1];
+            }
+            return demo(chrome_out);
+        }
         const std::string cmd = argv[1];
         if (cmd == "stats" && argc == 3)
             return cmdStats(argv[2]);
@@ -141,9 +206,11 @@ main(int argc, char **argv)
             return cmdReplay(argv[2], argv[3],
                              static_cast<unsigned>(
                                  std::strtoul(argv[4], nullptr, 10)));
+        if (cmd == "chrome" && argc == 4)
+            return cmdChrome(argv[2], argv[3]);
         std::fprintf(stderr,
-                     "usage: tracetool stats|slice|filter|replay|demo "
-                     "...\n");
+                     "usage: tracetool stats|slice|filter|replay|"
+                     "chrome|demo ...\n");
         return 2;
     } catch (const memories::FatalError &err) {
         std::fprintf(stderr, "fatal: %s\n", err.what());

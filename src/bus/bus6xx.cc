@@ -122,6 +122,7 @@ Bus6xx::issue(BusTransaction txn)
     if (sampler_)
         sampler_->advanceTo(now_);
     txn.cycle = now_;
+    txn.traceId = nextTraceId_++;
     ++now_; // the address tenure occupies one bus cycle
     ++stats_.tenures;
     if (isMemoryOp(txn.op))
@@ -129,9 +130,37 @@ Bus6xx::issue(BusTransaction txn)
     else
         ++stats_.filteredOps;
 
+    if (recorder_) {
+        trace::LifecycleEvent ev;
+        ev.kind = trace::EventKind::BusIssue;
+        ev.cycle = txn.cycle;
+        ev.addr = txn.addr;
+        ev.traceId = txn.traceId;
+        ev.cpu = txn.cpu;
+        ev.op = txn.op;
+        ev.arg0 = txn.isRetryReplay ? 1 : 0;
+        recorder_->record(ev);
+    }
+
     SnoopResponse combined = SnoopResponse::None;
-    for (auto *agent : snoopers_)
-        combined = combineSnoop(combined, agent->snoop(txn));
+    std::uint8_t snooperIndex = 0;
+    for (auto *agent : snoopers_) {
+        const SnoopResponse resp = agent->snoop(txn);
+        combined = combineSnoop(combined, resp);
+        if (recorder_) {
+            trace::LifecycleEvent ev;
+            ev.kind = trace::EventKind::SnoopReply;
+            ev.cycle = txn.cycle;
+            ev.addr = txn.addr;
+            ev.traceId = txn.traceId;
+            ev.node = snooperIndex;
+            ev.cpu = txn.cpu;
+            ev.op = txn.op;
+            ev.arg0 = static_cast<std::uint8_t>(resp);
+            recorder_->record(ev);
+        }
+        ++snooperIndex;
+    }
 
     switch (combined) {
       case SnoopResponse::Retry:
@@ -151,6 +180,24 @@ Bus6xx::issue(BusTransaction txn)
     if (combined != SnoopResponse::Retry && carriesData(txn.op)) {
         stats_.dataCycles +=
             (txn.size + dataBeatBytes_ - 1) / dataBeatBytes_;
+    }
+
+    if (recorder_) {
+        // The combined response is visible one cycle after the address
+        // tenure (the 6xx response window).
+        trace::LifecycleEvent ev;
+        ev.kind = trace::EventKind::Combine;
+        ev.cycle = txn.cycle + 1;
+        ev.addr = txn.addr;
+        ev.traceId = txn.traceId;
+        ev.cpu = txn.cpu;
+        ev.op = txn.op;
+        ev.arg0 = static_cast<std::uint8_t>(combined);
+        recorder_->record(ev);
+        if (combined == SnoopResponse::Retry) {
+            recorder_->notifyAnomaly(trace::AnomalyKind::BusRetry,
+                                     txn.cycle + 1, txn.traceId);
+        }
     }
 
     for (auto *observer : observers_)

@@ -27,6 +27,7 @@
 #include "bus/transaction.hh"
 #include "common/types.hh"
 #include "telemetry/sampler.hh"
+#include "trace/lifecycle.hh"
 
 namespace memories::bus
 {
@@ -169,6 +170,25 @@ class Bus6xx
     /** Stop driving the sampler (registered sources stay registered). */
     void detachSampler() { sampler_ = nullptr; }
 
+    /**
+     * Attach a flight recorder. Every tenure then emits lifecycle
+     * events — BusIssue, one SnoopReply per attached snooper, and the
+     * Combine — tagged with the tenure's trace id, and a combined Retry
+     * response raises a BusRetry anomaly. Costs one null-check per
+     * issue when detached. The recorder must outlive the bus or be
+     * detached first.
+     */
+    void attachFlightRecorder(trace::FlightRecorder &recorder)
+    {
+        recorder_ = &recorder;
+    }
+
+    /** Stop emitting lifecycle events. */
+    void detachFlightRecorder() { recorder_ = nullptr; }
+
+    /** Currently attached flight recorder (nullptr when detached). */
+    trace::FlightRecorder *flightRecorder() const { return recorder_; }
+
   private:
     std::vector<BusSnooper *> snoopers_;
     std::vector<BusObserver *> observers_;
@@ -178,6 +198,9 @@ class Bus6xx
     telemetry::Sampler *sampler_ = nullptr;
     /** Per-window address-bus utilization in percent (0-100+). */
     std::unique_ptr<telemetry::Histogram> utilizationHist_;
+    trace::FlightRecorder *recorder_ = nullptr;
+    /** Next trace id to stamp (ids are 1-based; 0 = never issued). */
+    std::uint32_t nextTraceId_ = 1;
 };
 
 } // namespace memories::bus

@@ -67,6 +67,16 @@ struct BusTransaction
     std::uint16_t size = 128;
     /** True when this tenure is a retry replay of an earlier one. */
     bool isRetryReplay = false;
+    /**
+     * Stable per-tenure trace id, stamped by Bus6xx::issue (1-based; 0
+     * means "never issued"). Follows the tenure through capture,
+     * transaction buffers and fleet broadcast so lifecycle events from
+     * every stage of its life can be correlated (trace/lifecycle.hh).
+     * A retry replay gets a fresh id; the replay's BusIssue event
+     * carries isRetryReplay so the two tenures remain linkable by
+     * address. Last so brace-initialized literals stay unchanged.
+     */
+    std::uint32_t traceId = 0;
 };
 
 } // namespace memories::bus

@@ -40,6 +40,8 @@ BoardReport::capture(const MemoriesBoard &board)
     report.filtered = g.valueByName("global.tenures.filtered");
     report.retriesPosted = g.valueByName("global.retries_posted");
     report.bufferHighWater = board.bufferHighWater();
+    if (const auto *capture = board.captureBuffer())
+        report.captureDropped = capture->dropped();
     for (std::size_t n = 0; n < board.numNodes(); ++n) {
         const auto &node = board.node(n);
         report.nodeLabels.push_back(
@@ -58,7 +60,7 @@ BoardReport::toCsv() const
           "sat_shrint,sat_memory,fills,evictions_clean,"
           "evictions_dirty,remote_invalidations,supplied_modified,"
           "supplied_shared,global_tenures,global_committed,"
-          "global_filtered,retries_posted\n";
+          "global_filtered,retries_posted,capture_dropped\n";
     for (std::size_t n = 0; n < nodes.size(); ++n) {
         const auto &s = nodes[n];
         os << nodeLabels[n] << ',' << s.localRefs << ',' << s.localHits
@@ -71,7 +73,7 @@ BoardReport::toCsv() const
            << s.remoteInvalidations << ',' << s.suppliedModified << ','
            << s.suppliedShared << ',' << memoryTenures << ','
            << committed << ',' << filtered << ',' << retriesPosted
-           << '\n';
+           << ',' << captureDropped << '\n';
     }
     return os.str();
 }
@@ -84,6 +86,10 @@ BoardReport::toText() const
        << committed << ", filtered " << filtered << ", retries "
        << retriesPosted << ", buffer high-water " << bufferHighWater
        << "\n";
+    if (captureDropped > 0) {
+        os << "  ** lossy capture: " << captureDropped
+           << " references dropped after the capture buffer filled **\n";
+    }
     for (std::size_t n = 0; n < nodes.size(); ++n) {
         const auto &s = nodes[n];
         os << "  " << nodeLabels[n] << ": refs " << s.localRefs
@@ -120,6 +126,8 @@ FleetReport::capture(const ExperimentFleet &fleet)
         line.consumed = fleet.eventsConsumed(i);
         line.overflowDrops = fleet.overflowDrops(i);
         line.backpressureStalls = fleet.backpressureStalls(i);
+        if (const auto *capture = fleet.board(i).captureBuffer())
+            line.captureDropped = capture->dropped();
         report.boards.push_back(std::move(line));
     }
     return report;
@@ -139,11 +147,12 @@ FleetReport::toCsv() const
 {
     std::ostringstream os;
     os << "board,consumed,overflow_drops,backpressure_stalls,"
-          "published,tap_filtered,tap_retry_dropped\n";
+          "capture_dropped,published,tap_filtered,tap_retry_dropped\n";
     for (const BoardLine &b : boards) {
         os << b.label << ',' << b.consumed << ',' << b.overflowDrops
-           << ',' << b.backpressureStalls << ',' << published << ','
-           << tapFiltered << ',' << tapRetryDropped << '\n';
+           << ',' << b.backpressureStalls << ',' << b.captureDropped
+           << ',' << published << ',' << tapFiltered << ','
+           << tapRetryDropped << '\n';
     }
     return os.str();
 }
@@ -161,6 +170,10 @@ FleetReport::toText() const
         if (b.overflowDrops > 0) {
             os << "  ** lossy: this board saw " << b.overflowDrops
                << " fewer tenures than the host bus **";
+        }
+        if (b.captureDropped > 0) {
+            os << "  ** lossy capture: " << b.captureDropped
+               << " references not captured **";
         }
         os << "\n";
     }

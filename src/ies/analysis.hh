@@ -44,6 +44,8 @@ struct BoardReport
     std::uint64_t filtered = 0;
     std::uint64_t retriesPosted = 0;
     std::size_t bufferHighWater = 0;
+    /** References lost after the capture buffer filled (0: lossless). */
+    std::uint64_t captureDropped = 0;
     std::vector<std::string> nodeLabels;
     std::vector<NodeStats> nodes;
 
@@ -88,6 +90,8 @@ struct FleetReport
         std::uint64_t consumed = 0;
         std::uint64_t overflowDrops = 0;
         std::uint64_t backpressureStalls = 0;
+        /** References this board's capture buffer dropped after fill. */
+        std::uint64_t captureDropped = 0;
     };
     std::vector<BoardLine> boards;
 

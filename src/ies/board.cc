@@ -60,10 +60,32 @@ MemoriesBoard::retriesPosted() const
 }
 
 void
+MemoriesBoard::attachFlightRecorder(trace::FlightRecorder &recorder,
+                                    std::uint8_t boardId)
+{
+    recorder_ = &recorder;
+    boardId_ = boardId;
+    for (auto &node : nodes_)
+        node->setFlightRecorder(&recorder, boardId);
+}
+
+void
+MemoriesBoard::detachFlightRecorder()
+{
+    recorder_ = nullptr;
+    for (auto &node : nodes_)
+        node->setFlightRecorder(nullptr);
+}
+
+void
 MemoriesBoard::drainDue(Cycle now)
 {
-    while (auto txn = buffer_.drain(now))
+    while (auto txn = buffer_.drain(now)) {
+        if (recorder_)
+            recorder_->record(
+                makeEvent(trace::EventKind::Retire, *txn, now));
         emulate(*txn);
+    }
 }
 
 bus::SnoopResponse
@@ -93,6 +115,14 @@ MemoriesBoard::snoop(const bus::BusTransaction &txn)
         global_.bump(hRetriesPosted_);
         pendingRetried_ = true;
         pending_.reset();
+        if (recorder_) {
+            auto ev = makeEvent(trace::EventKind::BufferOverflow, txn,
+                                txn.cycle);
+            ev.arg0 = 0; // retried, not dropped
+            recorder_->record(ev);
+            recorder_->notifyAnomaly(trace::AnomalyKind::TxnBufferOverflow,
+                                     txn.cycle, txn.traceId);
+        }
         return bus::SnoopResponse::Retry;
     }
 
@@ -119,11 +149,17 @@ MemoriesBoard::observeResult(const bus::BusTransaction &txn,
         // Some other agent retried the tenure: it did not complete, so
         // the filter drops it (the replay will be processed instead).
         global_.bump(hDroppedRetry_);
+        if (recorder_)
+            recorder_->record(makeEvent(trace::EventKind::BoardDropRetry,
+                                        txn, txn.cycle + 1));
         pending_.reset();
         return;
     }
 
     global_.bump(hCommitted_);
+    if (recorder_)
+        recorder_->record(makeEvent(trace::EventKind::BoardCommit,
+                                    *pending_, txn.cycle + 1));
     if (capture_)
         capture_->record(*pending_);
     const bool ok = buffer_.push(*pending_);
@@ -154,10 +190,21 @@ MemoriesBoard::feedCommitted(const bus::BusTransaction &txn)
 
     if (buffer_.size() >= buffer_.capacity()) {
         global_.bump(hRetriesPosted_);
+        if (recorder_) {
+            auto ev = makeEvent(trace::EventKind::BufferOverflow, txn,
+                                txn.cycle);
+            ev.arg0 = 1; // fed tenure dropped, not retried on a bus
+            recorder_->record(ev);
+            recorder_->notifyAnomaly(trace::AnomalyKind::FleetDrop,
+                                     txn.cycle, txn.traceId);
+        }
         return false;
     }
 
     global_.bump(hCommitted_);
+    if (recorder_)
+        recorder_->record(makeEvent(trace::EventKind::BoardCommit, txn,
+                                    txn.cycle + 1));
     if (capture_)
         capture_->record(txn);
     if (!buffer_.push(txn)) {
@@ -170,8 +217,12 @@ MemoriesBoard::feedCommitted(const bus::BusTransaction &txn)
 void
 MemoriesBoard::drainAll()
 {
-    while (auto txn = buffer_.drainUnpaced())
+    while (auto txn = buffer_.drainUnpaced()) {
+        if (recorder_)
+            recorder_->record(
+                makeEvent(trace::EventKind::Retire, *txn, txn->cycle));
         emulate(*txn);
+    }
 }
 
 void
@@ -267,6 +318,14 @@ MemoriesBoard::dumpStats() const
        << " retries-posted " << global_.value(hRetriesPosted_) << "\n";
     os << "buffer high-water " << buffer_.highWater() << "/"
        << buffer_.capacity() << "\n";
+    if (capture_) {
+        os << "capture " << capture_->size() << "/"
+           << capture_->capacity() << " records";
+        if (capture_->dropped() > 0)
+            os << " (LOSSY: " << capture_->dropped()
+               << " references dropped after fill)";
+        os << "\n";
+    }
     for (const auto &node : nodes_) {
         const NodeStats s = node->stats();
         os << "node " << static_cast<unsigned>(node->id());

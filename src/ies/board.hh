@@ -103,6 +103,10 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
     {
         return capture_ ? &*capture_ : nullptr;
     }
+    const trace::CaptureBuffer *captureBuffer() const
+    {
+        return capture_ ? &*capture_ : nullptr;
+    }
 
     /** Clear all counters (node + global); keeps directories warm. */
     void clearCounters();
@@ -151,9 +155,46 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
     void attachTelemetry(telemetry::Sampler &sampler,
                          const std::string &prefix = "board");
 
+    /**
+     * Attach a flight recorder to the board and all of its node
+     * controllers. The board then emits the board-side lifecycle of
+     * every tenure — BoardCommit when it enters the transaction
+     * buffer, Retire when the SDRAM side retires it, BoardDropRetry
+     * when another agent's retry voids it — and BufferOverflow plus a
+     * TxnBufferOverflow/FleetDrop anomaly when the buffer fills; the
+     * nodes emit hit/miss/castout/state-transition events. @p boardId
+     * tags every event (fleet board index; default: a lone board).
+     * Costs one null check per tenure when detached.
+     */
+    void attachFlightRecorder(trace::FlightRecorder &recorder,
+                              std::uint8_t boardId =
+                                  trace::lifecycleNoOwner);
+
+    /** Stop emitting lifecycle events (board and nodes). */
+    void detachFlightRecorder();
+
+    /** Currently attached flight recorder (nullptr when detached). */
+    trace::FlightRecorder *flightRecorder() const { return recorder_; }
+
   private:
     void emulate(const bus::BusTransaction &txn);
     void drainDue(Cycle now);
+
+    /** Build the common fields of a board-level lifecycle event. */
+    trace::LifecycleEvent makeEvent(trace::EventKind kind,
+                                    const bus::BusTransaction &txn,
+                                    Cycle cycle) const
+    {
+        trace::LifecycleEvent ev;
+        ev.kind = kind;
+        ev.cycle = cycle;
+        ev.addr = txn.addr;
+        ev.traceId = txn.traceId;
+        ev.board = boardId_;
+        ev.cpu = txn.cpu;
+        ev.op = txn.op;
+        return ev;
+    }
 
     BoardConfig config_;
     std::vector<std::unique_ptr<NodeController>> nodes_;
@@ -167,6 +208,9 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
     /** Tenure seen by snoop() awaiting its response window. */
     std::optional<bus::BusTransaction> pending_;
     bool pendingRetried_ = false;
+
+    trace::FlightRecorder *recorder_ = nullptr;
+    std::uint8_t boardId_ = trace::lifecycleNoOwner;
 
     CounterBank global_;
     CounterBank::Handle hTenures_, hCommitted_, hFiltered_,

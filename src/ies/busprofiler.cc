@@ -91,6 +91,33 @@ BusProfiler::meanUtilization() const
 }
 
 void
+BusProfiler::attachTelemetry(telemetry::Sampler &sampler,
+                             const std::string &prefix)
+{
+    sampler.addValue(prefix + ".tenures", [this] { return tenures_; });
+    sampler.addGauge(prefix + ".mean_utilization",
+                     [this] { return meanUtilization(); });
+    sampler.addGauge(prefix + ".peak_utilization",
+                     [this] { return peakUtilization(); });
+
+    // Distribution of per-profiler-window load, fed as each profiler
+    // window completes (the profiler's own windowCycles cadence, which
+    // is independent of the sampler's).
+    if (!windowUtilHist_) {
+        windowUtilHist_ = std::make_unique<telemetry::Histogram>(
+            prefix + ".window_utilization_percent", 5, 20);
+    }
+    sampler.addHistogram(*windowUtilHist_);
+    sampler.addWindowCallback(
+        [this, consumed = windows_.size()](
+            const telemetry::WindowRecord &) mutable {
+            for (; consumed < windows_.size(); ++consumed)
+                windowUtilHist_->record(static_cast<std::uint64_t>(
+                    windows_[consumed] * 100.0));
+        });
+}
+
+void
 BusProfiler::clear()
 {
     windows_.clear();

@@ -15,12 +15,15 @@
 
 #include <array>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bus/bus6xx.hh"
 #include "common/stats.hh"
 #include "common/types.hh"
+#include "telemetry/histogram.hh"
+#include "telemetry/sampler.hh"
 
 namespace memories::ies
 {
@@ -80,6 +83,16 @@ class BusProfiler : public bus::BusSnooper, public bus::BusObserver
 
     std::uint64_t totalTenures() const { return tenures_; }
 
+    /**
+     * Register the profiler as a live counter source under
+     * "<prefix>.": total tenures (windowed delta), mean and peak
+     * profiler-window utilization gauges, and a percent-utilization
+     * histogram fed from each profiler window as it completes. The
+     * sampler must outlive the profiler or be detached with the bus.
+     */
+    void attachTelemetry(telemetry::Sampler &sampler,
+                         const std::string &prefix = "profiler");
+
     void clear();
 
   private:
@@ -96,6 +109,9 @@ class BusProfiler : public bus::BusSnooper, public bus::BusObserver
     std::array<std::uint64_t, maxHostCpus> cpuCounts_{};
     std::uint64_t tenures_ = 0;
     bool sawAny_ = false;
+
+    /** Owned by the profiler, fed from windows_ (see attachTelemetry). */
+    std::unique_ptr<telemetry::Histogram> windowUtilHist_;
 };
 
 } // namespace memories::ies

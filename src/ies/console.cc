@@ -9,6 +9,8 @@
 #include "common/units.hh"
 #include "ies/analysis.hh"
 #include "telemetry/exporter.hh"
+#include "trace/chrometrace.hh"
+#include "trace/tracefile.hh"
 
 namespace memories::ies
 {
@@ -167,6 +169,7 @@ Console::Console(bus::Bus6xx &bus) : bus_(bus)
 Console::~Console()
 {
     stopMonitor();
+    stopTrace();
     if (board_)
         board_->unplug(bus_);
 }
@@ -179,6 +182,18 @@ Console::stopMonitor()
     bus_.detachSampler();
     monitor_->sampler.finish(bus_.now());
     monitor_.reset();
+}
+
+void
+Console::stopTrace()
+{
+    if (!recorder_)
+        return;
+    if (bus_.flightRecorder() == recorder_.get())
+        bus_.detachFlightRecorder();
+    if (board_ && board_->flightRecorder() == recorder_.get())
+        board_->detachFlightRecorder();
+    recorder_.reset();
 }
 
 NodeConfig &
@@ -307,6 +322,8 @@ Console::handle(const std::vector<std::string> &tokens)
         staged_.validate();
         board_ = std::make_unique<MemoriesBoard>(staged_);
         board_->plugInto(bus_);
+        if (recorder_)
+            board_->attachFlightRecorder(*recorder_);
         return "board initialized: " +
                std::to_string(board_->numNodes()) + " node(s) attached";
     }
@@ -339,8 +356,13 @@ Console::handle(const std::vector<std::string> &tokens)
         if (!capture)
             fatal("trace capture was not armed before init");
         capture->dumpToFile(tokens[1]);
-        return "wrote " + std::to_string(capture->size()) +
-               " records to " + tokens[1];
+        std::string reply = "wrote " + std::to_string(capture->size()) +
+                            " records to " + tokens[1];
+        if (capture->dropped() > 0) {
+            reply += " (LOSSY: " + std::to_string(capture->dropped()) +
+                     " references dropped after the buffer filled)";
+        }
+        return reply;
     }
     if (cmd == "save-state") {
         if (tokens.size() != 2)
@@ -439,6 +461,8 @@ Console::handle(const std::vector<std::string> &tokens)
         }
         fatal("unknown monitor subcommand '", tokens[1], "'");
     }
+    if (cmd == "trace")
+        return handleTrace(tokens);
     if (cmd == "script") {
         if (tokens.size() != 2)
             fatal("usage: script <path>");
@@ -476,9 +500,121 @@ Console::handle(const std::vector<std::string> &tokens)
     }
     if (cmd == "help") {
         return "commands: node buffer throughput capture init stats "
-               "counters monitor clear reset dump-trace shutdown";
+               "counters monitor trace clear reset dump-trace shutdown";
     }
     fatal("unknown command '", cmd, "'");
+}
+
+std::string
+Console::handleTrace(const std::vector<std::string> &tokens)
+{
+    if (tokens.size() < 2)
+        fatal("usage: trace <start|status|show|mark|dump|chrome|"
+              "autodump|stop> ...");
+    const std::string &sub = tokens[1];
+
+    auto require_recorder = [&]() -> trace::FlightRecorder & {
+        if (!recorder_)
+            fatal("no flight recorder; use: trace start [events]");
+        return *recorder_;
+    };
+
+    if (sub == "start") {
+        if (tokens.size() > 3)
+            fatal("usage: trace start [events]");
+        if (recorder_)
+            fatal("flight recorder already running; 'trace stop' first");
+        std::size_t capacity = std::size_t{1} << 16;
+        if (tokens.size() == 3)
+            capacity = parseNumber(tokens[2]);
+        recorder_ = std::make_unique<trace::FlightRecorder>(capacity);
+        bus_.attachFlightRecorder(*recorder_);
+        if (board_)
+            board_->attachFlightRecorder(*recorder_);
+        return "flight recorder attached (" +
+               std::to_string(recorder_->capacity()) + " events)";
+    }
+    if (sub == "stop") {
+        require_recorder();
+        stopTrace();
+        return "flight recorder detached";
+    }
+    if (sub == "status") {
+        auto &rec = require_recorder();
+        std::ostringstream os;
+        os << "recorded " << rec.recorded() << " retained " << rec.size()
+           << "/" << rec.capacity() << " overwritten "
+           << rec.overwritten() << " anomalies " << rec.anomalies();
+        return os.str();
+    }
+    if (sub == "show") {
+        auto &rec = require_recorder();
+        std::size_t n = 16;
+        if (tokens.size() == 3)
+            n = parseNumber(tokens[2]);
+        const auto events = rec.snapshot();
+        const std::size_t first =
+            events.size() > n ? events.size() - n : 0;
+        std::ostringstream os;
+        for (std::size_t i = first; i < events.size(); ++i) {
+            os << events[i].describe();
+            if (events[i].kind == trace::EventKind::Mark) {
+                os << " \""
+                   << rec.markLabel(
+                          static_cast<std::size_t>(events[i].addr))
+                   << "\"";
+            }
+            os << "\n";
+        }
+        return os.str();
+    }
+    if (sub == "mark") {
+        if (tokens.size() < 3)
+            fatal("usage: trace mark <label...>");
+        auto &rec = require_recorder();
+        std::string label = tokens[2];
+        for (std::size_t i = 3; i < tokens.size(); ++i)
+            label += " " + tokens[i];
+        rec.mark(label, bus_.now());
+        return "marked '" + label + "' at cycle " +
+               std::to_string(bus_.now());
+    }
+    if (sub == "dump") {
+        if (tokens.size() != 3)
+            fatal("usage: trace dump <path>");
+        auto &rec = require_recorder();
+        trace::LifecycleWriter writer(tokens[2]);
+        writer.appendAll(rec.snapshot());
+        writer.flush();
+        return "wrote " + std::to_string(writer.count()) +
+               " lifecycle events to " + tokens[2] + " (" +
+               std::to_string(rec.overwritten()) +
+               " older events overwritten)";
+    }
+    if (sub == "chrome") {
+        if (tokens.size() != 3)
+            fatal("usage: trace chrome <path>");
+        auto &rec = require_recorder();
+        const auto events = rec.snapshot();
+        trace::writeChromeTraceFile(events, tokens[2], &rec);
+        return "wrote " + std::to_string(events.size()) +
+               " lifecycle events as Chrome trace JSON to " + tokens[2];
+    }
+    if (sub == "autodump") {
+        if (tokens.size() != 3)
+            fatal("usage: trace autodump <path>");
+        auto &rec = require_recorder();
+        rec.onAnomaly([path = tokens[2]](
+                          const trace::FlightRecorder &r,
+                          const trace::LifecycleEvent &) {
+            trace::LifecycleWriter writer(path);
+            writer.appendAll(r.snapshot());
+            writer.flush();
+        });
+        return "flight recorder will dump to " + tokens[2] +
+               " on every anomaly";
+    }
+    fatal("unknown trace subcommand '", sub, "'");
 }
 
 } // namespace memories::ies

@@ -26,6 +26,14 @@
  *                            -- begin windowed telemetry sampling
  *   monitor                  -- live view of the last closed window
  *   monitor stop             -- finish sampling (flushes exporters)
+ *   trace start [events]     -- attach a flight recorder (ring size)
+ *   trace status             -- recorded/retained/anomaly counts
+ *   trace show [n]           -- describe the last n retained events
+ *   trace mark <label...>    -- drop an operator annotation in the ring
+ *   trace dump <path>        -- write retained events (binary, IESSPANS)
+ *   trace chrome <path>      -- write retained events as Chrome JSON
+ *   trace autodump <path>    -- dump automatically on every anomaly
+ *   trace stop               -- detach and discard the recorder
  *   script <path>            -- execute commands from a file
  *   shutdown                 -- unplug from the bus
  *
@@ -42,6 +50,7 @@
 
 #include "bus/bus6xx.hh"
 #include "ies/board.hh"
+#include "trace/lifecycle.hh"
 
 namespace memories::ies
 {
@@ -67,16 +76,22 @@ class Console
     /** The live board (nullptr before init). */
     MemoriesBoard *board() { return board_.get(); }
 
+    /** The live flight recorder (nullptr unless `trace start` ran). */
+    trace::FlightRecorder *flightRecorder() { return recorder_.get(); }
+
   private:
     std::string handle(const std::vector<std::string> &tokens);
+    std::string handleTrace(const std::vector<std::string> &tokens);
     NodeConfig &nodeFor(std::size_t index);
 
     void stopMonitor();
+    void stopTrace();
 
     bus::Bus6xx &bus_;
     BoardConfig staged_;
     std::unique_ptr<MemoriesBoard> board_;
     std::unique_ptr<ConsoleMonitor> monitor_;
+    std::unique_ptr<trace::FlightRecorder> recorder_;
 };
 
 } // namespace memories::ies

@@ -266,6 +266,23 @@ class ExperimentFleet final : public bus::BusObserver
     void attachTelemetry(telemetry::Sampler &sampler,
                          bool board_progress = true);
 
+    /**
+     * Attach a flight recorder to board @p i, tagging its lifecycle
+     * events with the board index. Use one recorder per board: each
+     * board is advanced by exactly one worker, so a private recorder
+     * needs no synchronization, and the resulting per-board streams
+     * can be compared directly with trace::firstDivergence() (two
+     * boards fed the same stream should diverge only where their
+     * configurations make them). Call before start().
+     */
+    void attachFlightRecorder(std::size_t i,
+                              trace::FlightRecorder &recorder)
+    {
+        requireIdle("attachFlightRecorder");
+        boards_[i]->attachFlightRecorder(
+            recorder, static_cast<std::uint8_t>(i));
+    }
+
   private:
     void workerMain(std::size_t worker, std::size_t worker_count);
     void feedBoard(std::size_t i, const FleetEvent *events,

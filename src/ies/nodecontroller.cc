@@ -139,6 +139,13 @@ NodeController::processLocal(const bus::BusTransaction &raw_txn,
     } else {
         counters_.bump(hLocalMiss_[opidx]);
     }
+    if (recorder_) {
+        auto ev = makeEvent(hit.hit ? trace::EventKind::CacheHit
+                                    : trace::EventKind::CacheMiss,
+                            raw_txn);
+        ev.arg0 = static_cast<std::uint8_t>(state);
+        recorder_->record(ev);
+    }
 
     // Service-point classification for data-bearing requests: a hit is
     // served by this shared cache; a miss is served by whichever other
@@ -173,6 +180,13 @@ NodeController::processLocal(const bus::BusTransaction &raw_txn,
             directory_.setState(
                 txn.addr, static_cast<cache::LineStateRaw>(entry.next));
         }
+        if (recorder_ && entry.next != state) {
+            auto ev = makeEvent(trace::EventKind::StateTransition,
+                                raw_txn);
+            ev.arg0 = static_cast<std::uint8_t>(state);
+            ev.arg1 = static_cast<std::uint8_t>(entry.next);
+            recorder_->record(ev);
+        }
         return;
     }
 
@@ -180,12 +194,25 @@ NodeController::processLocal(const bus::BusTransaction &raw_txn,
         counters_.bump(hFills_);
         const auto evicted = directory_.allocate(
             txn.addr, static_cast<cache::LineStateRaw>(entry.next));
+        if (recorder_) {
+            auto ev = makeEvent(trace::EventKind::StateTransition,
+                                raw_txn);
+            ev.arg0 = static_cast<std::uint8_t>(LineState::Invalid);
+            ev.arg1 = static_cast<std::uint8_t>(entry.next);
+            recorder_->record(ev);
+        }
         if (evicted.valid) {
             const auto ev_state = static_cast<LineState>(evicted.state);
             if (protocol::isDirtyState(ev_state))
                 counters_.bump(hEvDirty_);
             else
                 counters_.bump(hEvClean_);
+            if (recorder_) {
+                auto ev = makeEvent(trace::EventKind::Castout, raw_txn);
+                ev.addr = evicted.lineAddr;
+                ev.arg0 = static_cast<std::uint8_t>(ev_state);
+                recorder_->record(ev);
+            }
             // Passive limitation (paper 3.4): the board cannot
             // invalidate the line in the real L1/L2 below, so nothing
             // propagates from here - the directory just forgets it.
@@ -221,6 +248,12 @@ NodeController::snoopRemote(const bus::BusTransaction &raw_txn)
         directory_.setState(
             txn.addr, static_cast<cache::LineStateRaw>(entry.next));
         counters_.bump(hRemoteDowngrade_);
+    }
+    if (recorder_ && entry.next != state) {
+        auto ev = makeEvent(trace::EventKind::StateTransition, raw_txn);
+        ev.arg0 = static_cast<std::uint8_t>(state);
+        ev.arg1 = static_cast<std::uint8_t>(entry.next);
+        recorder_->record(ev);
     }
 
     if (entry.response == bus::SnoopResponse::Modified)

@@ -23,6 +23,7 @@
 #include "common/counters.hh"
 #include "ies/boardconfig.hh"
 #include "protocol/table.hh"
+#include "trace/lifecycle.hh"
 
 namespace memories::ies
 {
@@ -132,6 +133,20 @@ class NodeController
         return counters_.value(hUnsampled_);
     }
 
+    /**
+     * Emit lifecycle events (hit/miss, castout, protocol state
+     * transition) into @p recorder, stamped with @p board (the fleet
+     * board index, lifecycleNoOwner for a lone board) and this node's
+     * id. Pass nullptr to detach. Costs one null check per tenure when
+     * detached.
+     */
+    void setFlightRecorder(trace::FlightRecorder *recorder,
+                           std::uint8_t board = trace::lifecycleNoOwner)
+    {
+        recorder_ = recorder;
+        boardId_ = board;
+    }
+
   private:
     /** True when @p addr falls in a tracked (sampled) set. */
     bool inSample(Addr addr) const;
@@ -140,12 +155,30 @@ class NodeController
     Addr sampleAddr(Addr addr) const;
     using LS = protocol::LineState;
 
+    /** Build the common fields of a lifecycle event for @p txn. */
+    trace::LifecycleEvent makeEvent(trace::EventKind kind,
+                                    const bus::BusTransaction &txn) const
+    {
+        trace::LifecycleEvent ev;
+        ev.kind = kind;
+        ev.cycle = txn.cycle;
+        ev.addr = txn.addr;
+        ev.traceId = txn.traceId;
+        ev.board = boardId_;
+        ev.node = id_;
+        ev.cpu = txn.cpu;
+        ev.op = txn.op;
+        return ev;
+    }
+
     NodeId id_;
     NodeConfig config_;
     std::uint64_t cpuMask_ = 0;
     cache::TagStore directory_;
     protocol::ProtocolTable protocol_;
     CounterBank counters_;
+    trace::FlightRecorder *recorder_ = nullptr;
+    std::uint8_t boardId_ = trace::lifecycleNoOwner;
 
     /** Cached counter handles, hot-path indexed. */
     CounterBank::Handle hLocalHit_[bus::numBusOps];

@@ -53,6 +53,8 @@
 #include "telemetry/histogram.hh"
 #include "telemetry/sampler.hh"
 #include "trace/capture.hh"
+#include "trace/chrometrace.hh"
+#include "trace/lifecycle.hh"
 #include "trace/record.hh"
 #include "trace/tracefile.hh"
 #include "trace/tracestats.hh"

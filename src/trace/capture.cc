@@ -32,6 +32,9 @@ void
 CaptureBuffer::dumpToFile(const std::string &path) const
 {
     TraceWriter writer(path);
+    // A lossy capture declares itself in the v2 header so every reader
+    // (tracestats, replay) knows the trace is a truncated prefix.
+    writer.setDroppedAtCapture(dropped_);
     for (std::uint64_t raw : records_)
         writer.appendRecord(BusRecord(raw));
     writer.flush();

@@ -1,0 +1,180 @@
+#include "trace/lifecycle.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "bus/busop.hh"
+#include "protocol/state.hh"
+
+namespace memories::trace
+{
+
+std::string_view
+eventKindName(EventKind kind)
+{
+    switch (kind) {
+      case EventKind::BusIssue:        return "issue";
+      case EventKind::SnoopReply:      return "snoop";
+      case EventKind::Combine:         return "combine";
+      case EventKind::BoardCommit:     return "commit";
+      case EventKind::BoardDropRetry:  return "drop-retry";
+      case EventKind::Retire:          return "retire";
+      case EventKind::CacheHit:        return "hit";
+      case EventKind::CacheMiss:       return "miss";
+      case EventKind::Castout:         return "castout";
+      case EventKind::StateTransition: return "transition";
+      case EventKind::BufferOverflow:  return "overflow";
+      case EventKind::Mark:            return "mark";
+      case EventKind::Anomaly:         return "anomaly";
+      case EventKind::NumKinds:        break;
+    }
+    return "?";
+}
+
+std::string_view
+anomalyKindName(AnomalyKind kind)
+{
+    switch (kind) {
+      case AnomalyKind::TxnBufferOverflow: return "txnbuffer-overflow";
+      case AnomalyKind::FleetDrop:         return "fleet-drop";
+      case AnomalyKind::BusRetry:          return "bus-retry";
+      case AnomalyKind::Manual:            return "manual";
+    }
+    return "?";
+}
+
+std::string
+LifecycleEvent::describe() const
+{
+    std::ostringstream os;
+    os << seq << " @" << cycle << " " << eventKindName(kind);
+    if (traceId != 0)
+        os << " txn#" << traceId;
+    if (board != lifecycleNoOwner)
+        os << " board" << static_cast<unsigned>(board);
+    if (node != lifecycleNoOwner)
+        os << " node" << static_cast<unsigned>(node);
+    switch (kind) {
+      case EventKind::BusIssue:
+        os << " " << bus::busOpName(op) << " cpu"
+           << static_cast<unsigned>(cpu) << " 0x" << std::hex << addr
+           << std::dec;
+        break;
+      case EventKind::SnoopReply:
+      case EventKind::Combine:
+        os << " "
+           << bus::snoopResponseName(
+                  static_cast<bus::SnoopResponse>(arg0));
+        break;
+      case EventKind::StateTransition:
+        os << " "
+           << protocol::lineStateName(
+                  static_cast<protocol::LineState>(arg0))
+           << "->"
+           << protocol::lineStateName(
+                  static_cast<protocol::LineState>(arg1))
+           << " 0x" << std::hex << addr << std::dec;
+        break;
+      case EventKind::CacheHit:
+      case EventKind::Castout:
+        os << " state="
+           << protocol::lineStateName(
+                  static_cast<protocol::LineState>(arg0))
+           << " 0x" << std::hex << addr << std::dec;
+        break;
+      case EventKind::CacheMiss:
+      case EventKind::BoardCommit:
+      case EventKind::BoardDropRetry:
+      case EventKind::Retire:
+        os << " 0x" << std::hex << addr << std::dec;
+        break;
+      case EventKind::BufferOverflow:
+        os << (arg0 ? " dropped" : " retried");
+        break;
+      case EventKind::Anomaly:
+        os << " " << anomalyKindName(static_cast<AnomalyKind>(arg0));
+        break;
+      default:
+        break;
+    }
+    return os.str();
+}
+
+FlightRecorder::FlightRecorder(std::size_t capacity)
+{
+    std::size_t cap = 16;
+    while (cap < capacity)
+        cap <<= 1;
+    ring_.resize(cap);
+    mask_ = cap - 1;
+}
+
+void
+FlightRecorder::mark(const std::string &label, Cycle cycle)
+{
+    LifecycleEvent ev;
+    ev.kind = EventKind::Mark;
+    ev.cycle = cycle;
+    ev.addr = markLabels_.size();
+    markLabels_.push_back(label);
+    record(ev);
+}
+
+const std::string &
+FlightRecorder::markLabel(std::size_t index) const
+{
+    static const std::string unknown = "?";
+    return index < markLabels_.size() ? markLabels_[index] : unknown;
+}
+
+std::uint64_t
+FlightRecorder::size() const
+{
+    const std::uint64_t head = next_.load(std::memory_order_relaxed);
+    const std::uint64_t retained =
+        std::min<std::uint64_t>(head - baseSeq_, mask_ + 1);
+    return retained;
+}
+
+std::vector<LifecycleEvent>
+FlightRecorder::snapshot() const
+{
+    const std::uint64_t head = next_.load(std::memory_order_relaxed);
+    const std::uint64_t n = size();
+    std::vector<LifecycleEvent> out;
+    out.reserve(n);
+    for (std::uint64_t seq = head - n; seq < head; ++seq)
+        out.push_back(ring_[seq & mask_]);
+    return out;
+}
+
+void
+FlightRecorder::reset()
+{
+    baseSeq_ = next_.load(std::memory_order_relaxed);
+    markLabels_.clear();
+}
+
+std::size_t
+firstDivergence(const std::vector<LifecycleEvent> &a,
+                const std::vector<LifecycleEvent> &b)
+{
+    const std::size_t n = std::min(a.size(), b.size());
+    const std::uint64_t baseA = a.empty() ? 0 : a.front().seq;
+    const std::uint64_t baseB = b.empty() ? 0 : b.front().seq;
+    for (std::size_t i = 0; i < n; ++i) {
+        LifecycleEvent ea = a[i];
+        LifecycleEvent eb = b[i];
+        ea.seq -= baseA;
+        eb.seq -= baseB;
+        ea.board = lifecycleNoOwner;
+        eb.board = lifecycleNoOwner;
+        if (!(ea == eb))
+            return i;
+    }
+    if (a.size() != b.size())
+        return n;
+    return SIZE_MAX;
+}
+
+} // namespace memories::trace

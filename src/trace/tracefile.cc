@@ -36,7 +36,8 @@ TraceWriter::~TraceWriter()
 void
 TraceWriter::writeHeader()
 {
-    std::uint64_t header[3] = {traceMagic, traceVersion, count_};
+    std::uint64_t header[4] = {traceMagic, traceVersion, count_,
+                               dropped_};
     if (std::fseek(file_.get(), 0, SEEK_SET) != 0 ||
         std::fwrite(header, sizeof(header), 1, file_.get()) != 1) {
         fatal("failed writing trace header to '", path_, "'");
@@ -85,10 +86,16 @@ TraceReader::TraceReader(const std::string &path)
         fatal("trace file '", path, "' is truncated");
     if (header[0] != traceMagic)
         fatal("trace file '", path, "' has bad magic");
-    if (header[1] != traceVersion)
+    if (header[1] != 1 && header[1] != traceVersion)
         fatal("trace file '", path, "' has unsupported version ",
               header[1]);
     count_ = header[2];
+    // v2 appends the capture-time dropped count to the header.
+    if (header[1] >= 2) {
+        headerWords_ = 4;
+        if (std::fread(&dropped_, sizeof(dropped_), 1, file_.get()) != 1)
+            fatal("trace file '", path, "' is truncated");
+    }
     buffer_.reserve(ioChunkRecords);
 }
 
@@ -133,12 +140,162 @@ TraceReader::next(bus::BusTransaction &txn)
 void
 TraceReader::rewind()
 {
-    if (std::fseek(file_.get(), 3 * sizeof(std::uint64_t), SEEK_SET) != 0)
+    if (std::fseek(file_.get(),
+                   static_cast<long>(headerWords_ *
+                                     sizeof(std::uint64_t)),
+                   SEEK_SET) != 0)
         fatal("failed to rewind trace file");
     readSoFar_ = 0;
     prevCycle_ = 0;
     buffer_.clear();
     bufferPos_ = 0;
+}
+
+namespace
+{
+
+/** 40-byte packed lifecycle event: five little-endian 64-bit words. */
+constexpr std::size_t lifecycleWords = 5;
+
+void
+packLifecycle(const LifecycleEvent &ev, std::uint64_t out[lifecycleWords])
+{
+    out[0] = ev.seq;
+    out[1] = ev.cycle;
+    out[2] = ev.addr;
+    out[3] = static_cast<std::uint64_t>(ev.traceId) |
+             (static_cast<std::uint64_t>(ev.kind) << 32) |
+             (static_cast<std::uint64_t>(ev.board) << 40) |
+             (static_cast<std::uint64_t>(ev.node) << 48) |
+             (static_cast<std::uint64_t>(ev.cpu) << 56);
+    out[4] = static_cast<std::uint64_t>(ev.op) |
+             (static_cast<std::uint64_t>(ev.arg0) << 8) |
+             (static_cast<std::uint64_t>(ev.arg1) << 16);
+}
+
+LifecycleEvent
+unpackLifecycle(const std::uint64_t in[lifecycleWords])
+{
+    LifecycleEvent ev;
+    ev.seq = in[0];
+    ev.cycle = in[1];
+    ev.addr = in[2];
+    ev.traceId = static_cast<std::uint32_t>(in[3]);
+    ev.kind = static_cast<EventKind>((in[3] >> 32) & 0xff);
+    ev.board = static_cast<std::uint8_t>((in[3] >> 40) & 0xff);
+    ev.node = static_cast<std::uint8_t>((in[3] >> 48) & 0xff);
+    ev.cpu = static_cast<std::uint8_t>((in[3] >> 56) & 0xff);
+    ev.op = static_cast<bus::BusOp>(in[4] & 0xff);
+    ev.arg0 = static_cast<std::uint8_t>((in[4] >> 8) & 0xff);
+    ev.arg1 = static_cast<std::uint8_t>((in[4] >> 16) & 0xff);
+    return ev;
+}
+
+} // namespace
+
+LifecycleWriter::LifecycleWriter(const std::string &path)
+    : path_(path)
+{
+    file_.reset(std::fopen(path.c_str(), "wb"));
+    if (!file_)
+        fatal("cannot create lifecycle dump '", path, "'");
+    buffer_.reserve(ioChunkRecords);
+    writeHeader();
+}
+
+LifecycleWriter::~LifecycleWriter()
+{
+    try {
+        flush();
+    } catch (const FatalError &) {
+        // swallow: destruction must not throw
+    }
+}
+
+void
+LifecycleWriter::writeHeader()
+{
+    std::uint64_t header[3] = {lifecycleMagic, lifecycleVersion, count_};
+    if (std::fseek(file_.get(), 0, SEEK_SET) != 0 ||
+        std::fwrite(header, sizeof(header), 1, file_.get()) != 1) {
+        fatal("failed writing lifecycle header to '", path_, "'");
+    }
+}
+
+void
+LifecycleWriter::append(const LifecycleEvent &event)
+{
+    std::uint64_t words[lifecycleWords];
+    packLifecycle(event, words);
+    buffer_.insert(buffer_.end(), words, words + lifecycleWords);
+    ++count_;
+    if (buffer_.size() >= ioChunkRecords)
+        flush();
+}
+
+void
+LifecycleWriter::appendAll(const std::vector<LifecycleEvent> &events)
+{
+    for (const LifecycleEvent &ev : events)
+        append(ev);
+}
+
+void
+LifecycleWriter::flush()
+{
+    if (!buffer_.empty()) {
+        if (std::fseek(file_.get(), 0, SEEK_END) != 0 ||
+            std::fwrite(buffer_.data(), sizeof(std::uint64_t),
+                        buffer_.size(), file_.get()) != buffer_.size()) {
+            fatal("failed writing lifecycle events to '", path_, "'");
+        }
+        buffer_.clear();
+    }
+    writeHeader();
+    std::fflush(file_.get());
+}
+
+LifecycleReader::LifecycleReader(const std::string &path)
+{
+    file_.reset(std::fopen(path.c_str(), "rb"));
+    if (!file_)
+        fatal("cannot open lifecycle dump '", path, "'");
+
+    std::uint64_t header[3];
+    if (std::fread(header, sizeof(header), 1, file_.get()) != 1)
+        fatal("lifecycle dump '", path, "' is truncated");
+    if (header[0] != lifecycleMagic)
+        fatal("'", path, "' is not a lifecycle dump");
+    if (header[1] != lifecycleVersion)
+        fatal("lifecycle dump '", path, "' has unsupported version ",
+              header[1]);
+    count_ = header[2];
+}
+
+LifecycleReader::~LifecycleReader() = default;
+
+bool
+LifecycleReader::next(LifecycleEvent &event)
+{
+    if (readSoFar_ >= count_)
+        return false;
+    std::uint64_t words[lifecycleWords];
+    if (std::fread(words, sizeof(words), 1, file_.get()) != 1)
+        return false;
+    event = unpackLifecycle(words);
+    ++readSoFar_;
+    return true;
+}
+
+std::vector<LifecycleEvent>
+LifecycleReader::readAll()
+{
+    std::vector<LifecycleEvent> events;
+    events.reserve(count_);
+    LifecycleEvent ev;
+    while (next(ev))
+        events.push_back(ev);
+    return events;
 }
 
 } // namespace memories::trace

@@ -2,10 +2,15 @@
  * @file
  * Binary trace files: the console-side persistence of captured traces.
  *
- * Format: a 24-byte header (magic, version, record count) followed by
- * packed BusRecords in little-endian order. The board dumps its capture
- * buffer through the console to disk in this format, and the baseline
- * trace-driven simulator replays it.
+ * Two formats live here. Bus traces: a header (magic, version, record
+ * count and — since v2 — the count of references the capture buffer
+ * dropped after filling) followed by packed BusRecords in little-endian
+ * order. The board dumps its capture buffer through the console to disk
+ * in this format, and the baseline trace-driven simulator replays it.
+ * Lifecycle dumps: the flight recorder's span events in a packed
+ * 40-byte-per-event binary layout (see docs/FORMATS.md §6), written by
+ * LifecycleWriter and loaded by LifecycleReader for offline analysis or
+ * Chrome-trace conversion.
  */
 
 #ifndef MEMORIES_TRACE_TRACEFILE_HH
@@ -17,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "trace/lifecycle.hh"
 #include "trace/record.hh"
 
 namespace memories::trace
@@ -25,8 +31,11 @@ namespace memories::trace
 /** Magic bytes at the start of every trace file ("IESTRACE"). */
 inline constexpr std::uint64_t traceMagic = 0x4945535452414345ull;
 
-/** Current trace file format version. */
-inline constexpr std::uint32_t traceVersion = 1;
+/**
+ * Current trace file format version. v2 adds the capture-time dropped
+ * count to the header; v1 files (24-byte header) remain readable.
+ */
+inline constexpr std::uint32_t traceVersion = 2;
 
 /** Streaming writer for a binary bus trace. */
 class TraceWriter
@@ -50,6 +59,17 @@ class TraceWriter
     /** Records written so far. */
     std::uint64_t count() const { return count_; }
 
+    /**
+     * Record in the header how many references the capture dropped
+     * after its buffer filled (CaptureBuffer::dropped()), so a lossy
+     * capture declares itself to every future reader. Takes effect at
+     * the next flush().
+     */
+    void setDroppedAtCapture(std::uint64_t dropped)
+    {
+        dropped_ = dropped;
+    }
+
     /** Flush buffered records and rewrite the header. */
     void flush();
 
@@ -65,6 +85,7 @@ class TraceWriter
     std::string path_;
     std::vector<std::uint64_t> buffer_;
     std::uint64_t count_ = 0;
+    std::uint64_t dropped_ = 0;
     Cycle prevCycle_ = 0;
 };
 
@@ -82,6 +103,13 @@ class TraceReader
 
     /** Total records in the file. */
     std::uint64_t count() const { return count_; }
+
+    /**
+     * References the capture dropped after its buffer filled (v2
+     * headers; 0 for v1 files, which predate the field). Nonzero means
+     * the trace is a lossy prefix of the bus stream it observed.
+     */
+    std::uint64_t droppedAtCapture() const { return dropped_; }
 
     /**
      * Read the next record into @p rec.
@@ -109,10 +137,97 @@ class TraceReader
 
     std::unique_ptr<std::FILE, FileCloser> file_;
     std::uint64_t count_ = 0;
+    std::uint64_t dropped_ = 0;
+    std::uint64_t headerWords_ = 3;
     std::uint64_t readSoFar_ = 0;
     Cycle prevCycle_ = 0;
     std::vector<std::uint64_t> buffer_;
     std::size_t bufferPos_ = 0;
+};
+
+/** Magic bytes of a lifecycle-event dump ("IESSPANS"). */
+inline constexpr std::uint64_t lifecycleMagic = 0x4945535350414e53ull;
+
+/** Current lifecycle dump format version. */
+inline constexpr std::uint32_t lifecycleVersion = 1;
+
+/**
+ * Streaming writer for a packed binary lifecycle-event dump: a 24-byte
+ * header (magic, version, event count) followed by 40-byte packed
+ * events (docs/FORMATS.md §6). This is the flight recorder's
+ * machine-readable dump format; writeChromeTrace is the human one.
+ */
+class LifecycleWriter
+{
+  public:
+    /** Open @p path for writing; fatal() if it cannot be created. */
+    explicit LifecycleWriter(const std::string &path);
+
+    /** Flushes the header and closes the file. */
+    ~LifecycleWriter();
+
+    LifecycleWriter(const LifecycleWriter &) = delete;
+    LifecycleWriter &operator=(const LifecycleWriter &) = delete;
+
+    /** Append one event. */
+    void append(const LifecycleEvent &event);
+
+    /** Append a whole snapshot. */
+    void appendAll(const std::vector<LifecycleEvent> &events);
+
+    /** Events written so far. */
+    std::uint64_t count() const { return count_; }
+
+    /** Flush buffered events and rewrite the header. */
+    void flush();
+
+  private:
+    struct FileCloser
+    {
+        void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+    };
+
+    void writeHeader();
+
+    std::unique_ptr<std::FILE, FileCloser> file_;
+    std::string path_;
+    std::vector<std::uint64_t> buffer_;
+    std::uint64_t count_ = 0;
+};
+
+/** Reader for lifecycle-event dumps written by LifecycleWriter. */
+class LifecycleReader
+{
+  public:
+    /** Open @p path; fatal() on missing file or bad magic/version. */
+    explicit LifecycleReader(const std::string &path);
+
+    ~LifecycleReader();
+
+    LifecycleReader(const LifecycleReader &) = delete;
+    LifecycleReader &operator=(const LifecycleReader &) = delete;
+
+    /** Total events in the file. */
+    std::uint64_t count() const { return count_; }
+
+    /**
+     * Read the next event into @p event.
+     * @return false at end of dump.
+     */
+    bool next(LifecycleEvent &event);
+
+    /** Load every event (convenience for chrome-trace conversion). */
+    std::vector<LifecycleEvent> readAll();
+
+  private:
+    struct FileCloser
+    {
+        void operator()(std::FILE *f) const { if (f) std::fclose(f); }
+    };
+
+    std::unique_ptr<std::FILE, FileCloser> file_;
+    std::uint64_t count_ = 0;
+    std::uint64_t readSoFar_ = 0;
 };
 
 } // namespace memories::trace

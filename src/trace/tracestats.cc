@@ -28,6 +28,7 @@ TraceStats::fromFile(const std::string &path)
 {
     TraceReader reader(path);
     TraceStats stats;
+    stats.dropped_ = reader.droppedAtCapture();
     bus::BusTransaction txn;
     while (reader.next(txn))
         stats.record(txn);
@@ -67,6 +68,10 @@ TraceStats::report() const
        << " lines), span " << (last_ - first_) << " cycles, "
        << "utilization " << utilization() << ", read fraction "
        << readFraction() << "\n";
+    if (dropped_ > 0) {
+        os << "LOSSY CAPTURE: " << dropped_
+           << " references dropped after the capture buffer filled\n";
+    }
     os << "per command:";
     for (std::size_t i = 0; i < bus::numBusOps; ++i) {
         if (opCounts_[i] > 0)

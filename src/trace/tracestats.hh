@@ -38,6 +38,14 @@ class TraceStats
     static TraceStats fromFile(const std::string &path);
 
     std::uint64_t records() const { return records_; }
+
+    /**
+     * References the capture dropped after its buffer filled, as
+     * declared by the trace file's v2 header (0 for v1 files and for
+     * stats built with record()). Nonzero means every number below
+     * understates the bus stream the board actually saw.
+     */
+    std::uint64_t droppedAtCapture() const { return dropped_; }
     std::uint64_t opCount(bus::BusOp op) const
     {
         return opCounts_[static_cast<std::size_t>(op)];
@@ -65,6 +73,7 @@ class TraceStats
 
   private:
     std::uint64_t records_ = 0;
+    std::uint64_t dropped_ = 0;
     std::array<std::uint64_t, bus::numBusOps> opCounts_{};
     std::array<std::uint64_t, maxHostCpus> cpuCounts_{};
     std::unordered_set<Addr> lines_;

@@ -2,7 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
 #include "common/logging.hh"
+#include "telemetry/exporter.hh"
 
 namespace memories::ies
 {
@@ -122,6 +125,58 @@ TEST(BusProfilerTest, PassiveOnTheBus)
     bus::Bus6xx bus;
     profiler.plugInto(bus);
     EXPECT_EQ(bus.issue(readAt(0x1000)), bus::SnoopResponse::None);
+}
+
+TEST(BusProfilerTest, AttachTelemetryExportsProfilerSources)
+{
+    // Captures the last exported window to check the profiler's
+    // counters, gauges and utilization histogram flow through the
+    // telemetry sampler.
+    class LastWindow final : public telemetry::Exporter
+    {
+      public:
+        void exportWindow(const telemetry::WindowRecord &w) override
+        {
+            names.clear();
+            for (const auto &c : w.counters)
+                names.push_back(*c.name);
+            for (const auto &g : w.gauges)
+                names.push_back(*g.name);
+            histogramSamples = 0;
+            for (const auto *h : w.histograms)
+                histogramSamples += h->samples();
+        }
+        std::vector<std::string> names;
+        std::uint64_t histogramSamples = 0;
+    };
+
+    BusProfilerConfig cfg;
+    cfg.windowCycles = 100;
+    BusProfiler profiler(cfg);
+    bus::Bus6xx bus;
+    profiler.plugInto(bus);
+
+    telemetry::Sampler sampler(1000);
+    LastWindow sink;
+    sampler.addExporter(sink);
+    profiler.attachTelemetry(sampler);
+
+    for (int i = 0; i < 50; ++i) {
+        bus.issue(readAt(0x1000u + 128u * i));
+        bus.tick(9);
+    }
+    sampler.advanceTo(bus.now());
+    sampler.finish(bus.now());
+
+    auto has = [&](const std::string &name) {
+        return std::find(sink.names.begin(), sink.names.end(), name) !=
+               sink.names.end();
+    };
+    EXPECT_TRUE(has("profiler.tenures"));
+    EXPECT_TRUE(has("profiler.mean_utilization"));
+    EXPECT_TRUE(has("profiler.peak_utilization"));
+    EXPECT_GT(sink.histogramSamples, 0u)
+        << "profiler windows must feed the utilization histogram";
 }
 
 } // namespace

@@ -4,6 +4,8 @@
 
 #include <cstdio>
 
+#include "trace/tracefile.hh"
+
 namespace memories::ies
 {
 namespace
@@ -233,6 +235,84 @@ TEST(ConsoleTest, MonitorStartsMidSessionWithoutBackfill)
     const auto view = console.execute("monitor");
     EXPECT_NE(view.find("[10000, 11000)"), std::string::npos)
         << view;
+}
+
+TEST(ConsoleTest, TraceCommandFamilyDrivesFlightRecorder)
+{
+    bus::Bus6xx bus;
+    Console console(bus);
+    console.execute("node 0 cache 2MB 4 128B");
+    console.execute("node 0 cpus 0,1");
+    console.execute("init");
+
+    EXPECT_EQ(console.flightRecorder(), nullptr);
+    console.execute("trace start 1024");
+    ASSERT_NE(console.flightRecorder(), nullptr);
+
+    bus.issue(readTxn(0x1000, 0));
+    bus.tick(1000);
+    bus.issue(readTxn(0x1000, 1));
+    console.board()->drainAll();
+    console.execute("trace mark phase one done");
+
+    const auto status = console.execute("trace status");
+    EXPECT_NE(status.find("recorded"), std::string::npos) << status;
+    const auto shown = console.execute("trace show 64");
+    EXPECT_NE(shown.find("issue"), std::string::npos) << shown;
+    EXPECT_NE(shown.find("phase one done"), std::string::npos) << shown;
+
+    const std::string dumpPath =
+        ::testing::TempDir() + "console_trace_dump.iesspan";
+    const std::string jsonPath =
+        ::testing::TempDir() + "console_trace_dump.json";
+    console.execute("trace dump " + dumpPath);
+    console.execute("trace chrome " + jsonPath);
+    {
+        trace::LifecycleReader reader(dumpPath);
+        EXPECT_GT(reader.count(), 0u);
+    }
+    {
+        std::FILE *f = std::fopen(jsonPath.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        char head[16] = {};
+        EXPECT_GT(std::fread(head, 1, sizeof(head), f), 0u);
+        std::fclose(f);
+        EXPECT_EQ(head[0], '{');
+    }
+    std::remove(dumpPath.c_str());
+    std::remove(jsonPath.c_str());
+
+    console.execute("trace stop");
+    EXPECT_EQ(console.flightRecorder(), nullptr);
+    EXPECT_EQ(bus.flightRecorder(), nullptr);
+}
+
+TEST(ConsoleTest, TraceAutodumpWritesRingOnAnomaly)
+{
+    // A 2-entry transaction buffer plus back-to-back issues forces an
+    // overflow anomaly; the armed autodump must leave the lifecycle
+    // history on disk without any further operator action.
+    const std::string dumpPath =
+        ::testing::TempDir() + "console_autodump.iesspan";
+    std::remove(dumpPath.c_str());
+
+    bus::Bus6xx bus;
+    Console console(bus);
+    console.execute("node 0 cache 2MB 4 128B");
+    console.execute("node 0 cpus 0,1");
+    console.execute("buffer 2");
+    console.execute("init");
+    console.execute("trace start 1024");
+    console.execute("trace autodump " + dumpPath);
+
+    for (int i = 0; i < 8; ++i)
+        bus.issue(readTxn(0x1000u + 128u * i, 0));
+
+    ASSERT_NE(console.flightRecorder(), nullptr);
+    EXPECT_GE(console.flightRecorder()->anomalies(), 1u);
+    trace::LifecycleReader reader(dumpPath);
+    EXPECT_GT(reader.count(), 0u);
+    std::remove(dumpPath.c_str());
 }
 
 } // namespace

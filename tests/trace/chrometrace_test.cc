@@ -1,0 +1,143 @@
+#include "trace/chrometrace.hh"
+
+#include <gtest/gtest.h>
+
+#include "bus/transaction.hh"
+
+namespace memories::trace
+{
+namespace
+{
+
+/**
+ * Hand-built lifecycle of one READ tenure (trace id 1): issued on the
+ * bus at cycle 5 by cpu 2, snooped shared by node 0, combined at cycle
+ * 9, committed into board 0's buffer at cycle 6, missed in node 0's
+ * emulated cache, retired at cycle 20 — plus one operator mark.
+ */
+std::vector<LifecycleEvent>
+goldenStream()
+{
+    std::vector<LifecycleEvent> events;
+
+    LifecycleEvent issue;
+    issue.seq = 0;
+    issue.cycle = 5;
+    issue.addr = 0x1000;
+    issue.traceId = 1;
+    issue.kind = EventKind::BusIssue;
+    issue.cpu = 2;
+    issue.op = bus::BusOp::Read;
+    events.push_back(issue);
+
+    LifecycleEvent snoop = issue;
+    snoop.seq = 1;
+    snoop.kind = EventKind::SnoopReply;
+    snoop.node = 0;
+    snoop.arg0 = static_cast<std::uint8_t>(bus::SnoopResponse::Shared);
+    events.push_back(snoop);
+
+    LifecycleEvent combine = issue;
+    combine.seq = 2;
+    combine.cycle = 9;
+    combine.kind = EventKind::Combine;
+    combine.arg0 = static_cast<std::uint8_t>(bus::SnoopResponse::Shared);
+    events.push_back(combine);
+
+    LifecycleEvent commit = issue;
+    commit.seq = 3;
+    commit.cycle = 6;
+    commit.kind = EventKind::BoardCommit;
+    commit.board = 0;
+    events.push_back(commit);
+
+    LifecycleEvent miss = issue;
+    miss.seq = 4;
+    miss.kind = EventKind::CacheMiss;
+    miss.board = 0;
+    miss.node = 0;
+    events.push_back(miss);
+
+    LifecycleEvent retire = issue;
+    retire.seq = 5;
+    retire.cycle = 20;
+    retire.kind = EventKind::Retire;
+    retire.board = 0;
+    events.push_back(retire);
+
+    LifecycleEvent mark;
+    mark.seq = 6;
+    mark.cycle = 21;
+    mark.kind = EventKind::Mark;
+    events.push_back(mark);
+
+    return events;
+}
+
+// The export contract is byte determinism: this golden asserts the
+// exact serialized form, so any formatting change is a deliberate diff
+// here, and two runs of the same stream can be compared with cmp(1).
+constexpr const char *goldenJson =
+    "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"
+    "{\"ph\":\"M\",\"pid\":0,\"tid\":-1,\"name\":\"process_name\","
+    "\"args\":{\"name\":\"host bus\"}},\n"
+    "{\"ph\":\"M\",\"pid\":0,\"tid\":-1,\"name\":\"process_sort_index\","
+    "\"args\":{\"name\":\"0\"}},\n"
+    "{\"ph\":\"M\",\"pid\":1,\"tid\":-1,\"name\":\"process_name\","
+    "\"args\":{\"name\":\"board 0\"}},\n"
+    "{\"ph\":\"M\",\"pid\":1,\"tid\":-1,\"name\":\"process_sort_index\","
+    "\"args\":{\"name\":\"1\"}},\n"
+    "{\"ph\":\"M\",\"pid\":0,\"tid\":0,\"name\":\"thread_name\","
+    "\"args\":{\"name\":\"cpu 0\"}},\n"
+    "{\"ph\":\"M\",\"pid\":0,\"tid\":2,\"name\":\"thread_name\","
+    "\"args\":{\"name\":\"cpu 2\"}},\n"
+    "{\"ph\":\"M\",\"pid\":1,\"tid\":0,\"name\":\"thread_name\","
+    "\"args\":{\"name\":\"node 0\"}},\n"
+    "{\"ph\":\"X\",\"pid\":0,\"tid\":2,\"ts\":5,\"dur\":4,"
+    "\"name\":\"READ\",\"args\":{\"txn\":1,\"addr\":\"0x1000\","
+    "\"combined\":\"shared\",\"snoop0\":\"shared\",\"cpu\":2}},\n"
+    "{\"ph\":\"X\",\"pid\":1,\"tid\":0,\"ts\":6,\"dur\":14,"
+    "\"name\":\"buffered READ\",\"args\":{\"txn\":1,"
+    "\"addr\":\"0x1000\"}},\n"
+    "{\"ph\":\"i\",\"pid\":1,\"tid\":0,\"ts\":5,\"s\":\"t\","
+    "\"name\":\"miss\",\"args\":{\"txn\":1,\"addr\":\"0x1000\"}},\n"
+    "{\"ph\":\"i\",\"pid\":0,\"tid\":0,\"ts\":21,\"s\":\"g\","
+    "\"name\":\"mark 0\",\"args\":{\"txn\":0}}\n"
+    "]}\n";
+
+TEST(ChromeTraceTest, GoldenStreamRendersByteExact)
+{
+    EXPECT_EQ(chromeTraceToString(goldenStream()), goldenJson);
+}
+
+TEST(ChromeTraceTest, RenderingIsDeterministic)
+{
+    const auto events = goldenStream();
+    EXPECT_EQ(chromeTraceToString(events), chromeTraceToString(events));
+}
+
+TEST(ChromeTraceTest, MarkLabelsResolveThroughRecorder)
+{
+    FlightRecorder rec(16);
+    rec.mark("checkpoint alpha", 7);
+    const auto json = chromeTraceToString(rec.snapshot(), &rec);
+    EXPECT_NE(json.find("checkpoint alpha"), std::string::npos);
+}
+
+TEST(ChromeTraceTest, EmptyStreamIsValidEnvelope)
+{
+    EXPECT_EQ(chromeTraceToString({}),
+              "{\"displayTimeUnit\":\"ns\",\"traceEvents\":[\n"
+              "\n]}\n");
+}
+
+TEST(ChromeTraceTest, EscapesControlAndQuoteCharactersInLabels)
+{
+    FlightRecorder rec(16);
+    rec.mark("say \"hi\"\tnow", 1);
+    const auto json = chromeTraceToString(rec.snapshot(), &rec);
+    EXPECT_NE(json.find("say \\\"hi\\\"\\tnow"), std::string::npos);
+}
+
+} // namespace
+} // namespace memories::trace

@@ -109,6 +109,101 @@ TEST_F(TraceFileTest, BadMagicIsFatal)
     EXPECT_THROW(TraceReader reader(path_), FatalError);
 }
 
+TEST_F(TraceFileTest, DroppedCountRoundTripsThroughV2Header)
+{
+    {
+        TraceWriter writer(path_);
+        writer.append(txnAt(0x1000, 0));
+        writer.setDroppedAtCapture(42);
+        writer.flush();
+    }
+    TraceReader reader(path_);
+    EXPECT_EQ(reader.count(), 1u);
+    EXPECT_EQ(reader.droppedAtCapture(), 42u);
+}
+
+TEST_F(TraceFileTest, ReadsVersion1FilesWithoutDroppedWord)
+{
+    // A v1 file is a 3-word header followed by records; the reader
+    // must keep accepting archives captured before the dropped-count
+    // word existed.
+    {
+        TraceWriter writer(path_);
+        writer.append(txnAt(0x3000, 7));
+        writer.flush();
+    }
+    // Rewrite the file as v1: patch the version word, drop word 4.
+    {
+        std::FILE *f = std::fopen(path_.c_str(), "rb");
+        ASSERT_NE(f, nullptr);
+        std::uint64_t header[4];
+        ASSERT_EQ(std::fread(header, sizeof(std::uint64_t), 4, f), 4u);
+        std::uint64_t record = 0;
+        ASSERT_EQ(std::fread(&record, sizeof(record), 1, f), 1u);
+        std::fclose(f);
+
+        header[1] = 1;
+        f = std::fopen(path_.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        ASSERT_EQ(std::fwrite(header, sizeof(std::uint64_t), 3, f), 3u);
+        ASSERT_EQ(std::fwrite(&record, sizeof(record), 1, f), 1u);
+        std::fclose(f);
+    }
+    TraceReader reader(path_);
+    EXPECT_EQ(reader.count(), 1u);
+    EXPECT_EQ(reader.droppedAtCapture(), 0u);
+    bus::BusTransaction txn;
+    ASSERT_TRUE(reader.next(txn));
+    EXPECT_EQ(txn.addr, 0x3000u);
+    EXPECT_EQ(txn.cycle, 7u);
+    reader.rewind(); // rewind must honor the shorter v1 header
+    ASSERT_TRUE(reader.next(txn));
+    EXPECT_EQ(txn.addr, 0x3000u);
+}
+
+TEST_F(TraceFileTest, LifecycleEventsRoundTrip)
+{
+    std::vector<LifecycleEvent> original;
+    for (std::uint64_t i = 0; i < 100; ++i) {
+        LifecycleEvent ev;
+        ev.seq = 1000 + i;
+        ev.cycle = 3 * i;
+        ev.addr = 0x1000 + 128 * i;
+        ev.traceId = static_cast<std::uint32_t>(i + 1);
+        ev.kind = static_cast<EventKind>(i % numEventKinds);
+        ev.board = static_cast<std::uint8_t>(i % 4);
+        ev.node = static_cast<std::uint8_t>(i % 8);
+        ev.cpu = static_cast<std::uint8_t>(i % 16);
+        ev.op = bus::BusOp::Rwitm;
+        ev.arg0 = static_cast<std::uint8_t>(i);
+        ev.arg1 = static_cast<std::uint8_t>(255 - i);
+        original.push_back(ev);
+    }
+    {
+        LifecycleWriter writer(path_);
+        for (const auto &ev : original)
+            writer.append(ev);
+        writer.flush();
+        EXPECT_EQ(writer.count(), original.size());
+    }
+    LifecycleReader reader(path_);
+    EXPECT_EQ(reader.count(), original.size());
+    const auto loaded = reader.readAll();
+    ASSERT_EQ(loaded.size(), original.size());
+    for (std::size_t i = 0; i < loaded.size(); ++i)
+        EXPECT_TRUE(loaded[i] == original[i]) << "event " << i;
+}
+
+TEST_F(TraceFileTest, LifecycleReaderRejectsBusTraceFile)
+{
+    {
+        TraceWriter writer(path_);
+        writer.append(txnAt(0x1000, 0));
+        writer.flush();
+    }
+    EXPECT_THROW(LifecycleReader reader(path_), FatalError);
+}
+
 TEST_F(TraceFileTest, SurvivesBufferBoundary)
 {
     // Cross the 64K-record I/O chunk boundary.
