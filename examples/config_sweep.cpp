@@ -12,12 +12,18 @@
  *
  * Build and run:
  *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/config_sweep [workers] [telemetry-dir]
+ *   ./build/examples/config_sweep [--faults plan] [workers] [telemetry-dir]
  *
  * With a telemetry-dir, each application's measurement pass also emits
  * windowed telemetry (host refs, bus utilization, per-board fleet
  * drop/stall counters) as sweep_<app>.jsonl and sweep_<app>.csv, plus
  * a sweep_fleet.csv fidelity report.
+ *
+ * With --faults, every board carries its own deterministic fault
+ * injector driving the same plan under a different seed (seed = board
+ * index + 1), so one sweep doubles as a robustness campaign: the
+ * summary then reports injected-fault counts and each board's health
+ * state next to its miss ratios (see docs/FAULTS.md).
  */
 
 #include <cstdio>
@@ -36,14 +42,37 @@ main(int argc, char **argv)
 {
     using namespace memories;
 
+    std::string fault_plan_path;
+    std::vector<std::string> positional;
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg == "--faults") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "usage: config_sweep [--faults plan] "
+                             "[workers] [telemetry-dir]\n");
+                return 1;
+            }
+            fault_plan_path = argv[++i];
+        } else {
+            positional.push_back(arg);
+        }
+    }
+
     std::size_t workers = std::thread::hardware_concurrency();
-    if (argc > 1)
-        workers = static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10));
+    if (positional.size() > 0)
+        workers = static_cast<std::size_t>(
+            std::strtoul(positional[0].c_str(), nullptr, 10));
     if (workers == 0)
         workers = 1;
-    const std::string telemetry_dir = argc > 2 ? argv[2] : "";
+    const std::string telemetry_dir =
+        positional.size() > 1 ? positional[1] : "";
     if (!telemetry_dir.empty())
         std::filesystem::create_directories(telemetry_dir);
+
+    fault::FaultPlan fault_plan;
+    if (!fault_plan_path.empty())
+        fault_plan = fault::FaultPlan::load(fault_plan_path);
 
     setLoggingQuiet(true);
 
@@ -73,9 +102,14 @@ main(int argc, char **argv)
     }
 
     std::printf("config_sweep: %zu L3 sizes x %zu SPLASH2 apps, "
-                "%zu workers, %llu refs per app\n\n",
+                "%zu workers, %llu refs per app\n",
                 sizes.size(), suite.size(), workers,
                 static_cast<unsigned long long>(refs));
+    if (!fault_plan.empty())
+        std::printf("fault campaign: %zu specs from %s\n%s",
+                    fault_plan.size(), fault_plan_path.c_str(),
+                    fault_plan.describe().c_str());
+    std::printf("\n");
     std::printf("%-10s", "L3 size");
     for (const auto &app : suite)
         std::printf(" %9s", app.name.c_str());
@@ -84,6 +118,7 @@ main(int argc, char **argv)
     std::vector<std::vector<double>> ratios(sizes.size());
     std::uint64_t total_stalls = 0;
     std::uint64_t total_drops = 0;
+    std::uint64_t total_injected = 0;
     std::string fleet_csv;
     for (const auto &app : suite) {
         workload::SplashWorkload wl(app);
@@ -93,6 +128,19 @@ main(int argc, char **argv)
         for (std::size_t c = 0; c < configs.size(); ++c)
             fleet.addExperiment(configs[c], 1,
                                 formatByteSize(sizes[c].sizeBytes));
+
+        // One injector per board, same plan, seed varying by board
+        // index: every board sees an independent but reproducible
+        // fault stream.
+        std::vector<std::unique_ptr<fault::FaultInjector>> injectors;
+        if (!fault_plan.empty()) {
+            for (std::size_t c = 0; c < configs.size(); ++c) {
+                injectors.push_back(
+                    std::make_unique<fault::FaultInjector>(fault_plan,
+                                                           c + 1));
+                fleet.attachFaultInjector(c, *injectors.back());
+            }
+        }
         fleet.attach(machine.bus());
 
         // Warmup pass, then measure the steady state: the boards stay
@@ -148,13 +196,15 @@ main(int argc, char **argv)
             std::printf("%s\n", fleet_report.toText().c_str());
         if (fleet_csv.empty())
             fleet_csv = "app,board,consumed,overflow_drops,"
-                        "backpressure_stalls,published,tap_filtered,"
-                        "tap_retry_dropped\n";
+                        "backpressure_stalls,lost_inflight,health,"
+                        "published,tap_filtered,tap_retry_dropped\n";
         for (const auto &line : fleet_report.boards) {
             fleet_csv += app.name + "," + line.label + "," +
                          std::to_string(line.consumed) + "," +
                          std::to_string(line.overflowDrops) + "," +
                          std::to_string(line.backpressureStalls) + "," +
+                         std::to_string(line.lostInflight) + "," +
+                         line.healthState + "," +
                          std::to_string(fleet_report.published) + "," +
                          std::to_string(fleet_report.tapFiltered) + "," +
                          std::to_string(fleet_report.tapRetryDropped) +
@@ -165,6 +215,21 @@ main(int argc, char **argv)
             const auto s = fleet.board(c).node(0).stats();
             ratios[c].push_back(s.missRatio());
             total_stalls += fleet.backpressureStalls(c);
+        }
+
+        if (!injectors.empty()) {
+            std::printf("  %s fault campaign:", app.name.c_str());
+            for (std::size_t c = 0; c < sizes.size(); ++c) {
+                total_injected += injectors[c]->totalInjected();
+                const std::string state{fault::healthStateName(
+                    fleet.board(c).healthState())};
+                std::printf(" %s=%llu/%s",
+                            formatByteSize(sizes[c].sizeBytes).c_str(),
+                            static_cast<unsigned long long>(
+                                injectors[c]->totalInjected()),
+                            state.c_str());
+            }
+            std::printf("\n");
         }
     }
 
@@ -198,6 +263,10 @@ main(int argc, char **argv)
                 sizes.size(),
                 static_cast<unsigned long long>(total_stalls),
                 static_cast<unsigned long long>(total_drops));
+    if (!fault_plan.empty())
+        std::printf("fault campaign: %llu faults injected across the "
+                    "sweep\n",
+                    static_cast<unsigned long long>(total_injected));
     if (!telemetry_dir.empty())
         std::printf("telemetry written to %s/sweep_*.{jsonl,csv}\n",
                     telemetry_dir.c_str());

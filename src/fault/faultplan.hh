@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Deterministic fault plans: what to break, when, and how often.
+ *
+ * The paper's board had exactly one failure behaviour — a bus Retry on
+ * transaction-buffer overflow (section 3.3) — and it was "never
+ * observed in practice", so the hardware's degraded paths went
+ * essentially unexercised. The software reproduction can do what the
+ * lab could not: inject the failures on purpose, reproducibly. A
+ * FaultPlan is a list of FaultSpecs, each either *scheduled* (fires at
+ * the Nth opportunity of its hook) or *probabilistic* (an independent
+ * Bernoulli draw per opportunity from one seeded generator), so the
+ * same plan and seed replay the exact same fault sequence against the
+ * same tenure stream.
+ *
+ * Plans are plain text, one fault per line ('#' starts a comment):
+ *
+ *     retry prob 0.01            # spurious snooper retries on the bus
+ *     dropreply prob 0.005       # board misses a snooped tenure
+ *     delayreply prob 0.01 cycles 50
+ *     addrflip prob 0.001 bit 7  # corrupt the snooped address stream
+ *     tagflip at 5000 node 0 bit 3
+ *     slotloss at 2000 slots 128 cycles 5000
+ *     stall at 3000 cycles 2000  # SDRAM retirement stall
+ */
+
+#ifndef MEMORIES_FAULT_FAULTPLAN_HH
+#define MEMORIES_FAULT_FAULTPLAN_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace memories::fault
+{
+
+/** One way the emulation fabric can misbehave. */
+enum class FaultKind : std::uint8_t
+{
+    /** A snooper posts a spurious Retry for a live bus tenure. */
+    SpuriousRetry = 0,
+    /** The board fails to observe a snooped tenure entirely. */
+    DropReply,
+    /** The board observes a tenure late (its bus cycle is delayed). */
+    DelayReply,
+    /** One address bit flips on the snooped stream. */
+    AddressFlip,
+    /** A tag-SRAM bit flips in one node's directory (parity-checked). */
+    TagFlip,
+    /** The transaction buffer transiently loses slots. */
+    SlotLoss,
+    /** The SDRAM drain earns no retirement credits for a while. */
+    RetirementStall,
+
+    NumKinds
+};
+
+/** Number of distinct fault kinds. */
+inline constexpr std::size_t numFaultKinds =
+    static_cast<std::size_t>(FaultKind::NumKinds);
+
+/** Plan-file mnemonic for a fault kind ("retry", "tagflip", ...). */
+std::string_view faultKindName(FaultKind kind);
+
+/** One scheduled or probabilistic fault. */
+struct FaultSpec
+{
+    FaultKind kind = FaultKind::SpuriousRetry;
+    /**
+     * Fire exactly once, at the Nth opportunity of this fault's hook
+     * (1-based: the Nth bus tenure snooped, board tenure observed, or
+     * commit, depending on the kind). 0 means not scheduled.
+     */
+    std::uint64_t atTenure = 0;
+    /** Per-opportunity Bernoulli probability (used when atTenure==0). */
+    double probability = 0.0;
+    /** Bit to flip (AddressFlip: address bit; TagFlip: state bit). */
+    unsigned bit = 0;
+    /** Duration/delay in bus cycles (delay, slot loss, stall). */
+    Cycle cycles = 0;
+    /** Buffer slots lost (SlotLoss). */
+    std::size_t slots = 0;
+    /** Target node-controller index (TagFlip; wraps modulo nodes). */
+    std::uint8_t node = 0;
+
+    /** One-line plan-file rendering of this spec. */
+    std::string describe() const;
+};
+
+/** An ordered list of faults; the unit of arming and of determinism. */
+struct FaultPlan
+{
+    std::vector<FaultSpec> faults;
+
+    bool empty() const { return faults.empty(); }
+    std::size_t size() const { return faults.size(); }
+
+    /**
+     * Parse the text plan format (see file comment). fatal() with the
+     * offending line on any syntax or range error.
+     */
+    static FaultPlan parse(std::string_view text);
+
+    /** Parse a plan file from disk; fatal() if unreadable. */
+    static FaultPlan load(const std::string &path);
+
+    /** Render back to the plan-file format (round-trips via parse). */
+    std::string describe() const;
+};
+
+} // namespace memories::fault
+
+#endif // MEMORIES_FAULT_FAULTPLAN_HH

@@ -1,0 +1,169 @@
+#include "fault/injector.hh"
+
+#include <sstream>
+
+#include "bus/busop.hh"
+
+namespace memories::fault
+{
+
+FaultInjector::FaultInjector(FaultPlan plan, std::uint64_t seed)
+    : plan_(std::move(plan)), seed_(seed), rng_(seed)
+{
+    for (std::size_t k = 0; k < numFaultKinds; ++k) {
+        hKind_[k] = counters_.add(
+            "faults." +
+            std::string(faultKindName(static_cast<FaultKind>(k))));
+    }
+}
+
+bool
+FaultInjector::fires(const FaultSpec &spec, std::uint64_t index)
+{
+    if (spec.atTenure != 0)
+        return index == spec.atTenure;
+    return rng_.nextBool(spec.probability);
+}
+
+void
+FaultInjector::note(const FaultSpec &spec,
+                    const bus::BusTransaction &txn)
+{
+    counters_.bump(hKind_[static_cast<std::size_t>(spec.kind)]);
+    if (!recorder_)
+        return;
+    trace::LifecycleEvent ev;
+    ev.kind = trace::EventKind::FaultInjected;
+    ev.cycle = txn.cycle;
+    ev.addr = txn.addr;
+    ev.traceId = txn.traceId;
+    ev.board = boardId_;
+    ev.cpu = txn.cpu;
+    ev.op = txn.op;
+    ev.arg0 = static_cast<std::uint8_t>(spec.kind);
+    recorder_->record(ev);
+    recorder_->notifyAnomaly(trace::AnomalyKind::FaultInjection,
+                             txn.cycle, txn.traceId);
+}
+
+bus::SnoopResponse
+FaultInjector::snoop(const bus::BusTransaction &txn)
+{
+    if (bus::isFilteredOp(txn.op) || txn.isRetryReplay)
+        return bus::SnoopResponse::None;
+    ++busTenures_;
+    auto response = bus::SnoopResponse::None;
+    for (const FaultSpec &spec : plan_.faults) {
+        if (spec.kind != FaultKind::SpuriousRetry)
+            continue;
+        if (fires(spec, busTenures_)) {
+            note(spec, txn);
+            response = bus::SnoopResponse::Retry;
+        }
+    }
+    return response;
+}
+
+FaultInjector::StreamFaults
+FaultInjector::onTenure(bus::BusTransaction &txn)
+{
+    ++streamTenures_;
+    StreamFaults out;
+    for (const FaultSpec &spec : plan_.faults) {
+        switch (spec.kind) {
+          case FaultKind::DropReply:
+            if (fires(spec, streamTenures_)) {
+                note(spec, txn);
+                out.drop = true;
+            }
+            break;
+          case FaultKind::DelayReply:
+            if (fires(spec, streamTenures_)) {
+                note(spec, txn);
+                txn.cycle += spec.cycles;
+            }
+            break;
+          case FaultKind::AddressFlip:
+            if (fires(spec, streamTenures_)) {
+                note(spec, txn);
+                txn.addr ^= Addr{1} << spec.bit;
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    return out;
+}
+
+FaultInjector::CommitFaults
+FaultInjector::onCommit(const bus::BusTransaction &txn)
+{
+    ++commits_;
+    CommitFaults out;
+    for (const FaultSpec &spec : plan_.faults) {
+        switch (spec.kind) {
+          case FaultKind::TagFlip:
+            if (fires(spec, commits_)) {
+                note(spec, txn);
+                out.tagFlip = true;
+                out.tagNode = spec.node;
+                out.tagBit = spec.bit;
+            }
+            break;
+          case FaultKind::SlotLoss:
+            if (fires(spec, commits_)) {
+                note(spec, txn);
+                out.slotLoss = true;
+                out.slots = spec.slots;
+                out.slotsUntil = txn.cycle + spec.cycles;
+            }
+            break;
+          case FaultKind::RetirementStall:
+            if (fires(spec, commits_)) {
+                note(spec, txn);
+                out.stall = true;
+                out.stallUntil = txn.cycle + spec.cycles;
+            }
+            break;
+          default:
+            break;
+        }
+    }
+    return out;
+}
+
+std::uint64_t
+FaultInjector::totalInjected() const
+{
+    std::uint64_t total = 0;
+    for (std::size_t k = 0; k < numFaultKinds; ++k)
+        total += counters_.value(hKind_[k]);
+    return total;
+}
+
+void
+FaultInjector::attachTelemetry(telemetry::Sampler &sampler,
+                               const std::string &prefix)
+{
+    sampler.addBank(prefix, counters_);
+}
+
+std::string
+FaultInjector::dumpStats() const
+{
+    std::ostringstream os;
+    os << "fault injector: seed " << seed_ << ", " << plan_.size()
+       << " spec" << (plan_.size() == 1 ? "" : "s") << ", "
+       << totalInjected() << " injected\n";
+    for (std::size_t k = 0; k < numFaultKinds; ++k) {
+        const auto count = counters_.value(hKind_[k]);
+        if (count == 0)
+            continue;
+        os << "  " << faultKindName(static_cast<FaultKind>(k)) << " "
+           << count << "\n";
+    }
+    return os.str();
+}
+
+} // namespace memories::fault

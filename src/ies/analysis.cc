@@ -42,6 +42,15 @@ BoardReport::capture(const MemoriesBoard &board)
     report.bufferHighWater = board.bufferHighWater();
     if (const auto *capture = board.captureBuffer())
         report.captureDropped = capture->dropped();
+    report.lostInflight = g.valueByName("global.tenures.lost_inflight");
+    report.faultDropped = g.valueByName("global.tenures.fault_dropped");
+    report.sampledOut = g.valueByName("global.tenures.sampled_out");
+    report.shed = g.valueByName("global.tenures.shed");
+    report.quarantined = g.valueByName("global.tenures.quarantined");
+    report.healthTransitions =
+        g.valueByName("global.health.transitions");
+    report.healthState =
+        std::string(fault::healthStateName(board.healthState()));
     for (std::size_t n = 0; n < board.numNodes(); ++n) {
         const auto &node = board.node(n);
         report.nodeLabels.push_back(
@@ -60,7 +69,9 @@ BoardReport::toCsv() const
           "sat_shrint,sat_memory,fills,evictions_clean,"
           "evictions_dirty,remote_invalidations,supplied_modified,"
           "supplied_shared,global_tenures,global_committed,"
-          "global_filtered,retries_posted,capture_dropped\n";
+          "global_filtered,retries_posted,capture_dropped,"
+          "lost_inflight,fault_dropped,sampled_out,shed,quarantined,"
+          "health\n";
     for (std::size_t n = 0; n < nodes.size(); ++n) {
         const auto &s = nodes[n];
         os << nodeLabels[n] << ',' << s.localRefs << ',' << s.localHits
@@ -73,7 +84,9 @@ BoardReport::toCsv() const
            << s.remoteInvalidations << ',' << s.suppliedModified << ','
            << s.suppliedShared << ',' << memoryTenures << ','
            << committed << ',' << filtered << ',' << retriesPosted
-           << ',' << captureDropped << '\n';
+           << ',' << captureDropped << ',' << lostInflight << ','
+           << faultDropped << ',' << sampledOut << ',' << shed << ','
+           << quarantined << ',' << healthState << '\n';
     }
     return os.str();
 }
@@ -89,6 +102,17 @@ BoardReport::toText() const
     if (captureDropped > 0) {
         os << "  ** lossy capture: " << captureDropped
            << " references dropped after the capture buffer filled **\n";
+    }
+    if (lostInflight > 0) {
+        os << "  ** lossy buffer: " << lostInflight
+           << " committed tenures lost in flight **\n";
+    }
+    if (faultDropped + sampledOut + shed + quarantined > 0 ||
+        healthState != "healthy") {
+        os << "  health " << healthState << ": fault-dropped "
+           << faultDropped << " sampled-out " << sampledOut << " shed "
+           << shed << " quarantined " << quarantined << " transitions "
+           << healthTransitions << "\n";
     }
     for (std::size_t n = 0; n < nodes.size(); ++n) {
         const auto &s = nodes[n];
@@ -128,6 +152,9 @@ FleetReport::capture(const ExperimentFleet &fleet)
         line.backpressureStalls = fleet.backpressureStalls(i);
         if (const auto *capture = fleet.board(i).captureBuffer())
             line.captureDropped = capture->dropped();
+        line.lostInflight = fleet.board(i).tenuresLostInflight();
+        line.healthState = std::string(
+            fault::healthStateName(fleet.board(i).healthState()));
         report.boards.push_back(std::move(line));
     }
     return report;
@@ -147,11 +174,13 @@ FleetReport::toCsv() const
 {
     std::ostringstream os;
     os << "board,consumed,overflow_drops,backpressure_stalls,"
-          "capture_dropped,published,tap_filtered,tap_retry_dropped\n";
+          "capture_dropped,lost_inflight,health,published,"
+          "tap_filtered,tap_retry_dropped\n";
     for (const BoardLine &b : boards) {
         os << b.label << ',' << b.consumed << ',' << b.overflowDrops
            << ',' << b.backpressureStalls << ',' << b.captureDropped
-           << ',' << published << ',' << tapFiltered << ','
+           << ',' << b.lostInflight << ',' << b.healthState << ','
+           << published << ',' << tapFiltered << ','
            << tapRetryDropped << '\n';
     }
     return os.str();
@@ -175,6 +204,12 @@ FleetReport::toText() const
             os << "  ** lossy capture: " << b.captureDropped
                << " references not captured **";
         }
+        if (b.lostInflight > 0) {
+            os << "  ** lossy buffer: " << b.lostInflight
+               << " committed tenures lost in flight **";
+        }
+        if (b.healthState != "healthy")
+            os << "  ** health: " << b.healthState << " **";
         os << "\n";
     }
     return os.str();

@@ -46,6 +46,20 @@ struct BoardReport
     std::size_t bufferHighWater = 0;
     /** References lost after the capture buffer filled (0: lossless). */
     std::uint64_t captureDropped = 0;
+    /** Committed tenures the buffer lost (fault-shrunk capacity). */
+    std::uint64_t lostInflight = 0;
+    /** Tenures an injected DropReply hid from the board. */
+    std::uint64_t faultDropped = 0;
+    /** Tenures shed by degraded set-sampling. */
+    std::uint64_t sampledOut = 0;
+    /** Tenures shed by retry-storm backoff. */
+    std::uint64_t shed = 0;
+    /** Tenures ignored while quarantined. */
+    std::uint64_t quarantined = 0;
+    /** Health state-machine transitions. */
+    std::uint64_t healthTransitions = 0;
+    /** Health state at capture ("healthy" unless degradation ran). */
+    std::string healthState = "healthy";
     std::vector<std::string> nodeLabels;
     std::vector<NodeStats> nodes;
 
@@ -92,6 +106,10 @@ struct FleetReport
         std::uint64_t backpressureStalls = 0;
         /** References this board's capture buffer dropped after fill. */
         std::uint64_t captureDropped = 0;
+        /** Committed tenures lost in flight (fault-shrunk buffer). */
+        std::uint64_t lostInflight = 0;
+        /** Board health at capture ("healthy" unless degradation ran). */
+        std::string healthState = "healthy";
     };
     std::vector<BoardLine> boards;
 

@@ -3,15 +3,18 @@
 #include <cstdio>
 #include <sstream>
 
+#include "common/bitops.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
+#include "fault/injector.hh"
 
 namespace memories::ies
 {
 
 MemoriesBoard::MemoriesBoard(const BoardConfig &config, std::uint64_t seed)
     : config_(config),
-      buffer_(config.bufferEntries, config.sdramThroughputPercent)
+      buffer_(config.bufferEntries, config.sdramThroughputPercent),
+      health_(config.health)
 {
     config_.validate();
     for (std::size_t i = 0; i < config_.nodes.size(); ++i) {
@@ -29,6 +32,39 @@ MemoriesBoard::MemoriesBoard(const BoardConfig &config, std::uint64_t seed)
     hWrites_ = global_.add("global.writes");
     hWritebacks_ = global_.add("global.writebacks");
     hRetriesPosted_ = global_.add("global.retries_posted");
+    hLostInflight_ = global_.add("global.tenures.lost_inflight");
+    hFaultDropped_ = global_.add("global.tenures.fault_dropped");
+    hSampledOut_ = global_.add("global.tenures.sampled_out");
+    hShed_ = global_.add("global.tenures.shed");
+    hQuarantined_ = global_.add("global.tenures.quarantined");
+    hHealthTransitions_ = global_.add("global.health.transitions");
+
+    // All nodes share one line size (boardconfig validates geometries
+    // against the same bounds); degraded sampling keys on it.
+    healthLineShift_ = static_cast<unsigned>(
+        log2i(config_.nodes.front().cache.lineSize));
+    health_.onTransition([this](fault::HealthState from,
+                                fault::HealthState to) {
+        global_.bump(hHealthTransitions_);
+        if (!recorder_)
+            return;
+        trace::LifecycleEvent ev;
+        ev.kind = trace::EventKind::HealthTransition;
+        ev.cycle = healthCycle_;
+        ev.traceId = healthTraceId_;
+        ev.board = boardId_;
+        ev.arg0 = static_cast<std::uint8_t>(from);
+        ev.arg1 = static_cast<std::uint8_t>(to);
+        recorder_->record(ev);
+        if (to == fault::HealthState::Degraded) {
+            recorder_->notifyAnomaly(trace::AnomalyKind::HealthDegraded,
+                                     healthCycle_, healthTraceId_);
+        } else if (to == fault::HealthState::Quarantined) {
+            recorder_->notifyAnomaly(
+                trace::AnomalyKind::BoardQuarantined, healthCycle_,
+                healthTraceId_);
+        }
+    });
 }
 
 MemoriesBoard::~MemoriesBoard() = default;
@@ -75,6 +111,53 @@ MemoriesBoard::detachFlightRecorder()
     recorder_ = nullptr;
     for (auto &node : nodes_)
         node->setFlightRecorder(nullptr);
+    if (injector_)
+        injector_->setFlightRecorder(nullptr);
+}
+
+void
+MemoriesBoard::attachFaultInjector(fault::FaultInjector &injector)
+{
+    injector_ = &injector;
+    injector_->setFlightRecorder(recorder_, boardId_);
+}
+
+void
+MemoriesBoard::detachFaultInjector()
+{
+    if (injector_)
+        injector_->setFlightRecorder(nullptr);
+    injector_ = nullptr;
+}
+
+void
+MemoriesBoard::resyncFrom(const MemoriesBoard &healthy)
+{
+    if (&healthy == this)
+        fatal("a board cannot resync from itself");
+    if (healthy.nodes_.size() != nodes_.size()) {
+        fatal("resync source has ", healthy.nodes_.size(),
+              " nodes but this board has ", nodes_.size());
+    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        if (healthy.nodes_[i]->geometrySignature() !=
+            nodes_[i]->geometrySignature()) {
+            fatal("resync geometry mismatch at node ", i);
+        }
+    }
+    // Buffered tenures predate the mirrored directories; retiring them
+    // now would corrupt the copy, so they are lost in flight (keeping
+    // committed == retired + lost_inflight).
+    while (buffer_.drainUnpaced())
+        global_.bump(hLostInflight_);
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        nodes_[i]->resetDirectory();
+        healthy.nodes_[i]->exportDirectory(
+            [&](Addr addr, cache::LineStateRaw state) {
+                nodes_[i]->importLine(addr, state);
+            });
+    }
+    health_.resync();
 }
 
 void
@@ -98,35 +181,87 @@ MemoriesBoard::snoop(const bus::BusTransaction &txn)
         global_.bump(hFiltered_);
         return bus::SnoopResponse::None;
     }
+
+    bus::BusTransaction t = txn;
+    fault::FaultInjector::StreamFaults stream;
+    if (injector_)
+        stream = injector_->onTenure(t);
+    healthCycle_ = t.cycle;
+    healthTraceId_ = t.traceId;
+
     global_.bump(hTenures_);
-    if (bus::isReadOp(txn.op))
+    if (bus::isReadOp(t.op))
         global_.bump(hReads_);
-    if (bus::isWriteIntentOp(txn.op))
+    if (bus::isWriteIntentOp(t.op))
         global_.bump(hWrites_);
-    if (txn.op == bus::BusOp::WriteBack)
+    if (t.op == bus::BusOp::WriteBack)
         global_.bump(hWritebacks_);
+
+    if (stream.drop) {
+        // Injected DropReply: the board never saw this tenure.
+        global_.bump(hFaultDropped_);
+        pending_.reset();
+        pendingRetried_ = false;
+        return bus::SnoopResponse::None;
+    }
 
     // Let the SDRAM side catch up to this bus cycle before judging
     // buffer fullness.
-    drainDue(txn.cycle);
+    drainDue(t.cycle);
 
-    if (buffer_.size() >= buffer_.capacity()) {
+    if (health_.state() == fault::HealthState::Quarantined) {
+        // The board is off the bus until an operator resyncs it; keep
+        // draining what it already holds, accept nothing new.
+        global_.bump(hQuarantined_);
+        pending_.reset();
+        pendingRetried_ = false;
+        return bus::SnoopResponse::None;
+    }
+
+    if (health_.sampledOut(t.addr, healthLineShift_)) {
+        // Degraded: shed load by sampling lines instead of dropping
+        // arbitrary tenures.
+        global_.bump(hSampledOut_);
+        pending_.reset();
+        pendingRetried_ = false;
+        return bus::SnoopResponse::None;
+    }
+
+    if (buffer_.size() >= buffer_.effectiveCapacity(t.cycle)) {
+        const fault::OverflowAction action = health_.onOverflow();
+        if (action == fault::OverflowAction::Shed) {
+            // Retry storm: back off the bus and drop the tenure
+            // instead of wedging the host.
+            global_.bump(hShed_);
+            pending_.reset();
+            pendingRetried_ = false;
+            if (recorder_) {
+                auto ev = makeEvent(trace::EventKind::BufferOverflow,
+                                    t, t.cycle);
+                ev.arg0 = 0;
+                recorder_->record(ev);
+                recorder_->notifyAnomaly(
+                    trace::AnomalyKind::TxnBufferOverflow, t.cycle,
+                    t.traceId);
+            }
+            return bus::SnoopResponse::None;
+        }
         // The one non-passive behaviour the board has.
         global_.bump(hRetriesPosted_);
         pendingRetried_ = true;
         pending_.reset();
         if (recorder_) {
-            auto ev = makeEvent(trace::EventKind::BufferOverflow, txn,
-                                txn.cycle);
+            auto ev = makeEvent(trace::EventKind::BufferOverflow, t,
+                                t.cycle);
             ev.arg0 = 0; // retried, not dropped
             recorder_->record(ev);
             recorder_->notifyAnomaly(trace::AnomalyKind::TxnBufferOverflow,
-                                     txn.cycle, txn.traceId);
+                                     t.cycle, t.traceId);
         }
         return bus::SnoopResponse::Retry;
     }
 
-    pending_ = txn;
+    pending_ = t;
     pendingRetried_ = false;
     return bus::SnoopResponse::None;
 }
@@ -156,19 +291,52 @@ MemoriesBoard::observeResult(const bus::BusTransaction &txn,
         return;
     }
 
+    commit(*pending_, txn.cycle + 1);
+    pending_.reset();
+}
+
+void
+MemoriesBoard::commit(const bus::BusTransaction &txn, Cycle event_cycle)
+{
     global_.bump(hCommitted_);
     if (recorder_)
-        recorder_->record(makeEvent(trace::EventKind::BoardCommit,
-                                    *pending_, txn.cycle + 1));
+        recorder_->record(makeEvent(trace::EventKind::BoardCommit, txn,
+                                    event_cycle));
     if (capture_)
-        capture_->record(*pending_);
-    const bool ok = buffer_.push(*pending_);
-    if (!ok) {
-        // Cannot happen: snoop() checked capacity in the same tenure.
-        MEMORIES_PANIC("transaction buffer overflowed between snoop and "
-                       "response window");
+        capture_->record(txn);
+    if (injector_)
+        applyCommitFaults(txn);
+    health_.onAdmit(buffer_.size(), buffer_.capacity());
+    if (!buffer_.push(txn)) {
+        // The capacity check passed when the tenure was snooped, but a
+        // commit-time fault (slot loss) can shrink the buffer in
+        // between. The hardware would have wedged here; the software
+        // board counts the loss and carries on.
+        global_.bump(hLostInflight_);
+        if (recorder_) {
+            auto ev = makeEvent(trace::EventKind::BufferOverflow, txn,
+                                event_cycle);
+            ev.arg0 = 2; // committed tenure lost in flight
+            recorder_->record(ev);
+            recorder_->notifyAnomaly(trace::AnomalyKind::TxnBufferOverflow,
+                                     event_cycle, txn.traceId);
+        }
     }
-    pending_.reset();
+}
+
+void
+MemoriesBoard::applyCommitFaults(const bus::BusTransaction &txn)
+{
+    const fault::FaultInjector::CommitFaults faults =
+        injector_->onCommit(txn);
+    if (faults.stall)
+        buffer_.injectStall(faults.stallUntil);
+    if (faults.slotLoss)
+        buffer_.injectSlotLoss(faults.slots, faults.slotsUntil);
+    if (faults.tagFlip && !nodes_.empty()) {
+        nodes_[faults.tagNode % nodes_.size()]->corruptLine(
+            txn.addr, faults.tagBit);
+    }
 }
 
 bool
@@ -178,39 +346,66 @@ MemoriesBoard::feedCommitted(const bus::BusTransaction &txn)
         global_.bump(hFiltered_);
         return true;
     }
+
+    bus::BusTransaction t = txn;
+    fault::FaultInjector::StreamFaults stream;
+    if (injector_)
+        stream = injector_->onTenure(t);
+    healthCycle_ = t.cycle;
+    healthTraceId_ = t.traceId;
+
     global_.bump(hTenures_);
-    if (bus::isReadOp(txn.op))
+    if (bus::isReadOp(t.op))
         global_.bump(hReads_);
-    if (bus::isWriteIntentOp(txn.op))
+    if (bus::isWriteIntentOp(t.op))
         global_.bump(hWrites_);
-    if (txn.op == bus::BusOp::WriteBack)
+    if (t.op == bus::BusOp::WriteBack)
         global_.bump(hWritebacks_);
 
-    drainDue(txn.cycle);
+    if (stream.drop) {
+        global_.bump(hFaultDropped_);
+        return true;
+    }
 
-    if (buffer_.size() >= buffer_.capacity()) {
+    drainDue(t.cycle);
+
+    if (health_.state() == fault::HealthState::Quarantined) {
+        global_.bump(hQuarantined_);
+        return true;
+    }
+
+    if (health_.sampledOut(t.addr, healthLineShift_)) {
+        global_.bump(hSampledOut_);
+        return true;
+    }
+
+    if (buffer_.size() >= buffer_.effectiveCapacity(t.cycle)) {
+        const fault::OverflowAction action = health_.onOverflow();
+        if (action == fault::OverflowAction::Shed) {
+            global_.bump(hShed_);
+            if (recorder_) {
+                auto ev = makeEvent(trace::EventKind::BufferOverflow,
+                                    t, t.cycle);
+                ev.arg0 = 1;
+                recorder_->record(ev);
+                recorder_->notifyAnomaly(trace::AnomalyKind::FleetDrop,
+                                         t.cycle, t.traceId);
+            }
+            return true;
+        }
         global_.bump(hRetriesPosted_);
         if (recorder_) {
-            auto ev = makeEvent(trace::EventKind::BufferOverflow, txn,
-                                txn.cycle);
+            auto ev = makeEvent(trace::EventKind::BufferOverflow, t,
+                                t.cycle);
             ev.arg0 = 1; // fed tenure dropped, not retried on a bus
             recorder_->record(ev);
             recorder_->notifyAnomaly(trace::AnomalyKind::FleetDrop,
-                                     txn.cycle, txn.traceId);
+                                     t.cycle, t.traceId);
         }
         return false;
     }
 
-    global_.bump(hCommitted_);
-    if (recorder_)
-        recorder_->record(makeEvent(trace::EventKind::BoardCommit, txn,
-                                    txn.cycle + 1));
-    if (capture_)
-        capture_->record(txn);
-    if (!buffer_.push(txn)) {
-        MEMORIES_PANIC("transaction buffer overflowed after its "
-                       "capacity check");
-    }
+    commit(t, t.cycle + 1);
     return true;
 }
 
@@ -315,9 +510,25 @@ MemoriesBoard::dumpStats() const
        << " committed " << global_.value(hCommitted_)
        << " filtered " << global_.value(hFiltered_)
        << " dropped-on-retry " << global_.value(hDroppedRetry_)
-       << " retries-posted " << global_.value(hRetriesPosted_) << "\n";
+       << " retries-posted " << global_.value(hRetriesPosted_)
+       << " lost-inflight " << global_.value(hLostInflight_) << "\n";
     os << "buffer high-water " << buffer_.highWater() << "/"
        << buffer_.capacity() << "\n";
+    const std::uint64_t degraded = global_.value(hFaultDropped_) +
+                                   global_.value(hSampledOut_) +
+                                   global_.value(hShed_) +
+                                   global_.value(hQuarantined_);
+    if (health_.enabled() || degraded > 0 ||
+        global_.value(hHealthTransitions_) > 0) {
+        os << "health " << health_.describe() << ": fault-dropped "
+           << global_.value(hFaultDropped_) << " sampled-out "
+           << global_.value(hSampledOut_) << " shed "
+           << global_.value(hShed_) << " quarantined "
+           << global_.value(hQuarantined_) << " transitions "
+           << global_.value(hHealthTransitions_) << "\n";
+    }
+    if (injector_)
+        os << injector_->dumpStats();
     if (capture_) {
         os << "capture " << capture_->size() << "/"
            << capture_->capacity() << " records";

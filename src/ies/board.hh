@@ -22,10 +22,16 @@
 
 #include "bus/bus6xx.hh"
 #include "common/counters.hh"
+#include "fault/health.hh"
 #include "ies/boardconfig.hh"
 #include "ies/nodecontroller.hh"
 #include "ies/txnbuffer.hh"
 #include "trace/capture.hh"
+
+namespace memories::fault
+{
+class FaultInjector;
+} // namespace memories::fault
 
 namespace memories::ies
 {
@@ -176,9 +182,59 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
     /** Currently attached flight recorder (nullptr when detached). */
     trace::FlightRecorder *flightRecorder() const { return recorder_; }
 
+    /**
+     * Attach a fault injector: the board then routes every snooped/fed
+     * tenure through FaultInjector::onTenure (drops, delays, address
+     * flips) and every commit through onCommit (tag flips, slot loss,
+     * retirement stalls). One injector serves one board — sharing
+     * breaks per-board determinism. An injector with an empty plan
+     * leaves the board bit-exact to an unattached one. The caller
+     * keeps ownership; detach before destroying the injector. Costs
+     * one null check per tenure when detached.
+     */
+    void attachFaultInjector(fault::FaultInjector &injector);
+
+    /** Stop injecting faults. */
+    void detachFaultInjector();
+
+    /** Currently attached injector (nullptr when detached). */
+    fault::FaultInjector *faultInjector() const { return injector_; }
+
+    /** Where this board sits on the degradation ladder. */
+    fault::HealthState healthState() const { return health_.state(); }
+
+    /** The health monitor (policy, state, console rendering). */
+    const fault::HealthMonitor &health() const { return health_; }
+
+    /**
+     * Recover a quarantined board by mirroring @p healthy's directories
+     * through the same export/import path saveState()/loadState() use.
+     * Node counts and geometries must match; fatal() otherwise. Stale
+     * buffered tenures predate the new directories and are discarded
+     * (counted as lost in flight); counters are otherwise untouched;
+     * health returns to Healthy.
+     */
+    void resyncFrom(const MemoriesBoard &healthy);
+
+    /** Tenures lost between the capacity check and the buffer. */
+    std::uint64_t tenuresLostInflight() const
+    {
+        return global_.value(hLostInflight_);
+    }
+
   private:
     void emulate(const bus::BusTransaction &txn);
     void drainDue(Cycle now);
+
+    /**
+     * Accept @p txn into the transaction buffer: count the commit,
+     * record/capture it, fire commit-time faults, and recover (never
+     * panic) if a fault shrank the buffer after the capacity check.
+     */
+    void commit(const bus::BusTransaction &txn, Cycle event_cycle);
+
+    /** Apply the injector's commit-time faults for @p txn. */
+    void applyCommitFaults(const bus::BusTransaction &txn);
 
     /** Build the common fields of a board-level lifecycle event. */
     trace::LifecycleEvent makeEvent(trace::EventKind kind,
@@ -212,9 +268,18 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
     trace::FlightRecorder *recorder_ = nullptr;
     std::uint8_t boardId_ = trace::lifecycleNoOwner;
 
+    fault::FaultInjector *injector_ = nullptr;
+    fault::HealthMonitor health_;
+    unsigned healthLineShift_ = 0; //!< line shift for degraded sampling
+    /** Stamp for health-transition events (last tenure seen). */
+    Cycle healthCycle_ = 0;
+    std::uint32_t healthTraceId_ = 0;
+
     CounterBank global_;
     CounterBank::Handle hTenures_, hCommitted_, hFiltered_,
         hDroppedRetry_, hReads_, hWrites_, hWritebacks_, hRetriesPosted_;
+    CounterBank::Handle hLostInflight_, hFaultDropped_, hSampledOut_,
+        hShed_, hQuarantined_, hHealthTransitions_;
 };
 
 /**

@@ -57,6 +57,26 @@ BoardConfig::validationErrors() const
         error("SDRAM throughput percent must be in (0, 100], got ",
               sdramThroughputPercent);
     }
+    if (health.enabled) {
+        if (health.degradeOccupancyPercent == 0 ||
+            health.degradeOccupancyPercent > 100) {
+            error("health degrade occupancy percent must be in "
+                  "(0, 100], got ", health.degradeOccupancyPercent);
+        }
+        if (health.degradeWindow == 0)
+            error("health degrade window must be nonzero");
+        if (health.recoverWindow == 0)
+            error("health recover window must be nonzero");
+        if (health.degradedSamplingShift == 0 ||
+            health.degradedSamplingShift > 8) {
+            error("health degraded sampling shift must be in [1, 8], "
+                  "got ", health.degradedSamplingShift);
+        }
+        if (health.backoffLimit > 20) {
+            error("health backoff limit 2^", health.backoffLimit,
+                  " is implausibly deep");
+        }
+    }
 
     for (std::size_t i = 0; i < nodes.size(); ++i) {
         const NodeConfig &node = nodes[i];

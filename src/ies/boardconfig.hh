@@ -13,6 +13,7 @@
 
 #include "cache/config.hh"
 #include "common/types.hh"
+#include "fault/health.hh"
 #include "protocol/table.hh"
 
 namespace memories::ies
@@ -63,6 +64,12 @@ struct BoardConfig
      * (paper: "roughly 42% of the maximum 6xx bus bandwidth").
      */
     unsigned sdramThroughputPercent = 42;
+    /**
+     * Health state machine policy (disabled by default: the board
+     * retries on overflow and never degrades, exactly like the
+     * hardware). See fault::HealthPolicy.
+     */
+    fault::HealthPolicy health;
     /** Capture committed tenures into an on-board trace buffer. */
     bool traceCapture = false;
     /** Trace-capture capacity in records (board max: 1G records). */

@@ -170,8 +170,20 @@ Console::~Console()
 {
     stopMonitor();
     stopTrace();
+    disarmFaults();
     if (board_)
         board_->unplug(bus_);
+}
+
+void
+Console::disarmFaults()
+{
+    if (!injector_)
+        return;
+    bus_.detach(injector_.get());
+    if (board_ && board_->faultInjector() == injector_.get())
+        board_->detachFaultInjector();
+    injector_.reset();
 }
 
 void
@@ -463,6 +475,10 @@ Console::handle(const std::vector<std::string> &tokens)
     }
     if (cmd == "trace")
         return handleTrace(tokens);
+    if (cmd == "fault")
+        return handleFault(tokens);
+    if (cmd == "health")
+        return handleHealth(tokens);
     if (cmd == "script") {
         if (tokens.size() != 2)
             fatal("usage: script <path>");
@@ -493,14 +509,16 @@ Console::handle(const std::vector<std::string> &tokens)
     }
     if (cmd == "shutdown") {
         auto &board = require_board();
-        stopMonitor(); // its sampler reads this board's counters
+        stopMonitor();  // its sampler reads this board's counters
+        disarmFaults(); // the injector is attached to this board
         board.unplug(bus_);
         board_.reset();
         return "board detached";
     }
     if (cmd == "help") {
         return "commands: node buffer throughput capture init stats "
-               "counters monitor trace clear reset dump-trace shutdown";
+               "counters monitor trace fault health clear reset "
+               "dump-trace shutdown";
     }
     fatal("unknown command '", cmd, "'");
 }
@@ -615,6 +633,123 @@ Console::handleTrace(const std::vector<std::string> &tokens)
                " on every anomaly";
     }
     fatal("unknown trace subcommand '", sub, "'");
+}
+
+std::string
+Console::handleFault(const std::vector<std::string> &tokens)
+{
+    if (tokens.size() < 2)
+        fatal("usage: fault <load|arm|status|disarm> ...");
+    const std::string &sub = tokens[1];
+
+    if (sub == "load") {
+        if (tokens.size() != 3)
+            fatal("usage: fault load <path>");
+        if (injector_)
+            fatal("fault injector armed; 'fault disarm' first");
+        plan_ = fault::FaultPlan::load(tokens[2]);
+        planLoaded_ = true;
+        return "fault plan loaded (" + std::to_string(plan_.size()) +
+               " spec" + (plan_.size() == 1 ? "" : "s") + ")";
+    }
+    if (sub == "arm") {
+        if (tokens.size() > 3)
+            fatal("usage: fault arm [seed]");
+        if (!board_)
+            fatal("'fault arm' requires an initialized board");
+        if (injector_)
+            fatal("fault injector already armed; 'fault disarm' first");
+        if (!planLoaded_)
+            fatal("no fault plan; use: fault load <path>");
+        std::uint64_t seed = 1;
+        if (tokens.size() == 3)
+            seed = parseNumber(tokens[2]);
+        injector_ = std::make_unique<fault::FaultInjector>(plan_, seed);
+        board_->attachFaultInjector(*injector_);
+        // On the live bus the injector is one more snooper, so
+        // SpuriousRetry specs really retry host tenures.
+        bus_.attach(injector_.get());
+        return "fault injector armed (" + std::to_string(plan_.size()) +
+               " spec" + (plan_.size() == 1 ? "" : "s") + ", seed " +
+               std::to_string(seed) + ")";
+    }
+    if (sub == "status") {
+        if (tokens.size() != 2)
+            fatal("usage: fault status");
+        if (injector_)
+            return injector_->dumpStats();
+        if (planLoaded_) {
+            return "fault plan loaded (" + std::to_string(plan_.size()) +
+                   " specs), not armed\n" + plan_.describe();
+        }
+        return "no fault plan loaded";
+    }
+    if (sub == "disarm") {
+        if (tokens.size() != 2)
+            fatal("usage: fault disarm");
+        if (!injector_)
+            fatal("no fault injector to disarm");
+        disarmFaults();
+        return "fault injector disarmed";
+    }
+    fatal("unknown fault subcommand '", sub, "'");
+}
+
+std::string
+Console::handleHealth(const std::vector<std::string> &tokens)
+{
+    if (tokens.size() == 1 ||
+        (tokens.size() == 2 && tokens[1] == "status")) {
+        if (board_) {
+            const auto &g = board_->globalCounters();
+            std::ostringstream os;
+            os << "health " << board_->health().describe()
+               << "\nfault-dropped "
+               << g.valueByName("global.tenures.fault_dropped")
+               << " sampled-out "
+               << g.valueByName("global.tenures.sampled_out")
+               << " shed " << g.valueByName("global.tenures.shed")
+               << " quarantined "
+               << g.valueByName("global.tenures.quarantined")
+               << " lost-inflight "
+               << g.valueByName("global.tenures.lost_inflight")
+               << " transitions "
+               << g.valueByName("global.health.transitions");
+            return os.str();
+        }
+        return "staged health policy: " +
+               fault::HealthMonitor(staged_.health).describe();
+    }
+    if (board_)
+        fatal("health policy can only be changed before init");
+    const std::string &key = tokens[1];
+    if (key == "on" || key == "off") {
+        if (tokens.size() != 2)
+            fatal("usage: health on|off");
+        staged_.health.enabled = (key == "on");
+        return std::string("health state machine ") +
+               (staged_.health.enabled ? "enabled" : "disabled");
+    }
+    if (tokens.size() != 3)
+        fatal("usage: health <key> <value>");
+    const std::uint64_t value = parseNumber(tokens[2]);
+    if (key == "degrade-occupancy")
+        staged_.health.degradeOccupancyPercent =
+            static_cast<unsigned>(value);
+    else if (key == "degrade-window")
+        staged_.health.degradeWindow = static_cast<unsigned>(value);
+    else if (key == "recover-window")
+        staged_.health.recoverWindow = static_cast<unsigned>(value);
+    else if (key == "sampling-shift")
+        staged_.health.degradedSamplingShift =
+            static_cast<unsigned>(value);
+    else if (key == "backoff-limit")
+        staged_.health.backoffLimit = static_cast<unsigned>(value);
+    else if (key == "quarantine-storms")
+        staged_.health.quarantineStorms = static_cast<unsigned>(value);
+    else
+        fatal("unknown health key '", key, "'");
+    return "health " + key + " set to " + tokens[2];
 }
 
 } // namespace memories::ies

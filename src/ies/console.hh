@@ -34,6 +34,16 @@
  *   trace chrome <path>      -- write retained events as Chrome JSON
  *   trace autodump <path>    -- dump automatically on every anomaly
  *   trace stop               -- detach and discard the recorder
+ *   fault load <path>        -- load a fault plan (see fault/faultplan.hh)
+ *   fault arm [seed]         -- build the injector and attach it
+ *   fault status             -- plan and per-kind injection counts
+ *   fault disarm             -- detach and discard the injector
+ *   health on|off            -- enable the degradation state machine
+ *   health <key> <n>         -- tune the staged policy (degrade-occupancy,
+ *                               degrade-window, recover-window,
+ *                               sampling-shift, backoff-limit,
+ *                               quarantine-storms)
+ *   health [status]          -- current state and degradation counters
  *   script <path>            -- execute commands from a file
  *   shutdown                 -- unplug from the bus
  *
@@ -49,6 +59,8 @@
 #include <vector>
 
 #include "bus/bus6xx.hh"
+#include "fault/faultplan.hh"
+#include "fault/injector.hh"
 #include "ies/board.hh"
 #include "trace/lifecycle.hh"
 
@@ -79,19 +91,28 @@ class Console
     /** The live flight recorder (nullptr unless `trace start` ran). */
     trace::FlightRecorder *flightRecorder() { return recorder_.get(); }
 
+    /** The live fault injector (nullptr unless `fault arm` ran). */
+    fault::FaultInjector *faultInjector() { return injector_.get(); }
+
   private:
     std::string handle(const std::vector<std::string> &tokens);
     std::string handleTrace(const std::vector<std::string> &tokens);
+    std::string handleFault(const std::vector<std::string> &tokens);
+    std::string handleHealth(const std::vector<std::string> &tokens);
     NodeConfig &nodeFor(std::size_t index);
 
     void stopMonitor();
     void stopTrace();
+    void disarmFaults();
 
     bus::Bus6xx &bus_;
     BoardConfig staged_;
     std::unique_ptr<MemoriesBoard> board_;
     std::unique_ptr<ConsoleMonitor> monitor_;
     std::unique_ptr<trace::FlightRecorder> recorder_;
+    fault::FaultPlan plan_;
+    bool planLoaded_ = false;
+    std::unique_ptr<fault::FaultInjector> injector_;
 };
 
 } // namespace memories::ies

@@ -283,6 +283,32 @@ class ExperimentFleet final : public bus::BusObserver
             recorder, static_cast<std::uint8_t>(i));
     }
 
+    /**
+     * Attach a fault injector to board @p i. One injector per board —
+     * each board is advanced by exactly one worker, so a private
+     * injector needs no synchronization and keeps its fault sequence a
+     * pure function of (plan, seed, that board's stream). Call before
+     * start(); the caller keeps ownership for the fleet's lifetime.
+     */
+    void attachFaultInjector(std::size_t i,
+                             fault::FaultInjector &injector)
+    {
+        requireIdle("attachFaultInjector");
+        boards_[i]->attachFaultInjector(injector);
+    }
+
+    /**
+     * Recover board @p sick by mirroring board @p healthy's
+     * directories (MemoriesBoard::resyncFrom). Only meaningful between
+     * runs — both boards must be quiescent — and only bit-faithful
+     * when the two boards share a configuration.
+     */
+    void resyncBoard(std::size_t sick, std::size_t healthy)
+    {
+        requireIdle("resyncBoard");
+        boards_[sick]->resyncFrom(*boards_[healthy]);
+    }
+
   private:
     void workerMain(std::size_t worker, std::size_t worker_count);
     void feedBoard(std::size_t i, const FleetEvent *events,

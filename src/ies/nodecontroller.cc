@@ -66,6 +66,48 @@ NodeController::NodeController(NodeId id, const NodeConfig &config,
     hLocalRefs_ = counters_.add(prefix + "local.refs");
     hRemoteRefs_ = counters_.add(prefix + "remote.refs");
     hUnsampled_ = counters_.add(prefix + "unsampled.refs");
+    hParityCorrupted_ = counters_.add(prefix + "parity.corrupted");
+    hParityScrubs_ = counters_.add(prefix + "parity.scrubs");
+}
+
+bool
+NodeController::corruptLine(Addr addr, unsigned bit)
+{
+    (void)bit; // any single-bit flip is equally detectable by parity
+    if (!inSample(addr))
+        return false;
+    const Addr sampled = sampleAddr(addr);
+    if (!directory_.probe(sampled).hit)
+        return false;
+    for (Addr existing : corrupted_) {
+        if (existing == sampled)
+            return true; // already corrupt; parity cannot stack flips
+    }
+    corrupted_.push_back(sampled);
+    counters_.bump(hParityCorrupted_);
+    return true;
+}
+
+void
+NodeController::scrubIfCorrupt(Addr sampled,
+                               const bus::BusTransaction &txn)
+{
+    for (auto it = corrupted_.begin(); it != corrupted_.end(); ++it) {
+        if (*it != sampled)
+            continue;
+        corrupted_.erase(it);
+        // The line may have been legitimately invalidated or evicted
+        // since the flip landed; only a still-valid entry needs the
+        // scrub.
+        if (directory_.probe(sampled).hit) {
+            directory_.invalidate(sampled);
+            counters_.bump(hParityScrubs_);
+            if (recorder_)
+                recorder_->record(
+                    makeEvent(trace::EventKind::ParityScrub, txn));
+        }
+        return;
+    }
 }
 
 std::uint64_t
@@ -122,6 +164,8 @@ NodeController::processLocal(const bus::BusTransaction &raw_txn,
     }
     bus::BusTransaction txn = raw_txn;
     txn.addr = sampleAddr(raw_txn.addr);
+    if (!corrupted_.empty())
+        scrubIfCorrupt(txn.addr, raw_txn);
 
     const auto opidx = static_cast<std::size_t>(txn.op);
     const auto hit = directory_.lookup(txn.addr);
@@ -229,6 +273,8 @@ NodeController::snoopRemote(const bus::BusTransaction &raw_txn)
     }
     bus::BusTransaction txn = raw_txn;
     txn.addr = sampleAddr(raw_txn.addr);
+    if (!corrupted_.empty())
+        scrubIfCorrupt(txn.addr, raw_txn);
 
     const auto opidx = static_cast<std::size_t>(txn.op);
     counters_.bump(hRemoteSeen_[opidx]);

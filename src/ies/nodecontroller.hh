@@ -17,6 +17,7 @@
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "bus/transaction.hh"
 #include "cache/tagstore.hh"
@@ -97,7 +98,28 @@ class NodeController
     void clearCounters() { counters_.clearAll(); }
 
     /** Cold-start the directory (console reset). */
-    void resetDirectory() { directory_.reset(); }
+    void resetDirectory()
+    {
+        directory_.reset();
+        corrupted_.clear();
+    }
+
+    /**
+     * Fault hook (TagFlip): flip state bit @p bit of the directory
+     * line holding @p addr. The stored state is left untouched — the
+     * model is a parity-protected tag SRAM, so the corruption is
+     * *detected* on the next access to the line, which scrubs it
+     * (invalidates the entry, counts "parity.scrubs", and emits a
+     * ParityScrub lifecycle event) and then proceeds as a miss.
+     * @return true when the flip landed on a valid, in-sample line.
+     */
+    bool corruptLine(Addr addr, unsigned bit);
+
+    /** Corrupt lines detected and invalidated by the parity check. */
+    std::uint64_t parityScrubs() const
+    {
+        return counters_.value(hParityScrubs_);
+    }
 
     /** Valid lines currently in the directory. */
     std::uint64_t directoryOccupancy() const
@@ -153,6 +175,9 @@ class NodeController
 
     /** Map an address into the reduced directory's index space. */
     Addr sampleAddr(Addr addr) const;
+
+    /** Parity check: scrub @p sampled if a TagFlip landed on it. */
+    void scrubIfCorrupt(Addr sampled, const bus::BusTransaction &txn);
     using LS = protocol::LineState;
 
     /** Build the common fields of a lifecycle event for @p txn. */
@@ -190,6 +215,10 @@ class NodeController
     CounterBank::Handle hSupplyMod_, hSupplyShr_;
     CounterBank::Handle hLocalRefs_, hRemoteRefs_;
     CounterBank::Handle hUnsampled_;
+    CounterBank::Handle hParityCorrupted_, hParityScrubs_;
+
+    /** Sampled line addresses with an undetected injected tag flip. */
+    std::vector<Addr> corrupted_;
 
     unsigned lineShift_ = 0;
     std::uint64_t sampleMask_ = 0; //!< low set-index bits that must be 0

@@ -18,7 +18,7 @@ TransactionBuffer::TransactionBuffer(std::size_t entries,
 bool
 TransactionBuffer::push(const bus::BusTransaction &txn)
 {
-    if (fifo_.size() >= capacity_) {
+    if (fifo_.size() >= effectiveCapacity(txn.cycle)) {
         ++rejected_;
         return false;
     }
@@ -34,7 +34,13 @@ std::optional<bus::BusTransaction>
 TransactionBuffer::drain(Cycle now)
 {
     if (now > lastEarnCycle_) {
-        credits_ += (now - lastEarnCycle_) * throughputPercent_;
+        // An injected retirement stall suppresses credit earning for
+        // the stalled span; the span is skipped, never paid back.
+        Cycle from = lastEarnCycle_;
+        if (from < stallUntil_)
+            from = now < stallUntil_ ? now : stallUntil_;
+        if (now > from)
+            credits_ += (now - from) * throughputPercent_;
         lastEarnCycle_ = now;
         // Cap banked credits at one buffer's worth of retirements so an
         // idle stretch cannot bank unbounded instant throughput.

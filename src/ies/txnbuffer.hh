@@ -63,6 +63,38 @@ class TransactionBuffer
     std::size_t capacity() const { return capacity_; }
     bool empty() const { return fifo_.empty(); }
 
+    /**
+     * Fault hook (RetirementStall): the SDRAM side earns no drain
+     * credits for bus cycles before @p until — the stalled span is
+     * skipped, never paid back. Extends any stall already active.
+     */
+    void injectStall(Cycle until)
+    {
+        if (until > stallUntil_)
+            stallUntil_ = until;
+    }
+
+    /**
+     * Fault hook (SlotLoss): @p slots entries of capacity are lost
+     * until bus cycle @p until (at least one slot always survives). A
+     * new fault replaces any previous one.
+     */
+    void injectSlotLoss(std::size_t slots, Cycle until)
+    {
+        slotLossSlots_ = slots;
+        slotLossUntil_ = until;
+    }
+
+    /** Capacity minus any slot-loss fault active at bus cycle @p now. */
+    std::size_t effectiveCapacity(Cycle now) const
+    {
+        if (now >= slotLossUntil_ || slotLossSlots_ == 0)
+            return capacity_;
+        const std::size_t lost =
+            slotLossSlots_ < capacity_ ? slotLossSlots_ : capacity_ - 1;
+        return capacity_ - lost;
+    }
+
     /** Deepest occupancy seen (board diagnostic counter). */
     std::size_t highWater() const { return highWater_; }
 
@@ -93,6 +125,9 @@ class TransactionBuffer
     unsigned throughputPercent_;
     std::deque<bus::BusTransaction> fifo_;
     Cycle lastEarnCycle_ = 0;
+    Cycle stallUntil_ = 0;         //!< injected retirement stall
+    std::size_t slotLossSlots_ = 0; //!< injected capacity loss
+    Cycle slotLossUntil_ = 0;
     std::uint64_t credits_ = 0; //!< hundredths of a retirement
     std::size_t highWater_ = 0;
     std::uint64_t rejected_ = 0;

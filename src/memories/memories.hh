@@ -29,6 +29,9 @@
 #include "common/stats.hh"
 #include "common/types.hh"
 #include "common/units.hh"
+#include "fault/faultplan.hh"
+#include "fault/health.hh"
+#include "fault/injector.hh"
 #include "host/hostcache.hh"
 #include "host/iobridge.hh"
 #include "host/machine.hh"

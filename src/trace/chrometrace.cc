@@ -273,6 +273,26 @@ writeChromeTrace(const std::vector<LifecycleEvent> &events,
                         static_cast<AnomalyKind>(ev.arg0))),
                 'g', ""));
             break;
+          case EventKind::FaultInjected:
+            sink.emit(instantEvent(
+                ev,
+                "fault #" + std::to_string(
+                                static_cast<unsigned>(ev.arg0)),
+                'p', ",\"addr\":\"" + hexAddr(ev.addr) + "\""));
+            break;
+          case EventKind::ParityScrub:
+            sink.emit(instantEvent(ev, "parity scrub", 't',
+                                   ",\"addr\":\"" + hexAddr(ev.addr) +
+                                       "\""));
+            break;
+          case EventKind::HealthTransition:
+            sink.emit(instantEvent(
+                ev,
+                std::string("health ") +
+                    std::string(healthStateLabel(ev.arg0)) + "->" +
+                    std::string(healthStateLabel(ev.arg1)),
+                'p', ""));
+            break;
           case EventKind::SnoopReply:
           case EventKind::Combine:
           case EventKind::Retire:

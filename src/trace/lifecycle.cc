@@ -26,6 +26,9 @@ eventKindName(EventKind kind)
       case EventKind::BufferOverflow:  return "overflow";
       case EventKind::Mark:            return "mark";
       case EventKind::Anomaly:         return "anomaly";
+      case EventKind::FaultInjected:   return "fault";
+      case EventKind::ParityScrub:     return "parity-scrub";
+      case EventKind::HealthTransition: return "health";
       case EventKind::NumKinds:        break;
     }
     return "?";
@@ -39,8 +42,22 @@ anomalyKindName(AnomalyKind kind)
       case AnomalyKind::FleetDrop:         return "fleet-drop";
       case AnomalyKind::BusRetry:          return "bus-retry";
       case AnomalyKind::Manual:            return "manual";
+      case AnomalyKind::FaultInjection:    return "fault-injection";
+      case AnomalyKind::HealthDegraded:    return "health-degraded";
+      case AnomalyKind::BoardQuarantined:  return "board-quarantined";
     }
     return "?";
+}
+
+std::string_view
+healthStateLabel(std::uint8_t state)
+{
+    switch (state) {
+      case 0: return "healthy";
+      case 1: return "degraded";
+      case 2: return "quarantined";
+      default: return "?";
+    }
 }
 
 std::string
@@ -93,6 +110,17 @@ LifecycleEvent::describe() const
         break;
       case EventKind::Anomaly:
         os << " " << anomalyKindName(static_cast<AnomalyKind>(arg0));
+        break;
+      case EventKind::FaultInjected:
+        os << " kind#" << static_cast<unsigned>(arg0) << " 0x"
+           << std::hex << addr << std::dec;
+        break;
+      case EventKind::ParityScrub:
+        os << " 0x" << std::hex << addr << std::dec;
+        break;
+      case EventKind::HealthTransition:
+        os << " " << healthStateLabel(arg0) << "->"
+           << healthStateLabel(arg1);
         break;
       default:
         break;

@@ -77,6 +77,12 @@ enum class EventKind : std::uint8_t
     Mark,
     /** Anomaly notification (arg0 = AnomalyKind). */
     Anomaly,
+    /** Fault injector fired (arg0 = fault::FaultKind ordinal). */
+    FaultInjected,
+    /** Directory parity caught a corrupt line and scrubbed it. */
+    ParityScrub,
+    /** Board health change (arg0 = from, arg1 = to HealthState). */
+    HealthTransition,
 
     NumKinds
 };
@@ -99,10 +105,22 @@ enum class AnomalyKind : std::uint8_t
     BusRetry,
     /** Operator-requested dump (console). */
     Manual,
+    /** The fault injector fired one planned fault. */
+    FaultInjection,
+    /** Board health fell to Degraded (set-sampling engaged). */
+    HealthDegraded,
+    /** Board health fell to Quarantined (board stopped emulating). */
+    BoardQuarantined,
 };
 
 /** Mnemonic for an anomaly kind. */
 std::string_view anomalyKindName(AnomalyKind kind);
+
+/**
+ * Label for a HealthTransition event operand (the trace layer renders
+ * fault::HealthState ordinals without depending on the fault library).
+ */
+std::string_view healthStateLabel(std::uint8_t state);
 
 /** Sentinel board/node id for events not tied to one ("the bus"). */
 inline constexpr std::uint8_t lifecycleNoOwner = 0xff;

@@ -1,0 +1,190 @@
+/**
+ * @file
+ * HealthMonitor state machine: the degradation ladder moves exactly at
+ * its configured thresholds, the retry-storm watchdog backs off
+ * exponentially up to its bound, quarantine latches until resync, and
+ * a disabled monitor is a pure pass-through.
+ */
+
+#include "fault/health.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace memories::fault
+{
+namespace
+{
+
+HealthPolicy
+tinyPolicy()
+{
+    HealthPolicy p;
+    p.enabled = true;
+    p.degradeOccupancyPercent = 75;
+    p.degradeWindow = 4;
+    p.recoverWindow = 8;
+    p.degradedSamplingShift = 1;
+    p.backoffLimit = 3;
+    p.quarantineStorms = 5;
+    return p;
+}
+
+TEST(HealthMonitorTest, DisabledIsPassThrough)
+{
+    HealthMonitor mon; // default policy: disabled
+    EXPECT_FALSE(mon.enabled());
+    for (int i = 0; i < 1000; ++i) {
+        mon.onAdmit(100, 100); // fully pressured
+        EXPECT_EQ(mon.onOverflow(), OverflowAction::Retry);
+    }
+    EXPECT_EQ(mon.state(), HealthState::Healthy);
+    EXPECT_FALSE(mon.sampledOut(0x1080, 7));
+}
+
+TEST(HealthMonitorTest, DegradesAfterSustainedPressure)
+{
+    HealthMonitor mon(tinyPolicy());
+    // Three pressured admits: not yet (window is 4).
+    for (int i = 0; i < 3; ++i)
+        mon.onAdmit(80, 100);
+    EXPECT_EQ(mon.state(), HealthState::Healthy);
+    // One calm admit resets the streak.
+    mon.onAdmit(10, 100);
+    for (int i = 0; i < 3; ++i)
+        mon.onAdmit(80, 100);
+    EXPECT_EQ(mon.state(), HealthState::Healthy);
+    mon.onAdmit(75, 100); // exactly at the threshold counts
+    EXPECT_EQ(mon.state(), HealthState::Degraded);
+}
+
+TEST(HealthMonitorTest, DegradedSamplingKeepsOneLineInTwoToTheShift)
+{
+    HealthMonitor mon(tinyPolicy());
+    for (int i = 0; i < 4; ++i)
+        mon.onAdmit(90, 100);
+    ASSERT_EQ(mon.state(), HealthState::Degraded);
+
+    // shift 1, 128-byte lines: even line indices stay, odd are shed.
+    EXPECT_FALSE(mon.sampledOut(0 << 7, 7));
+    EXPECT_TRUE(mon.sampledOut(1 << 7, 7));
+    EXPECT_FALSE(mon.sampledOut(2 << 7, 7));
+    EXPECT_TRUE(mon.sampledOut(3 << 7, 7));
+    // Offsets within a line never change the verdict.
+    EXPECT_FALSE(mon.sampledOut((2 << 7) + 127, 7));
+}
+
+TEST(HealthMonitorTest, RecoversAfterCalmWindow)
+{
+    HealthMonitor mon(tinyPolicy());
+    for (int i = 0; i < 4; ++i)
+        mon.onAdmit(90, 100);
+    ASSERT_EQ(mon.state(), HealthState::Degraded);
+
+    for (int i = 0; i < 7; ++i)
+        mon.onAdmit(10, 100);
+    EXPECT_EQ(mon.state(), HealthState::Degraded);
+    // A pressured admit in the middle restarts the recovery window.
+    mon.onAdmit(90, 100);
+    for (int i = 0; i < 7; ++i)
+        mon.onAdmit(10, 100);
+    EXPECT_EQ(mon.state(), HealthState::Degraded);
+    mon.onAdmit(10, 100);
+    EXPECT_EQ(mon.state(), HealthState::Healthy);
+}
+
+TEST(HealthMonitorTest, OverflowDegradesImmediatelyAndBacksOff)
+{
+    HealthMonitor mon(tinyPolicy());
+    ASSERT_EQ(mon.state(), HealthState::Healthy);
+
+    // Storm 1: the overflow itself retries (pass-through) but degrades
+    // the board and schedules 2^1 shed tenures before the next retry.
+    EXPECT_EQ(mon.onOverflow(), OverflowAction::Retry);
+    EXPECT_EQ(mon.state(), HealthState::Degraded);
+    EXPECT_EQ(mon.onOverflow(), OverflowAction::Shed);
+    EXPECT_EQ(mon.onOverflow(), OverflowAction::Shed);
+
+    // Storm 2: 2^2 sheds.
+    EXPECT_EQ(mon.onOverflow(), OverflowAction::Retry);
+    for (int i = 0; i < 4; ++i)
+        EXPECT_EQ(mon.onOverflow(), OverflowAction::Shed) << i;
+
+    // Storm 3: exponent capped at backoffLimit = 3 -> 8 sheds.
+    EXPECT_EQ(mon.onOverflow(), OverflowAction::Retry);
+    for (int i = 0; i < 8; ++i)
+        EXPECT_EQ(mon.onOverflow(), OverflowAction::Shed) << i;
+
+    // A successful admit ends the storm: the next overflow starts a
+    // fresh storm count (but the board is already Degraded).
+    mon.onAdmit(10, 100);
+    EXPECT_EQ(mon.onOverflow(), OverflowAction::Retry);
+    EXPECT_EQ(mon.onOverflow(), OverflowAction::Shed);
+    EXPECT_EQ(mon.onOverflow(), OverflowAction::Shed);
+    EXPECT_EQ(mon.onOverflow(), OverflowAction::Retry);
+}
+
+TEST(HealthMonitorTest, QuarantinesAfterStormLimitAndLatches)
+{
+    HealthMonitor mon(tinyPolicy()); // quarantineStorms = 5
+    int retries = 0;
+    // Without any successful admit, storms accumulate to the limit.
+    for (int i = 0; i < 1000 && mon.state() != HealthState::Quarantined;
+         ++i) {
+        if (mon.onOverflow() == OverflowAction::Retry)
+            ++retries;
+    }
+    EXPECT_EQ(mon.state(), HealthState::Quarantined);
+    // Storms 1..4 retried; the 5th quarantined instead of retrying.
+    EXPECT_EQ(retries, 4);
+
+    // Quarantine latches: admits and overflows change nothing.
+    mon.onAdmit(0, 100);
+    EXPECT_EQ(mon.state(), HealthState::Quarantined);
+    EXPECT_EQ(mon.onOverflow(), OverflowAction::Shed);
+
+    mon.resync();
+    EXPECT_EQ(mon.state(), HealthState::Healthy);
+    // Post-resync the watchdog starts from scratch.
+    EXPECT_EQ(mon.onOverflow(), OverflowAction::Retry);
+}
+
+TEST(HealthMonitorTest, TransitionHookSeesEveryEdge)
+{
+    HealthMonitor mon(tinyPolicy());
+    std::vector<std::pair<HealthState, HealthState>> edges;
+    mon.onTransition([&](HealthState from, HealthState to) {
+        edges.emplace_back(from, to);
+    });
+
+    for (int i = 0; i < 4; ++i)
+        mon.onAdmit(90, 100); // -> Degraded
+    for (int i = 0; i < 8; ++i)
+        mon.onAdmit(0, 100); // -> Healthy
+    while (mon.state() != HealthState::Quarantined)
+        mon.onOverflow(); // -> Degraded -> Quarantined
+    mon.resync();         // -> Healthy
+
+    using HS = HealthState;
+    const std::vector<std::pair<HS, HS>> expect = {
+        {HS::Healthy, HS::Degraded},    {HS::Degraded, HS::Healthy},
+        {HS::Healthy, HS::Degraded},    {HS::Degraded, HS::Quarantined},
+        {HS::Quarantined, HS::Healthy},
+    };
+    EXPECT_EQ(edges, expect);
+}
+
+TEST(HealthMonitorTest, DescribeNamesTheState)
+{
+    HealthMonitor off;
+    EXPECT_NE(off.describe().find("monitor disabled"),
+              std::string::npos);
+    HealthMonitor on(tinyPolicy());
+    EXPECT_EQ(on.describe().rfind("healthy", 0), 0u);
+    EXPECT_EQ(healthStateName(HealthState::Degraded), "degraded");
+    EXPECT_EQ(healthStateName(HealthState::Quarantined), "quarantined");
+}
+
+} // namespace
+} // namespace memories::fault

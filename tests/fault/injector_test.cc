@@ -1,0 +1,157 @@
+/**
+ * @file
+ * FaultInjector unit behaviour: scheduled specs fire at exactly their
+ * opportunity index, stream faults mutate the tenure the way the board
+ * expects, spurious retries never touch replays (no livelock), and the
+ * whole decision sequence is a pure function of (plan, seed, stream).
+ */
+
+#include "fault/injector.hh"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace memories::fault
+{
+namespace
+{
+
+bus::BusTransaction
+readAt(Addr addr, Cycle cycle)
+{
+    bus::BusTransaction t;
+    t.addr = addr;
+    t.cycle = cycle;
+    t.op = bus::BusOp::Read;
+    t.cpu = 0;
+    return t;
+}
+
+TEST(FaultInjectorTest, ScheduledFaultFiresExactlyOnce)
+{
+    FaultInjector inj(FaultPlan::parse("dropreply at 3\n"), 1);
+    std::vector<bool> dropped;
+    for (int i = 0; i < 6; ++i) {
+        auto t = readAt(0x1000, 10);
+        dropped.push_back(inj.onTenure(t).drop);
+    }
+    const std::vector<bool> expect = {false, false, true,
+                                      false, false, false};
+    EXPECT_EQ(dropped, expect);
+    EXPECT_EQ(inj.injected(FaultKind::DropReply), 1u);
+    EXPECT_EQ(inj.totalInjected(), 1u);
+}
+
+TEST(FaultInjectorTest, DelayAndAddressFlipMutateTheTenure)
+{
+    FaultInjector inj(FaultPlan::parse("delayreply at 1 cycles 50\n"
+                                       "addrflip at 2 bit 4\n"),
+                      1);
+    auto t1 = readAt(0x1000, 100);
+    EXPECT_FALSE(inj.onTenure(t1).drop);
+    EXPECT_EQ(t1.cycle, 150u);
+    EXPECT_EQ(t1.addr, 0x1000u);
+
+    auto t2 = readAt(0x1000, 200);
+    EXPECT_FALSE(inj.onTenure(t2).drop);
+    EXPECT_EQ(t2.cycle, 200u);
+    EXPECT_EQ(t2.addr, 0x1010u);
+
+    EXPECT_EQ(inj.injected(FaultKind::DelayReply), 1u);
+    EXPECT_EQ(inj.injected(FaultKind::AddressFlip), 1u);
+}
+
+TEST(FaultInjectorTest, SpuriousRetryNeverTouchesReplays)
+{
+    FaultInjector inj(FaultPlan::parse("retry prob 1.0\n"), 7);
+
+    auto live = readAt(0x80, 5);
+    EXPECT_EQ(inj.snoop(live), bus::SnoopResponse::Retry);
+
+    auto replay = readAt(0x80, 6);
+    replay.isRetryReplay = true;
+    EXPECT_EQ(inj.snoop(replay), bus::SnoopResponse::None);
+
+    auto io = readAt(0x80, 7);
+    io.op = bus::BusOp::IoRead;
+    EXPECT_EQ(inj.snoop(io), bus::SnoopResponse::None);
+
+    EXPECT_EQ(inj.injected(FaultKind::SpuriousRetry), 1u);
+}
+
+TEST(FaultInjectorTest, CommitFaultsCarryTheirParameters)
+{
+    FaultInjector inj(
+        FaultPlan::parse("tagflip at 1 node 3 bit 2\n"
+                         "slotloss at 2 slots 16 cycles 100\n"
+                         "stall at 3 cycles 40\n"),
+        1);
+
+    const auto c1 = inj.onCommit(readAt(0x100, 10));
+    EXPECT_TRUE(c1.tagFlip);
+    EXPECT_EQ(c1.tagNode, 3u);
+    EXPECT_EQ(c1.tagBit, 2u);
+    EXPECT_FALSE(c1.slotLoss);
+    EXPECT_FALSE(c1.stall);
+
+    const auto c2 = inj.onCommit(readAt(0x100, 20));
+    EXPECT_TRUE(c2.slotLoss);
+    EXPECT_EQ(c2.slots, 16u);
+    EXPECT_EQ(c2.slotsUntil, 120u);
+
+    const auto c3 = inj.onCommit(readAt(0x100, 30));
+    EXPECT_TRUE(c3.stall);
+    EXPECT_EQ(c3.stallUntil, 70u);
+}
+
+TEST(FaultInjectorTest, EmptyPlanIsInert)
+{
+    FaultInjector inj(FaultPlan{}, 42);
+    auto t = readAt(0xABCD00, 77);
+    const auto before = t;
+    EXPECT_FALSE(inj.onTenure(t).drop);
+    EXPECT_EQ(t.addr, before.addr);
+    EXPECT_EQ(t.cycle, before.cycle);
+    EXPECT_EQ(inj.snoop(t), bus::SnoopResponse::None);
+    const auto c = inj.onCommit(t);
+    EXPECT_FALSE(c.stall);
+    EXPECT_FALSE(c.slotLoss);
+    EXPECT_FALSE(c.tagFlip);
+    EXPECT_EQ(inj.totalInjected(), 0u);
+}
+
+TEST(FaultInjectorTest, SameSeedSamePlanSameDecisions)
+{
+    const FaultPlan plan = FaultPlan::parse(
+        "dropreply prob 0.1\n"
+        "delayreply prob 0.2 cycles 10\n"
+        "addrflip prob 0.05 bit 3\n");
+    auto run = [&](std::uint64_t seed) {
+        FaultInjector inj(plan, seed);
+        std::vector<std::uint64_t> fingerprint;
+        for (std::uint64_t i = 0; i < 2000; ++i) {
+            auto t = readAt(i << 7, i);
+            const bool drop = inj.onTenure(t).drop;
+            fingerprint.push_back((t.addr << 1) ^ t.cycle ^
+                                  (drop ? 1u : 0u));
+        }
+        fingerprint.push_back(inj.totalInjected());
+        return fingerprint;
+    };
+    EXPECT_EQ(run(5), run(5));
+    EXPECT_NE(run(5), run(6));
+}
+
+TEST(FaultInjectorTest, CountersAreNamedPerKind)
+{
+    FaultInjector inj(FaultPlan::parse("dropreply at 1\n"), 1);
+    auto t = readAt(0, 0);
+    inj.onTenure(t);
+    EXPECT_EQ(inj.counters().valueByName("faults.dropreply"), 1u);
+    EXPECT_EQ(inj.counters().valueByName("faults.retry"), 0u);
+    EXPECT_EQ(inj.counters().valueByName("faults.tagflip"), 0u);
+}
+
+} // namespace
+} // namespace memories::fault

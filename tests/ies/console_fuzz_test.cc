@@ -44,6 +44,21 @@ TEST(ConsoleFuzzTest, GarbageCommandsNeverEscape)
         "export-csv",
         "\t\tnode\t0",
         "unknown-command with args",
+        "fault",
+        "fault load",
+        "fault load /definitely/not/there.plan",
+        "fault arm",
+        "fault arm not-a-seed",
+        "fault arm 1 2 3",
+        "fault status extra",
+        "fault disarm",
+        "fault gremlins",
+        "health on off",
+        "health degrade-window",
+        "health degrade-window banana",
+        "health sampling-shift -1",
+        "health quarantine-storms 0 0",
+        "health mystery-knob 7",
     };
     for (const char *cmd : garbage)
         EXPECT_NO_THROW(console.execute(cmd)) << "command: " << cmd;
@@ -54,9 +69,10 @@ TEST(ConsoleFuzzTest, RandomTokenSoupIsHandled)
     bus::Bus6xx bus;
     Console console(bus);
     Rng rng(31);
-    const char *words[] = {"node",  "0",     "cache", "2MB",  "4",
-                           "128B",  "cpus",  "init",  "stats", "LRU",
-                           "->",    "*",     "0x10",  "-5",    "reset"};
+    const char *words[] = {"node",  "0",      "cache", "2MB",   "4",
+                           "128B",  "cpus",   "init",  "stats", "LRU",
+                           "->",    "*",      "0x10",  "-5",    "reset",
+                           "fault", "health", "arm",   "load",  "on"};
     for (int i = 0; i < 500; ++i) {
         std::string cmd;
         const auto len = 1 + rng.nextBounded(6);

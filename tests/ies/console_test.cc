@@ -315,5 +315,100 @@ TEST(ConsoleTest, TraceAutodumpWritesRingOnAnomaly)
     std::remove(dumpPath.c_str());
 }
 
+TEST(ConsoleTest, FaultCommandFamilyArmsAndDisarms)
+{
+    const std::string planPath =
+        ::testing::TempDir() + "console_fault.plan";
+    {
+        std::FILE *f = std::fopen(planPath.c_str(), "wb");
+        ASSERT_NE(f, nullptr);
+        const char text[] = "dropreply at 1\n";
+        std::fwrite(text, 1, sizeof(text) - 1, f);
+        std::fclose(f);
+    }
+
+    bus::Bus6xx bus;
+    Console console(bus);
+    console.execute("node 0 cache 2MB 4 128B");
+    console.execute("node 0 cpus 0,1");
+    console.execute("init");
+
+    // Arming requires a loaded plan; loading requires a real file.
+    EXPECT_NE(console.execute("fault arm").find("error:"),
+              std::string::npos);
+    EXPECT_NE(console.execute("fault load /not/there.plan")
+                  .find("error:"),
+              std::string::npos);
+    EXPECT_NE(console.execute("fault status").find("no fault plan"),
+              std::string::npos);
+
+    EXPECT_NE(console.execute("fault load " + planPath)
+                  .find("fault plan loaded (1 spec)"),
+              std::string::npos);
+    EXPECT_NE(console.execute("fault status").find("dropreply"),
+              std::string::npos);
+    EXPECT_NE(console.execute("fault arm 7")
+                  .find("armed (1 spec, seed 7)"),
+              std::string::npos);
+    ASSERT_NE(console.faultInjector(), nullptr);
+    // Reloading or re-arming while armed is rejected.
+    EXPECT_NE(console.execute("fault load " + planPath).find("error:"),
+              std::string::npos);
+    EXPECT_NE(console.execute("fault arm").find("error:"),
+              std::string::npos);
+
+    // The scheduled fault fires on the first live tenure.
+    bus.issue(readTxn(0x1000, 0));
+    bus.tick(1000);
+    bus.issue(readTxn(0x1000, 1));
+    console.board()->drainAll();
+    EXPECT_EQ(console.board()->globalCounters().valueByName(
+                  "global.tenures.fault_dropped"),
+              1u);
+    const auto status = console.execute("fault status");
+    EXPECT_NE(status.find("seed 7"), std::string::npos) << status;
+    EXPECT_NE(status.find("1 injected"), std::string::npos) << status;
+
+    EXPECT_NE(console.execute("fault disarm").find("disarmed"),
+              std::string::npos);
+    EXPECT_EQ(console.faultInjector(), nullptr);
+    // The plan survives disarm: re-arming is immediate.
+    EXPECT_NE(console.execute("fault arm").find("armed"),
+              std::string::npos);
+    // Shutdown disarms rather than leaving a dangling snooper.
+    console.execute("shutdown");
+    EXPECT_EQ(console.faultInjector(), nullptr);
+    std::remove(planPath.c_str());
+}
+
+TEST(ConsoleTest, HealthCommandFamilyStagesPolicyBeforeInit)
+{
+    bus::Bus6xx bus;
+    Console console(bus);
+
+    EXPECT_NE(console.execute("health").find("staged health policy:"),
+              std::string::npos);
+    console.execute("health on");
+    console.execute("health degrade-window 4");
+    console.execute("health quarantine-storms 3");
+    EXPECT_NE(console.execute("health bogus-key 1").find("error:"),
+              std::string::npos);
+
+    console.execute("node 0 cache 2MB 4 128B");
+    console.execute("node 0 cpus 0,1");
+    console.execute("init");
+
+    const auto status = console.execute("health status");
+    EXPECT_NE(status.find("health healthy"), std::string::npos)
+        << status;
+    EXPECT_NE(status.find("lost-inflight 0"), std::string::npos)
+        << status;
+    // The policy is frozen once the board exists.
+    EXPECT_NE(console.execute("health off").find("error:"),
+              std::string::npos);
+    EXPECT_NE(console.execute("health degrade-window 9").find("error:"),
+              std::string::npos);
+}
+
 } // namespace
 } // namespace memories::ies

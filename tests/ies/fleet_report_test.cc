@@ -99,7 +99,8 @@ TEST(FleetReportTest, CsvHasHeaderAndOneRowPerBoard)
     const FleetReport report = runLossyFleet(20, 4);
     const std::string csv = report.toCsv();
     EXPECT_NE(csv.find("board,consumed,overflow_drops,"
-                       "backpressure_stalls,capture_dropped,published,"
+                       "backpressure_stalls,capture_dropped,"
+                       "lost_inflight,health,published,"
                        "tap_filtered,tap_retry_dropped\n"),
               std::string::npos);
     EXPECT_NE(csv.find("tiny,20,16,"), std::string::npos);

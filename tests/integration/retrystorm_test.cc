@@ -8,9 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <string>
+#include <utility>
+#include <vector>
+
 #include "common/random.hh"
 #include "host/machine.hh"
 #include "ies/board.hh"
+#include "ies/fanout.hh"
 #include "workload/synthetic.hh"
 
 namespace memories
@@ -123,6 +128,80 @@ TEST(RetryStormTest, EmulationMatchesRetryFreeRun)
     // tenures replay identically, so directory contents and miss
     // counts match.
     EXPECT_EQ(misses_with_retrier(false), misses_with_retrier(true));
+}
+
+cache::CacheConfig
+emulatedCache()
+{
+    return cache::CacheConfig{2 * MiB, 4, 128,
+                              cache::ReplacementPolicy::LRU};
+}
+
+TEST(RetryStormTest, FleetTapDropsExactlyTheRetriedTenures)
+{
+    // The fan-out tap must skip precisely the tenures the hostile
+    // agent retried — no double-publish of replays, no silent loss.
+    workload::UniformWorkload wl(4, 1 * MiB, 0.3, 13);
+    host::HostMachine machine(smallHost(), wl);
+    RandomRetrier retrier(0.25, 31);
+    machine.bus().attach(&retrier);
+
+    ies::ExperimentFleet fleet;
+    fleet.addExperiment(ies::makeUniformBoard(1, 4, emulatedCache()), 1,
+                        "a");
+    fleet.addExperiment(ies::makeUniformBoard(1, 4, emulatedCache()), 2,
+                        "b");
+    fleet.attach(machine.bus());
+    fleet.start(2);
+    machine.run(50000);
+    fleet.finish();
+
+    EXPECT_GT(retrier.retriesIssued(), 100u);
+    EXPECT_EQ(fleet.tapRetryDropped(), retrier.retriesIssued());
+    // Every completed memory tenure was published exactly once.
+    EXPECT_EQ(fleet.eventsPublished() + fleet.tapFiltered() +
+                  fleet.tapRetryDropped(),
+              machine.bus().stats().tenures);
+}
+
+TEST(RetryStormTest, FleetBoardMatchesSerialBoardUnderRetries)
+{
+    // Same host run twice with the identical retrier seed: once with a
+    // board snooping the bus directly, once with the board behind the
+    // fan-out tap. The replayed reference stream is identical, so the
+    // emulated node must end bit-exact — same per-node counter bank —
+    // even though the serial board also saw (and dropped) the retried
+    // tenures the tap never forwards.
+    auto node_counters = [](bool through_fleet) {
+        workload::UniformWorkload wl(4, 512 * KiB, 0.3, 19);
+        host::HostMachine machine(smallHost(), wl);
+        RandomRetrier retrier(0.3, 37);
+        machine.bus().attach(&retrier);
+
+        std::vector<std::pair<std::string, std::uint64_t>> out;
+        if (through_fleet) {
+            ies::ExperimentFleet fleet;
+            fleet.addExperiment(
+                ies::makeUniformBoard(1, 4, emulatedCache()), 1, "only");
+            fleet.attach(machine.bus());
+            fleet.start(1);
+            machine.run(50000);
+            fleet.finish();
+            for (const auto &s :
+                 fleet.board(0).node(0).counters().snapshot())
+                out.emplace_back(std::string(s.name), s.value);
+        } else {
+            ies::MemoriesBoard board(
+                ies::makeUniformBoard(1, 4, emulatedCache()));
+            board.plugInto(machine.bus());
+            machine.run(50000);
+            board.drainAll();
+            for (const auto &s : board.node(0).counters().snapshot())
+                out.emplace_back(std::string(s.name), s.value);
+        }
+        return out;
+    };
+    EXPECT_EQ(node_counters(false), node_counters(true));
 }
 
 } // namespace
