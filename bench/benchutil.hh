@@ -9,6 +9,9 @@
  *   --telemetry=DIR write windowed telemetry files into DIR (benches
  *                   that support it; off by default so the timed loops
  *                   stay instrumentation-free)
+ *   --json=FILE     also write machine-readable results to FILE
+ *                   (benches that support it; CI uploads these as
+ *                   artifacts so throughput is trackable over time)
  *
  * The harnesses print the same rows/series the paper's tables and
  * figures report, alongside the paper's published values where they
@@ -23,6 +26,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 namespace memories::bench
 {
@@ -33,6 +37,7 @@ struct BenchArgs
     double refsMillions = 0;  //!< 0 = use the bench's default
     double scale = 1.0;
     std::string telemetryDir; //!< empty = no telemetry emission
+    std::string jsonPath;     //!< empty = no JSON results file
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -45,6 +50,8 @@ struct BenchArgs
                 args.scale = std::strtod(argv[i] + 8, nullptr);
             else if (std::strncmp(argv[i], "--telemetry=", 12) == 0)
                 args.telemetryDir = argv[i] + 12;
+            else if (std::strncmp(argv[i], "--json=", 7) == 0)
+                args.jsonPath = argv[i] + 7;
             else
                 std::fprintf(stderr, "ignoring unknown option %s\n",
                              argv[i]);
@@ -78,6 +85,65 @@ class Stopwatch
     using clock = std::chrono::steady_clock;
     clock::time_point start_;
 };
+
+/** One timed section's result, for the optional JSON results file. */
+struct BenchResult
+{
+    std::string label;
+    double seconds = 0;
+    double events = 0;
+
+    double
+    eventsPerSec() const
+    {
+        return seconds > 0 ? events / seconds : 0;
+    }
+};
+
+/** Commit SHA CI stamps into results files, or "unknown" locally. */
+inline std::string
+buildSha()
+{
+    for (const char *var : {"GITHUB_SHA", "MEMORIES_GIT_SHA"}) {
+        if (const char *sha = std::getenv(var); sha != nullptr &&
+                                                *sha != '\0')
+            return sha;
+    }
+    return "unknown";
+}
+
+/**
+ * Write timed sections as a machine-readable JSON artifact (the
+ * BENCH_<name>.json files CI uploads): bench name, the commit they
+ * measure, a one-line config description, and events/sec per section.
+ */
+inline void
+writeJsonResults(const std::string &path, const std::string &bench,
+                 const std::string &config,
+                 const std::vector<BenchResult> &results)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n");
+    std::fprintf(f, "  \"bench\": \"%s\",\n", bench.c_str());
+    std::fprintf(f, "  \"git_sha\": \"%s\",\n", buildSha().c_str());
+    std::fprintf(f, "  \"config\": \"%s\",\n", config.c_str());
+    std::fprintf(f, "  \"sections\": [\n");
+    for (std::size_t i = 0; i < results.size(); ++i) {
+        const BenchResult &r = results[i];
+        std::fprintf(f,
+                     "    {\"label\": \"%s\", \"seconds\": %.6f, "
+                     "\"events\": %.0f, \"events_per_sec\": %.1f}%s\n",
+                     r.label.c_str(), r.seconds, r.events,
+                     r.eventsPerSec(),
+                     i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(f, "  ]\n}\n");
+    std::fclose(f);
+}
 
 /** Print a banner naming the experiment being reproduced. */
 inline void

@@ -46,9 +46,12 @@ main(int argc, char **argv)
         }
     }
 
-    auto report = [](const char *label, double seconds, double count) {
+    std::vector<bench::BenchResult> results;
+    auto report = [&results](const char *label, double seconds,
+                             double count) {
         std::printf("%-34s %8.1f M/s\n", label,
                     count / seconds / 1e6);
+        results.push_back({label, seconds, count});
     };
 
     {
@@ -186,6 +189,16 @@ main(int argc, char **argv)
         simulator.finish();
         report("detailed simulator, bus refs", clock.seconds(),
                static_cast<double>(trace.size()));
+    }
+
+    if (!args.jsonPath.empty()) {
+        char config[128];
+        std::snprintf(config, sizeof(config),
+                      "%llu refs, 64MiB/4-way/128B LRU board, 8 CPUs",
+                      static_cast<unsigned long long>(n));
+        bench::writeJsonResults(args.jsonPath, "microbench_throughput",
+                                config, results);
+        std::printf("\nJSON results -> %s\n", args.jsonPath.c_str());
     }
 
     std::printf("\ncontext: the real board retires bus references at "

@@ -88,6 +88,8 @@ struct FaultSpec
 
     /** One-line plan-file rendering of this spec. */
     std::string describe() const;
+
+    bool operator==(const FaultSpec &) const = default;
 };
 
 /** An ordered list of faults; the unit of arming and of determinism. */
@@ -109,6 +111,8 @@ struct FaultPlan
 
     /** Render back to the plan-file format (round-trips via parse). */
     std::string describe() const;
+
+    bool operator==(const FaultPlan &) const = default;
 };
 
 } // namespace memories::fault

@@ -104,6 +104,12 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
     /** Deepest buffer occupancy seen. */
     std::size_t bufferHighWater() const { return buffer_.highWater(); }
 
+    /** Tenures currently awaiting retirement (oracle diffing). */
+    std::size_t bufferSize() const { return buffer_.size(); }
+
+    /** Tenures the SDRAM side has retired (oracle diffing). */
+    std::uint64_t bufferRetired() const { return buffer_.retired(); }
+
     /** Trace-capture buffer, when the mode is enabled. */
     trace::CaptureBuffer *captureBuffer()
     {

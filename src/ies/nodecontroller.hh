@@ -14,9 +14,11 @@
 #ifndef MEMORIES_IES_NODECONTROLLER_HH
 #define MEMORIES_IES_NODECONTROLLER_HH
 
+#include <algorithm>
 #include <cstdint>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "bus/transaction.hh"
@@ -138,6 +140,21 @@ class NodeController
         const std::function<void(Addr, cache::LineStateRaw)> &fn) const
     {
         directory_.forEachValid(fn);
+    }
+
+    /**
+     * Directory contents as (line address, state) pairs sorted by
+     * address — the canonical form the differential oracle compares.
+     */
+    std::vector<std::pair<Addr, cache::LineStateRaw>>
+    directorySnapshot() const
+    {
+        std::vector<std::pair<Addr, cache::LineStateRaw>> lines;
+        directory_.forEachValid([&](Addr addr, cache::LineStateRaw s) {
+            lines.emplace_back(addr, s);
+        });
+        std::sort(lines.begin(), lines.end());
+        return lines;
     }
 
     /** Reinsert one exported line (checkpoint restore). */

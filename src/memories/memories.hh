@@ -47,6 +47,9 @@
 #include "ies/nodecontroller.hh"
 #include "ies/numa.hh"
 #include "ies/txnbuffer.hh"
+#include "oracle/diff.hh"
+#include "oracle/refboard.hh"
+#include "oracle/stimulus.hh"
 #include "protocol/state.hh"
 #include "protocol/table.hh"
 #include "sim/detailed.hh"

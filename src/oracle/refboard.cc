@@ -1,0 +1,474 @@
+#include "oracle/refboard.hh"
+
+#include <algorithm>
+
+#include "bus/busop.hh"
+#include "common/bitops.hh"
+#include "common/logging.hh"
+#include "protocol/state.hh"
+
+namespace memories::oracle
+{
+
+using protocol::LineState;
+
+namespace
+{
+
+/** 40-bit hardware counter width (common/counters.hh). */
+constexpr std::uint64_t counterMask =
+    (std::uint64_t{1} << 40) - 1;
+
+} // namespace
+
+RefBoard::RefBoard(const ies::BoardConfig &config, std::uint64_t seed,
+                   RefMutation mutation)
+    : config_(config), mutation_(mutation),
+      capacity_(config.bufferEntries),
+      throughputPercent_(config.sdramThroughputPercent)
+{
+    config_.validate();
+    if (config_.health.enabled) {
+        fatal("the oracle models the always-healthy hardware board; "
+              "disable health monitoring to diff against it");
+    }
+    if (config_.traceCapture)
+        fatal("the oracle does not model on-board trace capture");
+
+    // The global-events bank, by the production board's names. Health
+    // and fault counters exist (the name sets must match exactly) but
+    // can never move: the paths that bump them are out of scope here.
+    for (const char *name :
+         {"global.tenures.memory", "global.tenures.committed",
+          "global.tenures.filtered", "global.tenures.dropped_retry",
+          "global.reads", "global.writes", "global.writebacks",
+          "global.retries_posted", "global.tenures.lost_inflight",
+          "global.tenures.fault_dropped", "global.tenures.sampled_out",
+          "global.tenures.shed", "global.tenures.quarantined",
+          "global.health.transitions"}) {
+        counters_[name] = 0;
+    }
+
+    for (std::size_t i = 0; i < config_.nodes.size(); ++i) {
+        Node node;
+        node.cfg = config_.nodes[i];
+        node.lineShift = log2i(node.cfg.cache.lineSize);
+        node.sampleMask = lowMask(node.cfg.setSamplingShift);
+        // Set sampling shrinks the directory to 1/2^shift of the sets,
+        // exactly as the production board builds its reduced TagStore.
+        const std::uint64_t sampled_sets =
+            (node.cfg.cache.sizeBytes >> node.cfg.setSamplingShift) /
+            (node.cfg.cache.lineSize * node.cfg.cache.assoc);
+        node.setMask = sampled_sets - 1;
+        node.assoc = node.cfg.cache.assoc;
+        node.rng = Rng(seed + i * 7919);
+        node.prefix = "node" + std::to_string(i) + ".";
+
+        // Pre-register every per-node counter name so the name sets
+        // compare equal against the production banks even at zero.
+        for (std::size_t op = 0; op < bus::numBusOps; ++op) {
+            const std::string opname{
+                bus::busOpName(static_cast<bus::BusOp>(op))};
+            counters_[node.prefix + "local." + opname + ".hit"] = 0;
+            counters_[node.prefix + "local." + opname + ".miss"] = 0;
+            counters_[node.prefix + "remote." + opname + ".seen"] = 0;
+        }
+        for (const char *suffix :
+             {"satisfied.cache", "satisfied.modified_intervention",
+              "satisfied.shared_intervention", "satisfied.memory",
+              "directory.fills", "directory.evictions.clean",
+              "directory.evictions.dirty", "remote.invalidations",
+              "remote.downgrades", "supplied.modified",
+              "supplied.shared", "local.refs", "remote.refs",
+              "unsampled.refs", "parity.corrupted", "parity.scrubs"}) {
+            counters_[node.prefix + suffix] = 0;
+        }
+        nodes_.push_back(std::move(node));
+    }
+}
+
+std::uint64_t &
+RefBoard::slot(const std::string &name)
+{
+    const auto it = counters_.find(name);
+    if (it == counters_.end())
+        fatal("oracle counter '", name, "' was never registered");
+    return it->second;
+}
+
+void
+RefBoard::bump(const std::string &name, std::uint64_t n)
+{
+    slot(name) += n;
+}
+
+std::map<std::string, std::uint64_t>
+RefBoard::counters() const
+{
+    std::map<std::string, std::uint64_t> masked;
+    for (const auto &[name, value] : counters_)
+        masked[name] = value & counterMask;
+    return masked;
+}
+
+std::uint64_t
+RefBoard::counter(std::string_view name) const
+{
+    const auto it = counters_.find(std::string(name));
+    if (it == counters_.end())
+        fatal("oracle has no counter named '", name, "'");
+    return it->second & counterMask;
+}
+
+std::vector<std::pair<Addr, std::uint8_t>>
+RefBoard::directorySnapshot(std::size_t node) const
+{
+    if (node >= nodes_.size())
+        fatal("oracle directorySnapshot: node ", node, " out of range");
+    std::vector<std::pair<Addr, std::uint8_t>> lines;
+    const Node &n = nodes_[node];
+    for (const auto &[set_index, set] : n.sets) {
+        (void)set_index;
+        for (const Frame &frame : set.ways) {
+            if (frame.state != 0)
+                lines.emplace_back(frame.line << n.lineShift,
+                                   frame.state);
+        }
+    }
+    std::sort(lines.begin(), lines.end());
+    return lines;
+}
+
+bool
+RefBoard::inSample(const Node &node, Addr addr) const
+{
+    return ((addr >> node.lineShift) & node.sampleMask) == 0;
+}
+
+Addr
+RefBoard::sampleAddr(const Node &node, Addr addr) const
+{
+    if (node.cfg.setSamplingShift == 0)
+        return addr;
+    const Addr line = addr >> node.lineShift;
+    return (line >> node.cfg.setSamplingShift) << node.lineShift;
+}
+
+RefBoard::Set &
+RefBoard::setFor(Node &node, std::uint64_t line)
+{
+    Set &set = node.sets[line & node.setMask];
+    if (set.ways.empty())
+        set.ways.resize(node.assoc);
+    return set;
+}
+
+void
+RefBoard::plruTouch(Set &set, unsigned way, unsigned assoc)
+{
+    // Point every tree node on the touched way's root->leaf path away
+    // from it (bit clear = victim search goes left, set = right).
+    unsigned node = 1;
+    for (unsigned span = assoc / 2; span >= 1; span /= 2) {
+        const unsigned dir = (way / span) & 1u ? 1u : 0u;
+        if (dir)
+            set.plruBits &= static_cast<std::uint8_t>(~(1u << node));
+        else
+            set.plruBits |= static_cast<std::uint8_t>(1u << node);
+        node = 2 * node + dir;
+        if (span == 1)
+            break;
+    }
+}
+
+unsigned
+RefBoard::plruVictim(const Set &set, unsigned assoc)
+{
+    unsigned node = 1;
+    unsigned way = 0;
+    for (unsigned span = assoc / 2; span >= 1; span /= 2) {
+        const unsigned dir = (set.plruBits >> node) & 1u;
+        way += dir * span;
+        node = 2 * node + dir;
+        if (span == 1)
+            break;
+    }
+    return way;
+}
+
+unsigned
+RefBoard::victimWay(Node &node, Set &set)
+{
+    for (unsigned w = 0; w < node.assoc; ++w) {
+        if (set.ways[w].state == 0)
+            return w;
+    }
+    switch (node.cfg.cache.policy) {
+      case cache::ReplacementPolicy::LRU:
+      case cache::ReplacementPolicy::FIFO: {
+        unsigned victim = 0;
+        for (unsigned w = 1; w < node.assoc; ++w) {
+            if (set.ways[w].stamp < set.ways[victim].stamp)
+                victim = w;
+        }
+        return victim;
+      }
+      case cache::ReplacementPolicy::Random:
+        return static_cast<unsigned>(node.rng.nextBounded(node.assoc));
+      case cache::ReplacementPolicy::TreePLRU:
+        return node.assoc == 1 ? 0 : plruVictim(set, node.assoc);
+    }
+    fatal("oracle: unknown replacement policy");
+}
+
+void
+RefBoard::processLocal(Node &node, const bus::BusTransaction &raw_txn,
+                       bus::SnoopResponse emu_resp)
+{
+    if (!inSample(node, raw_txn.addr)) {
+        bump(node.prefix + "unsampled.refs");
+        return;
+    }
+    const Addr addr = sampleAddr(node, raw_txn.addr);
+    const std::uint64_t line = addr >> node.lineShift;
+    const std::string opname{bus::busOpName(raw_txn.op)};
+
+    Set &set = setFor(node, line);
+    int hit_way = -1;
+    for (unsigned w = 0; w < node.assoc; ++w) {
+        if (set.ways[w].state != 0 && set.ways[w].line == line) {
+            hit_way = static_cast<int>(w);
+            break;
+        }
+    }
+    if (hit_way >= 0) {
+        // A hit refreshes recency: LRU restamps, tree-PLRU repoints
+        // its bits; FIFO and Random keep their insertion order.
+        if (node.cfg.cache.policy == cache::ReplacementPolicy::LRU) {
+            set.ways[hit_way].stamp = ++node.tick;
+        } else if (node.cfg.cache.policy ==
+                       cache::ReplacementPolicy::TreePLRU &&
+                   node.assoc > 1 &&
+                   mutation_ != RefMutation::SkipPlruTouchOnHit) {
+            plruTouch(set, static_cast<unsigned>(hit_way), node.assoc);
+        }
+    }
+    const auto state = hit_way >= 0
+                           ? static_cast<LineState>(set.ways[hit_way].state)
+                           : LineState::Invalid;
+
+    const bool is_reference =
+        raw_txn.op == bus::BusOp::Read ||
+        raw_txn.op == bus::BusOp::ReadIfetch ||
+        raw_txn.op == bus::BusOp::Rwitm ||
+        raw_txn.op == bus::BusOp::DClaim;
+    if (is_reference)
+        bump(node.prefix + "local.refs");
+
+    bump(node.prefix + "local." + opname +
+         (hit_way >= 0 ? ".hit" : ".miss"));
+
+    // Service-point classification for data-bearing requests: a hit is
+    // served here, a miss by whichever node intervened, else memory.
+    if (raw_txn.op == bus::BusOp::Read ||
+        raw_txn.op == bus::BusOp::ReadIfetch ||
+        raw_txn.op == bus::BusOp::Rwitm) {
+        if (hit_way >= 0) {
+            bump(node.prefix + "satisfied.cache");
+        } else if (emu_resp == bus::SnoopResponse::Modified) {
+            bump(node.prefix + "satisfied.modified_intervention");
+        } else if (emu_resp == bus::SnoopResponse::Shared) {
+            bump(node.prefix + "satisfied.shared_intervention");
+        } else {
+            bump(node.prefix + "satisfied.memory");
+        }
+    }
+
+    const auto &entry = node.cfg.protocol.requester(
+        raw_txn.op, state, protocol::summarize(emu_resp));
+
+    if (hit_way >= 0) {
+        if (entry.next == LineState::Invalid)
+            set.ways[hit_way].state = 0;
+        else if (entry.next != state)
+            set.ways[hit_way].state =
+                static_cast<std::uint8_t>(entry.next);
+        return;
+    }
+
+    if (entry.allocate && entry.next != LineState::Invalid) {
+        bump(node.prefix + "directory.fills");
+        const unsigned way = victimWay(node, set);
+        Frame &frame = set.ways[way];
+        if (frame.state != 0) {
+            const auto victim_state = static_cast<LineState>(frame.state);
+            bump(node.prefix + (protocol::isDirtyState(victim_state)
+                                    ? "directory.evictions.dirty"
+                                    : "directory.evictions.clean"));
+            // The paper's passive-board limitation applies: the victim
+            // is simply forgotten, nothing propagates downward.
+        }
+        frame.line = line;
+        frame.state = static_cast<std::uint8_t>(entry.next);
+        frame.stamp = ++node.tick;
+        if (node.cfg.cache.policy == cache::ReplacementPolicy::TreePLRU &&
+            node.assoc > 1)
+            plruTouch(set, way, node.assoc);
+    }
+}
+
+bus::SnoopResponse
+RefBoard::snoopRemote(Node &node, const bus::BusTransaction &raw_txn)
+{
+    if (!inSample(node, raw_txn.addr)) {
+        bump(node.prefix + "unsampled.refs");
+        return bus::SnoopResponse::None;
+    }
+    const Addr addr = sampleAddr(node, raw_txn.addr);
+    const std::uint64_t line = addr >> node.lineShift;
+    const std::string opname{bus::busOpName(raw_txn.op)};
+
+    bump(node.prefix + "remote." + opname + ".seen");
+    bump(node.prefix + "remote.refs");
+
+    // Snoops probe without touching recency.
+    Set &set = setFor(node, line);
+    Frame *frame = nullptr;
+    for (unsigned w = 0; w < node.assoc; ++w) {
+        if (set.ways[w].state != 0 && set.ways[w].line == line) {
+            frame = &set.ways[w];
+            break;
+        }
+    }
+    if (!frame)
+        return bus::SnoopResponse::None;
+
+    const auto state = static_cast<LineState>(frame->state);
+    const auto &entry = node.cfg.protocol.snooper(raw_txn.op, state);
+
+    if (entry.next == LineState::Invalid) {
+        frame->state = 0;
+        bump(node.prefix + "remote.invalidations");
+    } else if (entry.next != state &&
+               mutation_ != RefMutation::DropSnooperDowngrade) {
+        frame->state = static_cast<std::uint8_t>(entry.next);
+        bump(node.prefix + "remote.downgrades");
+    }
+
+    if (entry.response == bus::SnoopResponse::Modified)
+        bump(node.prefix + "supplied.modified");
+    else if (entry.response == bus::SnoopResponse::Shared)
+        bump(node.prefix + "supplied.shared");
+    return entry.response;
+}
+
+void
+RefBoard::emulate(const bus::BusTransaction &txn)
+{
+    // Lock-step semantics (paper 3.1): within each target-machine
+    // group, every non-owning node snoops first and their responses
+    // combine (strongest wins); then the owning node walks its
+    // requester map with that combined emulated response. Groups are
+    // visited in order of first appearance in the node list.
+    std::vector<unsigned> machines;
+    for (const Node &node : nodes_) {
+        if (std::find(machines.begin(), machines.end(),
+                      node.cfg.targetMachine) == machines.end())
+            machines.push_back(node.cfg.targetMachine);
+    }
+
+    for (const unsigned machine : machines) {
+        Node *owner = nullptr;
+        auto emu_resp = bus::SnoopResponse::None;
+        for (Node &node : nodes_) {
+            if (node.cfg.targetMachine != machine)
+                continue;
+            const bool owns =
+                txn.cpu < maxHostCpus &&
+                std::find(node.cfg.cpus.begin(), node.cfg.cpus.end(),
+                          txn.cpu) != node.cfg.cpus.end();
+            if (owns) {
+                owner = &node;
+            } else {
+                emu_resp = bus::combineSnoop(emu_resp,
+                                             snoopRemote(node, txn));
+            }
+        }
+        if (owner)
+            processLocal(*owner, txn, emu_resp);
+    }
+}
+
+void
+RefBoard::drainDue(Cycle now)
+{
+    // Credit pacing (paper 3.3): the SDRAM side earns
+    // throughputPercent credits per bus cycle and spends 100 per
+    // retirement, never banking more than one buffer's worth.
+    if (now > lastEarnCycle_) {
+        credits_ += (now - lastEarnCycle_) * throughputPercent_;
+        lastEarnCycle_ = now;
+        const std::uint64_t cap =
+            static_cast<std::uint64_t>(capacity_) * 100;
+        if (credits_ > cap)
+            credits_ = cap;
+    }
+    while (!fifo_.empty() && credits_ >= 100) {
+        credits_ -= 100;
+        const bus::BusTransaction txn = fifo_.front();
+        fifo_.pop_front();
+        ++retired_;
+        retirements_.push_back(
+            {txn.traceId, txn.addr, txn.op, txn.cpu, now});
+        emulate(txn);
+    }
+}
+
+bool
+RefBoard::feedCommitted(const bus::BusTransaction &txn)
+{
+    // Address-filter FPGA: non-memory operations never reach a buffer.
+    if (bus::isFilteredOp(txn.op)) {
+        bump("global.tenures.filtered");
+        return true;
+    }
+
+    bump("global.tenures.memory");
+    if (bus::isReadOp(txn.op))
+        bump("global.reads");
+    if (bus::isWriteIntentOp(txn.op))
+        bump("global.writes");
+    if (txn.op == bus::BusOp::WriteBack)
+        bump("global.writebacks");
+
+    // Let the SDRAM side catch up before judging buffer fullness.
+    drainDue(txn.cycle);
+
+    if (fifo_.size() >= capacity_) {
+        bump("global.retries_posted");
+        return false;
+    }
+
+    bump("global.tenures.committed");
+    fifo_.push_back(txn);
+    if (fifo_.size() > highWater_)
+        highWater_ = fifo_.size();
+    return true;
+}
+
+void
+RefBoard::drainAll()
+{
+    // End-of-run flush: the host has gone quiet, so pacing no longer
+    // applies and everything buffered retires in order.
+    while (!fifo_.empty()) {
+        const bus::BusTransaction txn = fifo_.front();
+        fifo_.pop_front();
+        ++retired_;
+        retirements_.push_back(
+            {txn.traceId, txn.addr, txn.op, txn.cpu, txn.cycle});
+        emulate(txn);
+    }
+}
+
+} // namespace memories::oracle

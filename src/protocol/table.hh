@@ -126,6 +126,31 @@ class ProtocolTable
     /** Serialize to the text map-file format (see parseMapText). */
     std::string toMapText() const;
 
+    /**
+     * Content fingerprint over the name and both maps: two tables
+     * compare equal iff every transition (and the name) matches. Lets
+     * the differential oracle prove that a reference board and a
+     * production board were really handed the same protocol.
+     */
+    std::uint64_t fingerprint() const
+    {
+        std::uint64_t h = 0xcbf29ce484222325ull;
+        auto mix = [&h](std::uint64_t v) {
+            h = (h ^ v) * 0x100000001b3ull;
+        };
+        for (char c : name_)
+            mix(static_cast<unsigned char>(c));
+        for (const RequesterEntry &e : requester_) {
+            mix(static_cast<std::uint64_t>(e.next));
+            mix(e.allocate ? 1 : 0);
+        }
+        for (const SnooperEntry &e : snooper_) {
+            mix(static_cast<std::uint64_t>(e.next));
+            mix(static_cast<std::uint64_t>(e.response));
+        }
+        return h;
+    }
+
   private:
     static std::size_t
     index3(bus::BusOp op, LineState s, SnoopSummary r)

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Property test for the fault-plan grammar: parse(describe(p)) == p
+ * for randomly generated plans. faultplan_test.cc checks hand-picked
+ * examples; this closes the loop over the whole reachable grammar —
+ * every kind, both trigger forms, every printable parameter field —
+ * so a formatting or parsing regression cannot hide in an untested
+ * corner of the round trip.
+ */
+
+#include "fault/faultplan.hh"
+
+#include <gtest/gtest.h>
+
+#include "common/random.hh"
+#include "oracle/stimulus.hh"
+
+namespace memories::fault
+{
+namespace
+{
+
+TEST(FaultPlanPropertyTest, DescribeParseRoundTripsRandomPlans)
+{
+    for (std::uint64_t seed = 1; seed <= 200; ++seed) {
+        Rng rng(seed);
+        const FaultPlan plan = oracle::randomFaultPlan(rng);
+        const std::string text = plan.describe();
+        const FaultPlan reparsed = FaultPlan::parse(text);
+        EXPECT_EQ(reparsed, plan)
+            << "seed " << seed << " plan did not round-trip:\n"
+            << text << "\nre-described as:\n"
+            << reparsed.describe();
+    }
+}
+
+TEST(FaultPlanPropertyTest, RoundTripIsAFixpoint)
+{
+    // describe() of a parsed plan is byte-identical to the original
+    // describe(): the text format has one canonical rendering.
+    for (std::uint64_t seed = 500; seed < 550; ++seed) {
+        Rng rng(seed);
+        const FaultPlan plan = oracle::randomFaultPlan(rng);
+        const std::string once = plan.describe();
+        const std::string twice = FaultPlan::parse(once).describe();
+        EXPECT_EQ(once, twice) << "seed " << seed;
+    }
+}
+
+TEST(FaultPlanPropertyTest, SingleSpecsRoundTripToo)
+{
+    for (std::uint64_t seed = 1000; seed < 1100; ++seed) {
+        Rng rng(seed);
+        const FaultSpec spec = oracle::randomFaultSpec(rng);
+        FaultPlan plan;
+        plan.faults.push_back(spec);
+        EXPECT_EQ(FaultPlan::parse(plan.describe()), plan)
+            << "seed " << seed << ": " << plan.describe();
+    }
+}
+
+} // namespace
+} // namespace memories::fault

@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Golden-counter test for the hot-spot personality: drive the tracker
+ * with property-generated streams and recount every cell with the
+ * dumbest possible map — per-cell read/write tallies, tracked and
+ * untracked totals, and the topN ordering must all match exactly.
+ */
+
+#include "ies/hotspot.hh"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "bus/busop.hh"
+#include "oracle/stimulus.hh"
+
+namespace memories::ies
+{
+namespace
+{
+
+struct GoldenCell
+{
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+};
+
+/** The specification of observeResult(), restated independently. */
+struct GoldenCount
+{
+    std::map<Addr, GoldenCell> cells; //!< keyed by cell base address
+    std::uint64_t tracked = 0;
+    std::uint64_t untracked = 0;
+
+    void observe(const HotSpotConfig &cfg, const bus::BusTransaction &t)
+    {
+        if (!bus::isMemoryOp(t.op))
+            return;
+        if (t.addr < cfg.regionBase ||
+            t.addr >= cfg.regionBase + cfg.regionBytes) {
+            ++untracked;
+            return;
+        }
+        ++tracked;
+        const Addr base =
+            cfg.regionBase + (t.addr - cfg.regionBase) /
+                                 cfg.granularityBytes *
+                                 cfg.granularityBytes;
+        if (bus::isWriteIntentOp(t.op) || t.op == bus::BusOp::WriteBack)
+            ++cells[base].writes;
+        else
+            ++cells[base].reads;
+    }
+};
+
+std::vector<bus::BusTransaction>
+stream(std::uint64_t seed, std::size_t count)
+{
+    oracle::StimulusParams p;
+    p.seed = seed;
+    p.count = count;
+    // Keep a slice of the stream outside the tracked window so the
+    // untracked path is exercised too (footprint spans ~32MiB/CPU).
+    p.footprintLines = std::uint64_t{1} << 18;
+    return oracle::StimulusGen(p).generate();
+}
+
+TEST(HotSpotGoldenTest, CountersMatchNaiveRecount)
+{
+    for (const std::uint64_t gran : {std::uint64_t{128},
+                                     std::uint64_t{4096}}) {
+        HotSpotConfig cfg;
+        cfg.regionBase = 0;
+        cfg.regionBytes = 16 * MiB;
+        cfg.granularityBytes = gran;
+        HotSpotTracker tracker(cfg);
+        GoldenCount golden;
+
+        for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+            for (const auto &t : stream(seed, 2000)) {
+                tracker.observeResult(t, bus::SnoopResponse::None);
+                golden.observe(cfg, t);
+            }
+        }
+
+        EXPECT_EQ(tracker.tracked(), golden.tracked);
+        EXPECT_EQ(tracker.untracked(), golden.untracked);
+        EXPECT_GT(golden.tracked, 0u);
+        EXPECT_GT(golden.untracked, 0u);
+
+        for (const auto &[base, cell] : golden.cells) {
+            const HotSpotEntry e = tracker.countsFor(base);
+            EXPECT_EQ(e.base, base);
+            EXPECT_EQ(e.reads, cell.reads) << "cell 0x" << std::hex
+                                           << base;
+            EXPECT_EQ(e.writes, cell.writes) << "cell 0x" << std::hex
+                                             << base;
+        }
+    }
+}
+
+TEST(HotSpotGoldenTest, RetriedTenuresAreNotCounted)
+{
+    HotSpotConfig cfg;
+    cfg.regionBase = 0;
+    cfg.regionBytes = 16 * MiB;
+    cfg.granularityBytes = 4096;
+    HotSpotTracker tracker(cfg);
+
+    for (const auto &t : stream(4, 500))
+        tracker.observeResult(t, bus::SnoopResponse::Retry);
+    EXPECT_EQ(tracker.tracked(), 0u);
+    EXPECT_EQ(tracker.untracked(), 0u);
+}
+
+TEST(HotSpotGoldenTest, TopNMatchesGoldenOrdering)
+{
+    HotSpotConfig cfg;
+    cfg.regionBase = 0;
+    cfg.regionBytes = 16 * MiB;
+    cfg.granularityBytes = 4096;
+    HotSpotTracker tracker(cfg);
+    GoldenCount golden;
+
+    for (const auto &t : stream(5, 3000)) {
+        tracker.observeResult(t, bus::SnoopResponse::None);
+        golden.observe(cfg, t);
+    }
+
+    const auto top = tracker.topN(10);
+    ASSERT_FALSE(top.empty());
+    for (std::size_t i = 1; i < top.size(); ++i)
+        EXPECT_GE(top[i - 1].total(), top[i].total());
+    for (const auto &e : top) {
+        const auto it = golden.cells.find(e.base);
+        ASSERT_NE(it, golden.cells.end());
+        EXPECT_EQ(e.reads, it->second.reads);
+        EXPECT_EQ(e.writes, it->second.writes);
+    }
+}
+
+} // namespace
+} // namespace memories::ies

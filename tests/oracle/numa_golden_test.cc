@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Golden-counter tests for the NUMA personality: the local/remote
+ * request split is recounted exactly from first principles (home
+ * interleave math on the raw stream), the hit/miss ledger must
+ * balance, and the emulator is deterministic per (config, seed).
+ */
+
+#include "ies/numa.hh"
+
+#include <gtest/gtest.h>
+
+#include "bus/busop.hh"
+#include "oracle/stimulus.hh"
+
+namespace memories::ies
+{
+namespace
+{
+
+NumaConfig
+smallNuma()
+{
+    NumaConfig cfg;
+    cfg.numNodes = 4;
+    cfg.cpusPerNode = 2;
+    cfg.l3 = cache::CacheConfig{2 * MiB, 4, 128,
+                                cache::ReplacementPolicy::LRU};
+    cfg.sparseEntries = 1 << 10;
+    cfg.sparseAssoc = 4;
+    cfg.homeGranularityBytes = 4096;
+    return cfg;
+}
+
+std::vector<bus::BusTransaction>
+stream(std::uint64_t seed, std::size_t count)
+{
+    oracle::StimulusParams p;
+    p.seed = seed;
+    p.count = count;
+    p.shareFraction = 0.5; // plenty of cross-node traffic
+    return oracle::StimulusGen(p).generate();
+}
+
+/** True when observeResult() lets @p t reach the directory walk. */
+bool
+consultsDirectory(const NumaConfig &cfg, const bus::BusTransaction &t)
+{
+    if (!bus::isMemoryOp(t.op))
+        return false;
+    if (t.cpu / cfg.cpusPerNode >= cfg.numNodes)
+        return false;
+    return bus::isReadOp(t.op) || bus::isWriteIntentOp(t.op);
+}
+
+TEST(NumaGoldenTest, LocalRemoteSplitMatchesInterleaveMath)
+{
+    const auto cfg = smallNuma();
+    NumaEmulator emu(cfg);
+
+    std::uint64_t golden_local = 0;
+    std::uint64_t golden_remote = 0;
+    for (std::uint64_t seed = 1; seed <= 3; ++seed) {
+        for (const auto &t : stream(seed, 2000)) {
+            emu.observeResult(t, bus::SnoopResponse::None);
+            if (!consultsDirectory(cfg, t))
+                continue;
+            const unsigned node = t.cpu / cfg.cpusPerNode;
+            const unsigned home = static_cast<unsigned>(
+                (t.addr / cfg.homeGranularityBytes) % cfg.numNodes);
+            if (node == home)
+                ++golden_local;
+            else
+                ++golden_remote;
+        }
+    }
+
+    const NumaStats s = emu.stats();
+    EXPECT_EQ(s.localRequests, golden_local);
+    EXPECT_EQ(s.remoteRequests, golden_remote);
+    EXPECT_GT(golden_local, 0u);
+    EXPECT_GT(golden_remote, 0u);
+
+    // Every directory consultation ends in exactly one of hit/miss.
+    EXPECT_EQ(s.l3Hits + s.l3Misses, golden_local + golden_remote);
+}
+
+TEST(NumaGoldenTest, RetriedAndUnmappedTrafficIsIgnored)
+{
+    const auto cfg = smallNuma();
+    NumaEmulator emu(cfg);
+
+    for (const auto &t : stream(4, 500))
+        emu.observeResult(t, bus::SnoopResponse::Retry);
+    EXPECT_EQ(emu.stats().localRequests + emu.stats().remoteRequests,
+              0u);
+
+    // CPU 8+ is past the 4x2 node map: an unmapped bus master.
+    bus::BusTransaction t;
+    t.addr = 0x4000;
+    t.op = bus::BusOp::Read;
+    t.cpu = 9;
+    emu.observeResult(t, bus::SnoopResponse::None);
+    EXPECT_EQ(emu.stats().localRequests + emu.stats().remoteRequests,
+              0u);
+}
+
+TEST(NumaGoldenTest, DeterministicPerSeed)
+{
+    const auto cfg = smallNuma();
+    const auto txns = stream(7, 3000);
+
+    NumaEmulator a(cfg, 5);
+    NumaEmulator b(cfg, 5);
+    for (const auto &t : txns) {
+        a.observeResult(t, bus::SnoopResponse::None);
+        b.observeResult(t, bus::SnoopResponse::None);
+    }
+
+    const NumaStats sa = a.stats();
+    const NumaStats sb = b.stats();
+    EXPECT_EQ(sa.localRequests, sb.localRequests);
+    EXPECT_EQ(sa.remoteRequests, sb.remoteRequests);
+    EXPECT_EQ(sa.l3Hits, sb.l3Hits);
+    EXPECT_EQ(sa.l3Misses, sb.l3Misses);
+    EXPECT_EQ(sa.sparseEvictions, sb.sparseEvictions);
+    EXPECT_EQ(sa.invalidationsSent, sb.invalidationsSent);
+    EXPECT_EQ(sa.writeInvalidations, sb.writeInvalidations);
+    EXPECT_EQ(sa.overInvalidations, sb.overInvalidations);
+}
+
+TEST(NumaGoldenTest, CoarseVectorWithGroupOfOneIsFullMap)
+{
+    // One node per presence bit makes the coarse vector exact, so the
+    // two schemes must agree on *every* statistic over any stream —
+    // the cheapest cross-implementation oracle the scheme code has.
+    const auto txns = stream(9, 4000);
+
+    auto exact_cfg = smallNuma();
+    exact_cfg.scheme = DirectoryScheme::FullMap;
+    NumaEmulator exact(exact_cfg);
+
+    auto coarse_cfg = smallNuma();
+    coarse_cfg.scheme = DirectoryScheme::CoarseVector;
+    coarse_cfg.coarseGroupNodes = 1;
+    NumaEmulator coarse(coarse_cfg);
+
+    for (const auto &t : txns) {
+        exact.observeResult(t, bus::SnoopResponse::None);
+        coarse.observeResult(t, bus::SnoopResponse::None);
+    }
+
+    const NumaStats se = exact.stats();
+    const NumaStats sc = coarse.stats();
+    EXPECT_EQ(se.localRequests, sc.localRequests);
+    EXPECT_EQ(se.remoteRequests, sc.remoteRequests);
+    EXPECT_EQ(se.l3Hits, sc.l3Hits);
+    EXPECT_EQ(se.l3Misses, sc.l3Misses);
+    EXPECT_EQ(se.sparseEvictions, sc.sparseEvictions);
+    EXPECT_EQ(se.invalidationsSent, sc.invalidationsSent);
+    EXPECT_EQ(se.writeInvalidations, sc.writeInvalidations);
+    EXPECT_EQ(se.overInvalidations, sc.overInvalidations);
+}
+
+} // namespace
+} // namespace memories::ies

@@ -1,0 +1,184 @@
+/**
+ * @file
+ * RefBoard unit tests: the naive oracle rejects configurations it does
+ * not model, exposes exactly the production counter name set (so a
+ * counter added to one side without the other is a test failure, not a
+ * silent blind spot), keeps its buffer bookkeeping invariants, and is
+ * deterministic across rebuilds.
+ */
+
+#include "oracle/refboard.hh"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "common/logging.hh"
+#include "ies/board.hh"
+#include "oracle/stimulus.hh"
+
+namespace memories::oracle
+{
+namespace
+{
+
+ies::BoardConfig
+smallBoard()
+{
+    return ies::makeUniformBoard(
+        1, 8,
+        cache::CacheConfig{2 * MiB, 4, 128,
+                           cache::ReplacementPolicy::LRU});
+}
+
+TEST(RefBoardTest, RejectsUnmodeledConfigs)
+{
+    auto cfg = smallBoard();
+    cfg.health.enabled = true;
+    EXPECT_THROW(RefBoard{cfg}, FatalError);
+
+    cfg = smallBoard();
+    cfg.traceCapture = true;
+    EXPECT_THROW(RefBoard{cfg}, FatalError);
+
+    cfg = smallBoard();
+    cfg.nodes.clear();
+    EXPECT_THROW(RefBoard{cfg}, FatalError);
+}
+
+TEST(RefBoardTest, CounterNameSetMatchesProductionExactly)
+{
+    const auto cfg = ies::makeUniformBoard(
+        4, 2,
+        cache::CacheConfig{2 * MiB, 4, 128,
+                           cache::ReplacementPolicy::LRU});
+    const RefBoard ref(cfg);
+    const auto board = ies::MemoriesBoard::make(cfg, 1);
+
+    std::set<std::string> prod_names;
+    for (const CounterSample &s : board->globalCounters().snapshot())
+        prod_names.insert(std::string(s.name));
+    for (std::size_t n = 0; n < board->numNodes(); ++n) {
+        for (const CounterSample &s : board->node(n).counters().snapshot())
+            prod_names.insert(std::string(s.name));
+    }
+
+    std::set<std::string> ref_names;
+    for (const auto &[name, value] : ref.counters())
+        ref_names.insert(name);
+
+    // Set equality with readable failure output: report the exact
+    // names missing from each side rather than "sets differ".
+    for (const auto &name : prod_names)
+        EXPECT_TRUE(ref_names.count(name))
+            << "oracle is missing production counter " << name;
+    for (const auto &name : ref_names)
+        EXPECT_TRUE(prod_names.count(name))
+            << "oracle invented counter " << name;
+}
+
+TEST(RefBoardTest, UnknownCounterIsFatal)
+{
+    const RefBoard ref(smallBoard());
+    EXPECT_THROW(ref.counter("no.such.counter"), FatalError);
+    EXPECT_EQ(ref.counter("global.tenures.committed"), 0u);
+}
+
+TEST(RefBoardTest, BufferInvariantsAndRetirementOrder)
+{
+    // Tiny paced buffer plus a bursty stream (90% same-cycle tenures
+    // against a 5%-rate drain) so the overflow path must trigger.
+    auto cfg = smallBoard();
+    cfg.bufferEntries = 16;
+    cfg.sdramThroughputPercent = 5;
+
+    StimulusParams p;
+    p.seed = 7;
+    p.count = 600;
+    p.pBurst = 0.9;
+    p.maxGap = 2;
+
+    RefBoard ref(cfg);
+    std::uint64_t accepted = 0;
+    std::uint64_t rejected = 0;
+    for (const auto &t : StimulusGen(p).generate()) {
+        if (ref.feedCommitted(t))
+            ++accepted;
+        else
+            ++rejected;
+        EXPECT_LE(ref.bufferSize(), cfg.bufferEntries);
+        EXPECT_LE(ref.bufferSize(), ref.bufferHighWater());
+    }
+    ref.drainAll();
+
+    EXPECT_GT(rejected, 0u) << "16-entry buffer never overflowed; the "
+                               "overflow path went untested";
+    EXPECT_EQ(ref.bufferSize(), 0u);
+    EXPECT_EQ(ref.bufferRetired(), ref.retirements().size());
+    EXPECT_EQ(ref.counter("global.retries_posted"), rejected);
+
+    // Retirement is FIFO in commit order: traceIds strictly increase
+    // (retire *cycles* can step back at the drainAll flush, which
+    // stamps leftovers with their original commit cycle).
+    const auto &rets = ref.retirements();
+    for (std::size_t i = 1; i < rets.size(); ++i)
+        EXPECT_GT(rets[i].traceId, rets[i - 1].traceId);
+}
+
+TEST(RefBoardTest, DeterministicAcrossRebuilds)
+{
+    // Few-set geometry (2MiB / 4KiB lines / 4 ways = 128 sets) so the
+    // sets actually fill and the Random policy draws victims.
+    const auto cfg = ies::makeUniformBoard(
+        2, 4,
+        cache::CacheConfig{2 * MiB, 4, 4096,
+                           cache::ReplacementPolicy::Random});
+    StimulusParams p;
+    p.seed = 11;
+    p.count = 1500;
+    p.footprintLines = 1 << 13; // 1MiB per CPU: ~16 lines per set
+    const auto txns = StimulusGen(p).generate();
+
+    RefBoard a(cfg, 42);
+    RefBoard b(cfg, 42);
+    for (const auto &t : txns) {
+        EXPECT_EQ(a.feedCommitted(t), b.feedCommitted(t));
+    }
+    a.drainAll();
+    b.drainAll();
+
+    EXPECT_EQ(a.counters(), b.counters());
+    EXPECT_EQ(a.retirements(), b.retirements());
+    for (std::size_t n = 0; n < a.numNodes(); ++n)
+        EXPECT_EQ(a.directorySnapshot(n), b.directorySnapshot(n));
+
+    // A different board seed draws a different Random-policy victim
+    // sequence, so the directories (almost surely) differ.
+    RefBoard c(cfg, 43);
+    for (const auto &t : txns)
+        c.feedCommitted(t);
+    c.drainAll();
+    bool any_diff = false;
+    for (std::size_t n = 0; n < a.numNodes(); ++n)
+        any_diff |= a.directorySnapshot(n) != c.directorySnapshot(n);
+    EXPECT_TRUE(any_diff)
+        << "Random replacement ignored the board seed";
+}
+
+TEST(RefBoardTest, FilteredOpsNeverTouchTheBuffer)
+{
+    RefBoard ref(smallBoard());
+    bus::BusTransaction t;
+    t.addr = 0x1000;
+    t.op = bus::BusOp::IoRead;
+    t.cycle = 5;
+    t.traceId = 1;
+    EXPECT_TRUE(ref.feedCommitted(t));
+    EXPECT_EQ(ref.counter("global.tenures.filtered"), 1u);
+    EXPECT_EQ(ref.counter("global.tenures.committed"), 0u);
+    EXPECT_EQ(ref.bufferSize(), 0u);
+}
+
+} // namespace
+} // namespace memories::oracle
