@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Soft regression gate over BENCH_throughput.json.
+
+Absolute ns/ref numbers are not comparable across runner generations,
+so the gate checks *ratios within one run*: the checked-in baseline
+(bench/BENCH_throughput.baseline.json) records how much faster the
+batch feed path must be than the serial feed path on the same machine
+in the same process. A regression in the batch hot path shows up as
+that speedup collapsing, regardless of how fast the runner is.
+
+The gate fails when a measured speedup falls more than --tolerance
+(default 10%) below its baseline value. Speedups *above* baseline only
+print a note — update the baseline deliberately, not from CI noise.
+
+Usage:
+    check_bench_regression.py BENCH_throughput.json [--baseline FILE]
+                              [--tolerance 0.10]
+"""
+
+import argparse
+import json
+import sys
+
+
+def section_ns_per_ref(doc, label):
+    for section in doc["sections"]:
+        if section["label"] == label:
+            return section["seconds"] / section["events"] * 1e9
+    raise SystemExit(f"section {label!r} missing from {doc['bench']} "
+                     "results — did a bench label change?")
+
+
+def main():
+    parser = argparse.ArgumentParser()
+    parser.add_argument("results")
+    parser.add_argument("--baseline",
+                        default="bench/BENCH_throughput.baseline.json")
+    parser.add_argument("--tolerance", type=float, default=0.10)
+    args = parser.parse_args()
+
+    with open(args.results) as f:
+        results = json.load(f)
+    with open(args.baseline) as f:
+        baseline = json.load(f)
+
+    failures = []
+    for gate in baseline["speedup_gates"]:
+        slow = section_ns_per_ref(results, gate["numerator"])
+        fast = section_ns_per_ref(results, gate["denominator"])
+        measured = slow / fast
+        floor = gate["min_speedup"] * (1.0 - args.tolerance)
+        verdict = "OK" if measured >= floor else "FAIL"
+        print(f"[{verdict}] {gate['name']}: {slow:.1f} ns/ref vs "
+              f"{fast:.1f} ns/ref = {measured:.2f}x "
+              f"(baseline {gate['min_speedup']:.2f}x, floor "
+              f"{floor:.2f}x)")
+        if measured < floor:
+            failures.append(gate["name"])
+        elif measured > gate["min_speedup"] * (1.0 + args.tolerance):
+            print(f"  note: {gate['name']} beats baseline by >"
+                  f"{args.tolerance:.0%} — consider raising it")
+
+    if failures:
+        print(f"\nbench regression gate FAILED: {', '.join(failures)}")
+        return 1
+    print("\nbench regression gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -11,6 +11,7 @@
  * experiment.
  */
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <memory>
@@ -49,8 +50,8 @@ main(int argc, char **argv)
     std::vector<bench::BenchResult> results;
     auto report = [&results](const char *label, double seconds,
                              double count) {
-        std::printf("%-34s %8.1f M/s\n", label,
-                    count / seconds / 1e6);
+        std::printf("%-34s %8.1f M/s  %6.1f ns/ref\n", label,
+                    count / seconds / 1e6, seconds / count * 1e9);
         results.push_back({label, seconds, count});
     };
 
@@ -98,6 +99,47 @@ main(int argc, char **argv)
                         static_cast<unsigned long long>(
                             sampler->windowsEmitted()),
                         (args.telemetryDir + "/microbench").c_str());
+        }
+    }
+    {
+        // The feed-path ladder behind docs/SHARDING.md: the same board
+        // and stream, fed one tenure at a time (serial), then in 4096-
+        // tenure batches on one shard (the threadless fast path), then
+        // batched across a worker pool. shard_equiv_test proves all
+        // three produce byte-identical state; this is their price. On
+        // single-core hosts expect the pool row to *lose* to batch@1 —
+        // the workers only pay off with real cores under them.
+        const auto config = ies::makeUniformBoard(
+            1, 8,
+            cache::CacheConfig{64 * MiB, 4, 128,
+                               cache::ReplacementPolicy::LRU});
+        {
+            ies::MemoriesBoard board(config);
+            bench::Stopwatch clock;
+            for (const auto &txn : trace)
+                board.feedCommitted(txn);
+            board.drainAll();
+            report("feed serial (feedCommitted)", clock.seconds(),
+                   static_cast<double>(trace.size()));
+        }
+        for (std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+            ies::MemoriesBoard board(config);
+            if (shards > 1)
+                board.enableSharding(shards);
+            constexpr std::size_t chunk = 4096;
+            bench::Stopwatch clock;
+            for (std::size_t at = 0; at < trace.size(); at += chunk) {
+                const std::size_t len =
+                    std::min(chunk, trace.size() - at);
+                board.feedBatch(&trace[at], len);
+            }
+            board.drainAll();
+            char label[64];
+            std::snprintf(label, sizeof(label),
+                          "feed batch @%zu shard%s", shards,
+                          shards == 1 ? "" : "s");
+            report(label, clock.seconds(),
+                   static_cast<double>(trace.size()));
         }
     }
     {

@@ -7,6 +7,12 @@
  * src/ies): exit status 0 means every comparison agreed bit-for-bit.
  *
  *   oracle_diff [--seeds=N] [--txns=N] [--start-seed=N] [--out=DIR]
+ *               [--shards=N] [--batch=N]
+ *
+ * --shards=N (default 0) feeds the production board through the
+ * set-sharded batch pipeline — feedBatch in chunks of --batch (default
+ * 256) transactions at N shard workers — while the reference stays
+ * serial, so the whole sharded hot path is diffed against the oracle.
  *
  * On a divergence the minimized witness stream is written to DIR as a
  * replayable trace (see docs/TESTING.md for the reproduction recipe).
@@ -41,27 +47,41 @@ main(int argc, char **argv)
     std::uint64_t seeds = 100;
     std::uint64_t txns = 800;
     std::uint64_t start_seed = 1;
+    std::uint64_t shards = 0;
+    std::uint64_t batch = 256;
     std::string out_dir = "oracle-out";
     for (int i = 1; i < argc; ++i) {
         seeds = parseArg(argv[i], "--seeds", seeds);
         txns = parseArg(argv[i], "--txns", txns);
         start_seed = parseArg(argv[i], "--start-seed", start_seed);
+        shards = parseArg(argv[i], "--shards", shards);
+        batch = parseArg(argv[i], "--batch", batch);
         if (std::strncmp(argv[i], "--out=", 6) == 0)
             out_dir = argv[i] + 6;
     }
 
+    oracle::DiffOptions opts;
+    opts.shards = static_cast<std::size_t>(shards);
+    opts.batchSize = static_cast<std::size_t>(batch);
+
     const auto lattice = oracle::latticeConfigs();
+    std::string feed_desc;
+    if (shards > 0) {
+        feed_desc = ", sharded batch feed x" + std::to_string(shards) +
+                    " (batch " + std::to_string(batch) + ")";
+    }
     std::printf("oracle_diff: %llu seeds x %zu configs, %llu txns each "
-                "(start seed %llu)\n",
+                "(start seed %llu%s)\n",
                 static_cast<unsigned long long>(seeds), lattice.size(),
                 static_cast<unsigned long long>(txns),
-                static_cast<unsigned long long>(start_seed));
+                static_cast<unsigned long long>(start_seed),
+                feed_desc.c_str());
     for (const auto &lc : lattice)
         std::printf("  config %s\n", lc.name.c_str());
 
     const oracle::LatticeRun run = oracle::runLattice(
         start_seed, static_cast<std::size_t>(seeds),
-        static_cast<std::size_t>(txns), out_dir);
+        static_cast<std::size_t>(txns), out_dir, opts);
 
     if (!run.clean()) {
         for (const auto &div : run.divergences) {

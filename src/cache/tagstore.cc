@@ -6,6 +6,33 @@
 namespace memories::cache
 {
 
+namespace
+{
+
+/** Per-set seed offset (golden-gamma; decorrelates adjacent sets). */
+constexpr std::uint64_t setSeedGamma = 0x9E3779B97F4A7C15ull;
+
+/** Packed tag|state word helpers: (line << 8) | state. */
+constexpr std::uint64_t
+packTag(std::uint64_t line, LineStateRaw state)
+{
+    return (line << 8) | state;
+}
+
+constexpr std::uint64_t
+tagOf(std::uint64_t word)
+{
+    return word >> 8;
+}
+
+constexpr LineStateRaw
+stateOf(std::uint64_t word)
+{
+    return static_cast<LineStateRaw>(word & 0xff);
+}
+
+} // namespace
+
 TagStore::TagStore(const CacheConfig &config, std::uint64_t seed)
     : config_(config),
       lineSize_(config.lineSize),
@@ -13,18 +40,27 @@ TagStore::TagStore(const CacheConfig &config, std::uint64_t seed)
       numSets_(config.numSets()),
       setMask_(numSets_ - 1),
       assoc_(config.assoc),
-      tags_(numSets_ * assoc_, 0),
-      states_(numSets_ * assoc_, invalidState),
-      stamps_(numSets_ * assoc_, 0),
-      rng_(seed)
+      stride_(2 * config.assoc),
+      slab_(numSets_ * stride_ + 8, 0)
 {
     if (!isPowerOf2(numSets_))
         MEMORIES_PANIC("TagStore built from unvalidated config");
+    // Align the frame view so a power-of-two set block never straddles
+    // an extra cache line (a 4-way block is exactly one 64B line).
+    auto base = reinterpret_cast<std::uintptr_t>(slab_.data());
+    const std::uintptr_t aligned = (base + 63) & ~std::uintptr_t{63};
+    frames_ = slab_.data() + (aligned - base) / sizeof(std::uint64_t);
+
     if (config.policy == ReplacementPolicy::TreePLRU) {
         if (!isPowerOf2(assoc_))
             fatal("TreePLRU requires power-of-two associativity, got ",
                   assoc_);
         plruBits_.assign(numSets_, 0);
+    }
+    if (config.policy == ReplacementPolicy::Random) {
+        rngs_.reserve(numSets_);
+        for (std::uint64_t s = 0; s < numSets_; ++s)
+            rngs_.emplace_back(seed + s * setSeedGamma);
     }
 }
 
@@ -68,17 +104,20 @@ LookupResult
 TagStore::lookup(Addr addr)
 {
     const std::uint64_t line = addr >> lineShift_;
-    const std::uint64_t base = setIndex(line) * assoc_;
+    const std::uint64_t set = setIndex(line);
+    std::uint64_t *block = setBlock(set);
     for (unsigned w = 0; w < assoc_; ++w) {
-        const std::uint64_t f = base + w;
-        if (states_[f] != invalidState && tags_[f] == line) {
-            // LRU touch; FIFO keeps its insertion stamp.
+        const std::uint64_t ts = block[w];
+        if (tagOf(ts) == line && stateOf(ts) != invalidState) {
+            // LRU touch; FIFO keeps its insertion stamp. The per-set
+            // stamp (max + 1) preserves the within-set recency order a
+            // global tick would produce.
             if (config_.policy == ReplacementPolicy::LRU)
-                stamps_[f] = ++tick_;
+                block[assoc_ + w] = maxStamp(block) + 1;
             else if (config_.policy == ReplacementPolicy::TreePLRU &&
                      assoc_ > 1)
-                plruTouch(setIndex(line), w);
-            return LookupResult{true, w, states_[f]};
+                plruTouch(set, w);
+            return LookupResult{true, w, stateOf(ts)};
         }
     }
     return LookupResult{};
@@ -88,11 +127,11 @@ LookupResult
 TagStore::probe(Addr addr) const
 {
     const std::uint64_t line = addr >> lineShift_;
-    const std::uint64_t base = setIndex(line) * assoc_;
+    const std::uint64_t *block = setBlock(setIndex(line));
     for (unsigned w = 0; w < assoc_; ++w) {
-        const std::uint64_t f = base + w;
-        if (states_[f] != invalidState && tags_[f] == line)
-            return LookupResult{true, w, states_[f]};
+        const std::uint64_t ts = block[w];
+        if (tagOf(ts) == line && stateOf(ts) != invalidState)
+            return LookupResult{true, w, stateOf(ts)};
     }
     return LookupResult{};
 }
@@ -100,27 +139,27 @@ TagStore::probe(Addr addr) const
 unsigned
 TagStore::victimWay(std::uint64_t set)
 {
-    const std::uint64_t base = set * assoc_;
+    const std::uint64_t *block = setBlock(set);
     // An invalid frame is always the first choice.
     for (unsigned w = 0; w < assoc_; ++w) {
-        if (states_[base + w] == invalidState)
+        if (stateOf(block[w]) == invalidState)
             return w;
     }
     switch (config_.policy) {
       case ReplacementPolicy::LRU:
       case ReplacementPolicy::FIFO: {
         unsigned victim = 0;
-        std::uint64_t oldest = stamps_[base];
+        std::uint64_t oldest = block[assoc_];
         for (unsigned w = 1; w < assoc_; ++w) {
-            if (stamps_[base + w] < oldest) {
-                oldest = stamps_[base + w];
+            if (block[assoc_ + w] < oldest) {
+                oldest = block[assoc_ + w];
                 victim = w;
             }
         }
         return victim;
       }
       case ReplacementPolicy::Random:
-        return static_cast<unsigned>(rng_.nextBounded(assoc_));
+        return static_cast<unsigned>(rngs_[set].nextBounded(assoc_));
       case ReplacementPolicy::TreePLRU:
         return assoc_ == 1 ? 0 : plruVictim(set);
     }
@@ -134,22 +173,23 @@ TagStore::allocate(Addr addr, LineStateRaw state)
         MEMORIES_PANIC("allocate with Invalid state");
 
     const std::uint64_t line = addr >> lineShift_;
+    if (line >> 56)
+        MEMORIES_PANIC("line address exceeds the 56-bit packed tag");
     const std::uint64_t set = setIndex(line);
     const unsigned way = victimWay(set);
-    const std::uint64_t f = set * assoc_ + way;
+    std::uint64_t *block = setBlock(set);
+    const std::uint64_t old = block[way];
 
     Eviction ev;
-    if (states_[f] != invalidState) {
+    if (stateOf(old) != invalidState) {
         ev.valid = true;
-        ev.lineAddr = tags_[f] << lineShift_;
-        ev.state = states_[f];
-    } else {
-        ++occupancy_;
+        ev.lineAddr = tagOf(old) << lineShift_;
+        ev.state = stateOf(old);
     }
 
-    tags_[f] = line;
-    states_[f] = state;
-    stamps_[f] = ++tick_;
+    const std::uint64_t stamp = maxStamp(block) + 1;
+    block[way] = packTag(line, state);
+    block[assoc_ + way] = stamp;
     if (config_.policy == ReplacementPolicy::TreePLRU && assoc_ > 1)
         plruTouch(set, way);
     return ev;
@@ -164,11 +204,11 @@ TagStore::setState(Addr addr, LineStateRaw state)
         return;
     }
     const std::uint64_t line = addr >> lineShift_;
-    const std::uint64_t base = setIndex(line) * assoc_;
+    std::uint64_t *block = setBlock(setIndex(line));
     for (unsigned w = 0; w < assoc_; ++w) {
-        const std::uint64_t f = base + w;
-        if (states_[f] != invalidState && tags_[f] == line) {
-            states_[f] = state;
+        const std::uint64_t ts = block[w];
+        if (tagOf(ts) == line && stateOf(ts) != invalidState) {
+            block[w] = packTag(line, state);
             return;
         }
     }
@@ -179,36 +219,50 @@ bool
 TagStore::invalidate(Addr addr)
 {
     const std::uint64_t line = addr >> lineShift_;
-    const std::uint64_t base = setIndex(line) * assoc_;
+    std::uint64_t *block = setBlock(setIndex(line));
     for (unsigned w = 0; w < assoc_; ++w) {
-        const std::uint64_t f = base + w;
-        if (states_[f] != invalidState && tags_[f] == line) {
-            states_[f] = invalidState;
-            --occupancy_;
+        const std::uint64_t ts = block[w];
+        if (tagOf(ts) == line && stateOf(ts) != invalidState) {
+            // Clearing the state byte invalidates; the stale tag bits
+            // can never match (lookups require state != 0).
+            block[w] = ts & ~std::uint64_t{0xff};
             return true;
         }
     }
     return false;
 }
 
+std::uint64_t
+TagStore::occupancy() const
+{
+    std::uint64_t count = 0;
+    for (std::uint64_t s = 0; s < numSets_; ++s) {
+        const std::uint64_t *block = setBlock(s);
+        for (unsigned w = 0; w < assoc_; ++w)
+            count += stateOf(block[w]) != invalidState;
+    }
+    return count;
+}
+
 void
 TagStore::forEachValid(
     const std::function<void(Addr, LineStateRaw)> &fn) const
 {
-    for (std::uint64_t f = 0; f < states_.size(); ++f) {
-        if (states_[f] != invalidState)
-            fn(tags_[f] << lineShift_, states_[f]);
+    for (std::uint64_t s = 0; s < numSets_; ++s) {
+        const std::uint64_t *block = setBlock(s);
+        for (unsigned w = 0; w < assoc_; ++w) {
+            const std::uint64_t ts = block[w];
+            if (stateOf(ts) != invalidState)
+                fn(tagOf(ts) << lineShift_, stateOf(ts));
+        }
     }
 }
 
 void
 TagStore::reset()
 {
-    std::fill(states_.begin(), states_.end(), invalidState);
-    std::fill(stamps_.begin(), stamps_.end(), 0);
+    std::fill(slab_.begin(), slab_.end(), 0);
     std::fill(plruBits_.begin(), plruBits_.end(), 0);
-    occupancy_ = 0;
-    tick_ = 0;
 }
 
 } // namespace memories::cache

@@ -10,6 +10,26 @@
  *
  * The hot path (lookup/fill) is deliberately branch-light: the whole
  * "real-time" property of the tool rests on this path being cheap.
+ *
+ * Layout: frames are stored per *set* in one contiguous slab, so one
+ * lookup touches one block instead of three parallel arrays. Each set
+ * occupies 2*assoc consecutive 64-bit words:
+ *
+ *   words [0, assoc)        tag|state, packed (line << 8) | state
+ *   words [assoc, 2*assoc)  LRU/FIFO recency stamps
+ *
+ * A 4-way set is exactly one 64-byte cache line (the slab is 64-byte
+ * aligned), and the packed tag compare is a branchless shift-and-
+ * compare over consecutive words — SIMD-ready, and friendly to
+ * software prefetch (prefetch()).
+ *
+ * All mutable state is confined to the touched set: recency stamps are
+ * per-set (stamp = set max + 1 — the relative order within a set, which
+ * is all victim selection ever reads, matches a global tick exactly),
+ * and the Random policy draws from a per-set Rng. Disjoint sets can
+ * therefore be driven from different threads with no shared state
+ * (see docs/SHARDING.md); occupancy() is computed by scan for the same
+ * reason.
  */
 
 #ifndef MEMORIES_CACHE_TAGSTORE_HH
@@ -57,7 +77,8 @@ class TagStore
     /**
      * Build a tag store for @p config (which the caller has validated
      * against the appropriate bounds).
-     * @param seed Seed for the Random replacement policy.
+     * @param seed Seed for the Random replacement policy (each set
+     *        derives its own stream from it).
      */
     explicit TagStore(const CacheConfig &config, std::uint64_t seed = 1);
 
@@ -83,8 +104,35 @@ class TagStore
     /** Invalidate @p addr if resident. @return true when it was. */
     bool invalidate(Addr addr);
 
-    /** Number of valid frames currently held. */
-    std::uint64_t occupancy() const { return occupancy_; }
+    /**
+     * Way-addressed variants for the batch hot path: a preceding
+     * lookup()/probe() already found @p addr at @p way, so skip the
+     * tag walk and write the frame directly.
+     */
+    void setStateAt(Addr addr, unsigned way, LineStateRaw state)
+    {
+        const std::uint64_t line = addr >> lineShift_;
+        setBlock(setIndex(line))[way] = (line << 8) | state;
+    }
+    void invalidateAt(Addr addr, unsigned way)
+    {
+        std::uint64_t *frame = setBlock(setIndex(addr >> lineShift_)) + way;
+        *frame &= ~std::uint64_t{0xff};
+    }
+
+    /** Number of valid frames currently held (computed by scan). */
+    std::uint64_t occupancy() const;
+
+    /**
+     * Pull the set block holding @p addr towards the cache ahead of a
+     * lookup (batch hot path: issue a handful of these before walking
+     * the batch so the tag loads overlap).
+     */
+    void prefetch(Addr addr) const
+    {
+        __builtin_prefetch(
+            frames_ + setIndex(addr >> lineShift_) * stride_);
+    }
 
     /** Visit every valid line as (lineAddr, state). */
     void forEachValid(
@@ -101,7 +149,31 @@ class TagStore
         return line_addr & setMask_;
     }
 
+    /** First word of the block for set @p set. */
+    std::uint64_t *setBlock(std::uint64_t set)
+    {
+        return frames_ + set * stride_;
+    }
+    const std::uint64_t *setBlock(std::uint64_t set) const
+    {
+        return frames_ + set * stride_;
+    }
+
+    /** Largest recency stamp in @p block (valid or stale). */
+    std::uint64_t maxStamp(const std::uint64_t *block) const
+    {
+        std::uint64_t m = block[assoc_];
+        for (unsigned w = 1; w < assoc_; ++w) {
+            if (block[assoc_ + w] > m)
+                m = block[assoc_ + w];
+        }
+        return m;
+    }
+
     unsigned victimWay(std::uint64_t set);
+
+    void plruTouch(std::uint64_t set, unsigned way);
+    unsigned plruVictim(std::uint64_t set) const;
 
     CacheConfig config_;
     std::uint64_t lineSize_;
@@ -109,21 +181,16 @@ class TagStore
     std::uint64_t numSets_;
     std::uint64_t setMask_;
     unsigned assoc_;
+    unsigned stride_; //!< words per set block (2 * assoc)
 
-    /** Per-frame line number (addr >> lineShift); valid iff state != 0. */
-    std::vector<std::uint64_t> tags_;
-    std::vector<LineStateRaw> states_;
-    /** LRU / FIFO stamp per frame. */
-    std::vector<std::uint64_t> stamps_;
+    /** Backing storage; frames_ is its 64-byte-aligned view. */
+    std::vector<std::uint64_t> slab_;
+    std::uint64_t *frames_ = nullptr;
+
     /** Tree-PLRU bits, one byte per set (assoc-1 bits used). */
     std::vector<std::uint8_t> plruBits_;
-
-    void plruTouch(std::uint64_t set, unsigned way);
-    unsigned plruVictim(std::uint64_t set) const;
-
-    std::uint64_t tick_ = 0;
-    std::uint64_t occupancy_ = 0;
-    Rng rng_;
+    /** Random-policy victim streams, one per set. */
+    std::vector<Rng> rngs_;
 };
 
 } // namespace memories::cache

@@ -30,7 +30,7 @@ FaultInjector::note(const FaultSpec &spec,
                     const bus::BusTransaction &txn)
 {
     counters_.bump(hKind_[static_cast<std::size_t>(spec.kind)]);
-    if (!recorder_)
+    if (!recorder_ && !eventSink_)
         return;
     trace::LifecycleEvent ev;
     ev.kind = trace::EventKind::FaultInjected;
@@ -41,6 +41,14 @@ FaultInjector::note(const FaultSpec &spec,
     ev.cpu = txn.cpu;
     ev.op = txn.op;
     ev.arg0 = static_cast<std::uint8_t>(spec.kind);
+    if (eventSink_) {
+        // Batch journaling: the board splices these into the recorder
+        // in admission order when the batch ends.
+        eventSink_(ev);
+        anomalySink_(trace::AnomalyKind::FaultInjection, txn.cycle,
+                     txn.traceId);
+        return;
+    }
     recorder_->record(ev);
     recorder_->notifyAnomaly(trace::AnomalyKind::FaultInjection,
                              txn.cycle, txn.traceId);

@@ -55,16 +55,33 @@ MemoriesBoard::MemoriesBoard(const BoardConfig &config, std::uint64_t seed)
         ev.board = boardId_;
         ev.arg0 = static_cast<std::uint8_t>(from);
         ev.arg1 = static_cast<std::uint8_t>(to);
-        recorder_->record(ev);
+        recordBoardEvent(ev);
         if (to == fault::HealthState::Degraded) {
-            recorder_->notifyAnomaly(trace::AnomalyKind::HealthDegraded,
-                                     healthCycle_, healthTraceId_);
+            raiseAnomaly(trace::AnomalyKind::HealthDegraded,
+                         healthCycle_, healthTraceId_);
         } else if (to == fault::HealthState::Quarantined) {
-            recorder_->notifyAnomaly(
-                trace::AnomalyKind::BoardQuarantined, healthCycle_,
-                healthTraceId_);
+            raiseAnomaly(trace::AnomalyKind::BoardQuarantined,
+                         healthCycle_, healthTraceId_);
         }
     });
+
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const unsigned machine = nodes_[i]->targetMachine();
+        MachineGroup *group = nullptr;
+        for (auto &g : machines_) {
+            if (g.machine == machine) {
+                group = &g;
+                break;
+            }
+        }
+        if (!group) {
+            machines_.push_back(MachineGroup{machine, {}});
+            group = &machines_.back();
+        }
+        group->nodes.push_back(static_cast<std::uint8_t>(i));
+    }
+    rebuildSerialSinks();
+    rebuildShardScratch();
 }
 
 MemoriesBoard::~MemoriesBoard() = default;
@@ -103,6 +120,7 @@ MemoriesBoard::attachFlightRecorder(trace::FlightRecorder &recorder,
     boardId_ = boardId;
     for (auto &node : nodes_)
         node->setFlightRecorder(&recorder, boardId);
+    rebuildSerialSinks();
 }
 
 void
@@ -113,6 +131,7 @@ MemoriesBoard::detachFlightRecorder()
         node->setFlightRecorder(nullptr);
     if (injector_)
         injector_->setFlightRecorder(nullptr);
+    rebuildSerialSinks();
 }
 
 void
@@ -163,12 +182,60 @@ MemoriesBoard::resyncFrom(const MemoriesBoard &healthy)
 void
 MemoriesBoard::drainDue(Cycle now)
 {
+    if (batching_) {
+        // Batch path: pull everything due in one credit-earning pass
+        // and queue it per shard instead of emulating inline.
+        const std::size_t before = retireSlab_.size();
+        buffer_.drainInto(now, retireSlab_);
+        if (journaling_)
+            retireEvents_.resize(retireSlab_.size());
+        for (std::size_t k = before; k < retireSlab_.size(); ++k)
+            routeRetired(static_cast<std::uint32_t>(k), now);
+        return;
+    }
     while (auto txn = buffer_.drain(now)) {
         if (recorder_)
             recorder_->record(
                 makeEvent(trace::EventKind::Retire, *txn, now));
         emulate(*txn);
     }
+}
+
+void
+MemoriesBoard::routeRetired(std::uint32_t idx, Cycle now)
+{
+    const bus::BusTransaction &txn = retireSlab_[idx];
+    if (journaling_) {
+        JournalItem item;
+        item.kind = JournalItem::Kind::Retire;
+        item.ev = makeEvent(trace::EventKind::Retire, txn, now);
+        item.retireIdx = idx;
+        journal_.push_back(item);
+    }
+    if (inlineEmulation_) {
+        emulateRetirement(idx);
+        slabEmulated_ = idx + 1;
+    } else if (shardCount_ > 1) {
+        buckets_[shardOf(txn.addr)].push_back(idx);
+    }
+    // Single shard: the slab itself is the queue — dispatch walks the
+    // tail from slabEmulated_, so there is nothing to route here.
+}
+
+void
+MemoriesBoard::emulateRetirement(std::uint32_t idx)
+{
+    // Canonical counters, but events still defer to the journal slot
+    // so replay keeps them behind board events already journaled.
+    std::vector<EmuSink> sinks;
+    sinks.reserve(nodes_.size());
+    for (auto &node : nodes_) {
+        sinks.push_back(EmuSink{
+            node->counterData(), nullptr,
+            journaling_ ? &retireEvents_[idx] : nullptr});
+    }
+    emulateStep(retireSlab_[idx], sinks.data());
+    inlineEmulation_ = anyNodeCorruption();
 }
 
 bus::SnoopResponse
@@ -300,8 +367,8 @@ MemoriesBoard::commit(const bus::BusTransaction &txn, Cycle event_cycle)
 {
     global_.bump(hCommitted_);
     if (recorder_)
-        recorder_->record(makeEvent(trace::EventKind::BoardCommit, txn,
-                                    event_cycle));
+        recordBoardEvent(makeEvent(trace::EventKind::BoardCommit, txn,
+                                   event_cycle));
     if (capture_)
         capture_->record(txn);
     if (injector_)
@@ -317,9 +384,9 @@ MemoriesBoard::commit(const bus::BusTransaction &txn, Cycle event_cycle)
             auto ev = makeEvent(trace::EventKind::BufferOverflow, txn,
                                 event_cycle);
             ev.arg0 = 2; // committed tenure lost in flight
-            recorder_->record(ev);
-            recorder_->notifyAnomaly(trace::AnomalyKind::TxnBufferOverflow,
-                                     event_cycle, txn.traceId);
+            recordBoardEvent(ev);
+            raiseAnomaly(trace::AnomalyKind::TxnBufferOverflow,
+                         event_cycle, txn.traceId);
         }
     }
 }
@@ -334,8 +401,15 @@ MemoriesBoard::applyCommitFaults(const bus::BusTransaction &txn)
     if (faults.slotLoss)
         buffer_.injectSlotLoss(faults.slots, faults.slotsUntil);
     if (faults.tagFlip && !nodes_.empty()) {
+        // The flip probes the live directory, so retirement emulation
+        // queued behind it must land first; while the corruption
+        // awaits its scrub, later retirements emulate inline on this
+        // thread (the scrub mutates state every shard would race on).
+        flushEmulation();
         nodes_[faults.tagNode % nodes_.size()]->corruptLine(
             txn.addr, faults.tagBit);
+        if (batching_)
+            inlineEmulation_ = anyNodeCorruption();
     }
 }
 
@@ -387,9 +461,9 @@ MemoriesBoard::feedCommitted(const bus::BusTransaction &txn)
                 auto ev = makeEvent(trace::EventKind::BufferOverflow,
                                     t, t.cycle);
                 ev.arg0 = 1;
-                recorder_->record(ev);
-                recorder_->notifyAnomaly(trace::AnomalyKind::FleetDrop,
-                                         t.cycle, t.traceId);
+                recordBoardEvent(ev);
+                raiseAnomaly(trace::AnomalyKind::FleetDrop, t.cycle,
+                             t.traceId);
             }
             return true;
         }
@@ -398,9 +472,9 @@ MemoriesBoard::feedCommitted(const bus::BusTransaction &txn)
             auto ev = makeEvent(trace::EventKind::BufferOverflow, t,
                                 t.cycle);
             ev.arg0 = 1; // fed tenure dropped, not retried on a bus
-            recorder_->record(ev);
-            recorder_->notifyAnomaly(trace::AnomalyKind::FleetDrop,
-                                     t.cycle, t.traceId);
+            recordBoardEvent(ev);
+            raiseAnomaly(trace::AnomalyKind::FleetDrop, t.cycle,
+                         t.traceId);
         }
         return false;
     }
@@ -423,38 +497,339 @@ MemoriesBoard::drainAll()
 void
 MemoriesBoard::emulate(const bus::BusTransaction &txn)
 {
-    // Lock-step emulation step: group nodes by target machine; within
-    // each machine the non-owning nodes snoop first (their combined
-    // emulated response is the "resulting state from other cache
-    // nodes" input of the requester's protocol table), then the owning
-    // node applies its requester transition.
-    for (std::size_t first = 0; first < nodes_.size(); ++first) {
-        const unsigned machine = nodes_[first]->targetMachine();
-        bool is_first_of_machine = true;
-        for (std::size_t j = 0; j < first; ++j) {
-            if (nodes_[j]->targetMachine() == machine) {
-                is_first_of_machine = false;
-                break;
-            }
-        }
-        if (!is_first_of_machine)
-            continue;
+    emulateStep(txn, serialSinks_.data());
+}
 
+void
+MemoriesBoard::emulateStep(const bus::BusTransaction &txn,
+                           const EmuSink *sinks)
+{
+    // Lock-step emulation step: within each target machine (groups
+    // precomputed at construction) the non-owning nodes snoop first
+    // (their combined emulated response is the "resulting state from
+    // other cache nodes" input of the requester's protocol table),
+    // then the owning node applies its requester transition. Each
+    // node's effects go to its sink — its own bank on the serial
+    // path, a shard replica plus deferred events under the pool.
+    for (const MachineGroup &m : machines_) {
         NodeController *owner = nullptr;
+        const EmuSink *owner_sink = nullptr;
         auto emu_resp = bus::SnoopResponse::None;
-        for (auto &node : nodes_) {
-            if (node->targetMachine() != machine)
-                continue;
+        for (std::uint8_t n : m.nodes) {
+            NodeController *node = nodes_[n].get();
             if (node->ownsCpu(txn.cpu)) {
-                owner = node.get();
+                owner = node;
+                owner_sink = &sinks[n];
             } else {
-                emu_resp = bus::combineSnoop(emu_resp,
-                                             node->snoopRemote(txn));
+                emu_resp = bus::combineSnoop(
+                    emu_resp, node->snoopRemote(txn, sinks[n]));
             }
         }
         if (owner)
-            owner->processLocal(txn, emu_resp);
+            owner->processLocal(txn, emu_resp, *owner_sink);
     }
+}
+
+void
+MemoriesBoard::runShardBucket(std::size_t shard)
+{
+    const std::vector<std::uint32_t> &bucket = buckets_[shard];
+    if (bucket.empty())
+        return;
+    std::vector<EmuSink> &sinks = shardSinks_[shard];
+    // Pull the directory sets a few retirements ahead so the tag loads
+    // overlap the current step's protocol work.
+    constexpr std::size_t prefetch_dist = 8;
+    for (std::size_t i = 0; i < bucket.size(); ++i) {
+        if (i + prefetch_dist < bucket.size()) {
+            const Addr ahead = retireSlab_[bucket[i + prefetch_dist]].addr;
+            for (const auto &node : nodes_)
+                node->prefetchDirectory(ahead);
+        }
+        const std::uint32_t idx = bucket[i];
+        if (journaling_) {
+            std::vector<trace::LifecycleEvent> *slot =
+                &retireEvents_[idx];
+            for (EmuSink &sink : sinks)
+                sink.deferred = slot;
+        }
+        emulateStep(retireSlab_[idx], sinks.data());
+    }
+}
+
+void
+MemoriesBoard::runSlabTail()
+{
+    std::vector<EmuSink> &sinks = shardSinks_[0];
+    const std::size_t end = retireSlab_.size();
+    constexpr std::size_t prefetch_dist = 8;
+    for (std::size_t i = slabEmulated_; i < end; ++i) {
+        if (i + prefetch_dist < end) {
+            const Addr ahead = retireSlab_[i + prefetch_dist].addr;
+            for (const auto &node : nodes_)
+                node->prefetchDirectory(ahead);
+        }
+        if (journaling_) {
+            std::vector<trace::LifecycleEvent> *slot = &retireEvents_[i];
+            for (EmuSink &sink : sinks)
+                sink.deferred = slot;
+        }
+        emulateStep(retireSlab_[i], sinks.data());
+    }
+    slabEmulated_ = end;
+}
+
+void
+MemoriesBoard::dispatchBuckets()
+{
+    if (shardCount_ == 1) {
+        runSlabTail();
+        return;
+    }
+    bool any = false;
+    for (const auto &bucket : buckets_) {
+        if (!bucket.empty()) {
+            any = true;
+            break;
+        }
+    }
+    slabEmulated_ = retireSlab_.size();
+    if (!any)
+        return;
+    pool_->runAll([this](std::size_t shard) { runShardBucket(shard); });
+    for (auto &bucket : buckets_)
+        bucket.clear();
+    // Fold the per-shard counter deltas into the node banks. Counter40
+    // adds commute modulo 2^40, so folding at every join yields the
+    // same bytes as one fold at the end — and as the serial path.
+    for (std::size_t s = 0; s < shardCount_; ++s)
+        for (std::size_t n = 0; n < nodes_.size(); ++n)
+            nodes_[n]->absorbShardCounters(shardCounters_[s][n]);
+}
+
+void
+MemoriesBoard::flushEmulation()
+{
+    if (batching_)
+        dispatchBuckets();
+}
+
+void
+MemoriesBoard::replayJournal()
+{
+    for (const JournalItem &item : journal_) {
+        switch (item.kind) {
+        case JournalItem::Kind::Event:
+            recorder_->record(item.ev);
+            break;
+        case JournalItem::Kind::Anomaly:
+            recorder_->notifyAnomaly(item.anomaly, item.ev.cycle,
+                                     item.ev.traceId);
+            break;
+        case JournalItem::Kind::Retire:
+            recorder_->record(item.ev);
+            for (const auto &ev : retireEvents_[item.retireIdx])
+                recorder_->record(ev);
+            break;
+        }
+    }
+}
+
+void
+MemoriesBoard::rebuildSerialSinks()
+{
+    serialSinks_.clear();
+    for (auto &node : nodes_)
+        serialSinks_.push_back(
+            EmuSink{node->counterData(), recorder_, nullptr});
+}
+
+void
+MemoriesBoard::rebuildShardScratch()
+{
+    buckets_.assign(shardCount_, {});
+    shardCounters_.clear();
+    shardSinks_.clear();
+    shardCounters_.resize(shardCount_);
+    shardSinks_.resize(shardCount_);
+    for (std::size_t s = 0; s < shardCount_; ++s) {
+        for (std::size_t n = 0; n < nodes_.size(); ++n) {
+            if (shardCount_ > 1) {
+                shardCounters_[s].emplace_back(
+                    nodes_[n]->counterCount());
+                shardSinks_[s].push_back(EmuSink{
+                    shardCounters_[s][n].data(), nullptr, nullptr});
+            } else {
+                // Single shard runs inline on the coordinator: write
+                // the node banks directly, nothing to fold.
+                shardSinks_[s].push_back(EmuSink{
+                    nodes_[n]->counterData(), nullptr, nullptr});
+            }
+        }
+    }
+}
+
+bool
+MemoriesBoard::anyNodeCorruption() const
+{
+    for (const auto &node : nodes_) {
+        if (node->hasCorruption())
+            return true;
+    }
+    return false;
+}
+
+std::size_t
+MemoriesBoard::enableSharding(std::size_t shards)
+{
+    std::size_t want = 1;
+    while (want * 2 <= shards && want < 64)
+        want *= 2;
+    // Containment: the key must be address bits that are part of the
+    // set index of *every* node's directory, so two tenures that can
+    // ever share a directory set always share a shard. Node i's
+    // (sampled) set index covers address bits [lineShift_i + shift_i,
+    // lineShift_i + shift_i + log2(sets_i)); the key window
+    // [base, base + log2(want)) must sit inside all of them
+    // (docs/SHARDING.md). Line sizes may differ per node, so this is
+    // computed in absolute address-bit space.
+    unsigned base = 0;
+    unsigned min_top = 64;
+    for (const auto &node : nodes_) {
+        const unsigned lo =
+            static_cast<unsigned>(
+                log2i(node->config().cache.lineSize)) +
+            node->samplingShift();
+        const unsigned top =
+            lo + static_cast<unsigned>(log2i(node->directorySets()));
+        base = std::max(base, lo);
+        min_top = std::min(min_top, top);
+    }
+    while (want > 1 && base + log2i(want) > min_top)
+        want /= 2;
+
+    shardCount_ = want;
+    shardShift_ = base;
+    shardMask_ = shardCount_ - 1;
+    pool_ = shardCount_ > 1 ? std::make_unique<ShardPool>(shardCount_)
+                            : nullptr;
+    rebuildShardScratch();
+    return shardCount_;
+}
+
+void
+MemoriesBoard::disableSharding()
+{
+    pool_.reset();
+    shardCount_ = 1;
+    shardShift_ = 0;
+    shardMask_ = 0;
+    rebuildShardScratch();
+}
+
+std::size_t
+MemoriesBoard::feedBatch(const bus::BusTransaction *txns,
+                         std::size_t count, bool *accepted)
+{
+    batching_ = true;
+    journaling_ = recorder_ != nullptr;
+    inlineEmulation_ = anyNodeCorruption();
+    retireSlab_.clear();
+    slabEmulated_ = 0;
+    retireEvents_.clear();
+    journal_.clear();
+
+    std::size_t ok_count = 0;
+    const bool turbo =
+        injector_ == nullptr && recorder_ == nullptr &&
+        !health_.enabled();
+    if (!turbo) {
+        // Fault events must land in the journal, not the recorder, or
+        // replayed board events would reorder against them.
+        if (journaling_ && injector_) {
+            injector_->setEventSinks(
+                [this](const trace::LifecycleEvent &ev) {
+                    recordBoardEvent(ev);
+                },
+                [this](trace::AnomalyKind kind, Cycle cycle,
+                       std::uint32_t id) {
+                    raiseAnomaly(kind, cycle, id);
+                });
+        }
+        for (std::size_t i = 0; i < count; ++i) {
+            const bool ok = feedCommitted(txns[i]);
+            if (accepted)
+                accepted[i] = ok;
+            ok_count += ok;
+        }
+        if (journaling_ && injector_)
+            injector_->setEventSinks({}, {});
+    } else {
+        // Hot path: no injector, no recorder, health disabled — the
+        // per-tenure hooks of feedCommitted are all no-ops, so tally
+        // the global counters in locals and fold them once (bump-by-1
+        // k times and add(k) agree modulo 2^40).
+        std::uint64_t n_tenures = 0, n_reads = 0, n_writes = 0;
+        std::uint64_t n_wb = 0, n_filtered = 0, n_committed = 0;
+        std::uint64_t n_retries = 0, n_lost = 0;
+        for (std::size_t i = 0; i < count; ++i) {
+            const bus::BusTransaction &t = txns[i];
+            if (bus::isFilteredOp(t.op)) {
+                ++n_filtered;
+                if (accepted)
+                    accepted[i] = true;
+                ++ok_count;
+                continue;
+            }
+            ++n_tenures;
+            n_reads += bus::isReadOp(t.op);
+            n_writes += bus::isWriteIntentOp(t.op);
+            n_wb += t.op == bus::BusOp::WriteBack;
+            drainDue(t.cycle);
+            if (buffer_.size() >= buffer_.effectiveCapacity(t.cycle)) {
+                ++n_retries;
+                if (accepted)
+                    accepted[i] = false;
+                continue;
+            }
+            ++n_committed;
+            if (capture_)
+                capture_->record(t);
+            if (!buffer_.push(t))
+                ++n_lost; // unreachable: capacity checked at t.cycle
+            if (accepted)
+                accepted[i] = true;
+            ++ok_count;
+        }
+        Counter40 *g = global_.data();
+        g[hTenures_].add(n_tenures);
+        g[hReads_].add(n_reads);
+        g[hWrites_].add(n_writes);
+        g[hWritebacks_].add(n_wb);
+        g[hFiltered_].add(n_filtered);
+        g[hCommitted_].add(n_committed);
+        g[hRetriesPosted_].add(n_retries);
+        g[hLostInflight_].add(n_lost);
+    }
+
+    dispatchBuckets();
+    batching_ = false;
+    if (journaling_) {
+        replayJournal();
+        journaling_ = false;
+    }
+    retireSlab_.clear();
+    retireEvents_.clear();
+    journal_.clear();
+    return ok_count;
+}
+
+std::size_t
+MemoriesBoard::feedBatch(const std::vector<bus::BusTransaction> &txns,
+                         bool *accepted)
+{
+    return txns.empty() ? 0
+                        : feedBatch(txns.data(), txns.size(), accepted);
 }
 
 void

@@ -25,6 +25,7 @@
 #include "fault/health.hh"
 #include "ies/boardconfig.hh"
 #include "ies/nodecontroller.hh"
+#include "ies/shardpool.hh"
 #include "ies/txnbuffer.hh"
 #include "trace/capture.hh"
 
@@ -83,6 +84,47 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
      *         decides how to surface the dropped tenure.
      */
     bool feedCommitted(const bus::BusTransaction &txn);
+
+    /**
+     * Batch replay path: feed @p count already-committed tenures in
+     * one call. Bit-exact to calling feedCommitted() per element —
+     * same counters, same pacing, same retirement order, same
+     * lifecycle-event bytes — but amortizes dispatch, defers
+     * retirement emulation into per-set-shard buckets, and (with a
+     * pool from enableSharding) runs those buckets on worker threads.
+     * Admission — credit pacing, capacity checks, health and fault
+     * hooks — always stays on the calling thread.
+     *
+     * When a flight recorder is attached, events are journaled during
+     * the batch and replayed into the recorder in serial order before
+     * returning, so the recorder (and any anomaly hooks it fires) sees
+     * byte-identical state to the serial path.
+     *
+     * @param accepted Optional out array of @p count flags mirroring
+     *        each feedCommitted() return value.
+     * @return the number of accepted tenures.
+     */
+    std::size_t feedBatch(const bus::BusTransaction *txns,
+                          std::size_t count, bool *accepted = nullptr);
+    std::size_t feedBatch(const std::vector<bus::BusTransaction> &txns,
+                          bool *accepted = nullptr);
+
+    /**
+     * Shard retirement emulation across @p shards worker threads.
+     * The shard key is a slice of the line address contained in every
+     * node's set-index window, so one directory set is only ever
+     * touched by one worker (docs/SHARDING.md). @p shards is rounded
+     * down to a power of two and clamped so the key stays inside the
+     * smallest node's window; the effective count is returned. One
+     * shard (the default) means no threads at all.
+     */
+    std::size_t enableSharding(std::size_t shards);
+
+    /** Back to single-shard (threadless) batch emulation. */
+    void disableSharding();
+
+    /** Effective shard count (1 when sharding is off). */
+    std::size_t shardCount() const { return shardCount_; }
 
     /**
      * Process everything still sitting in the transaction buffers
@@ -229,8 +271,104 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
     }
 
   private:
+    /** Nodes of one target machine, in first-appearance order. */
+    struct MachineGroup
+    {
+        unsigned machine;
+        std::vector<std::uint8_t> nodes;
+    };
+
+    /**
+     * One deferred recorder effect. While a batch is journaling,
+     * board-level events and anomalies append here instead of going to
+     * the recorder, and each Retire item points at the slot holding
+     * the node events its emulation produced; replayJournal() then
+     * feeds the recorder in exactly the order the serial path would
+     * have.
+     */
+    struct JournalItem
+    {
+        enum class Kind : std::uint8_t { Event, Anomaly, Retire };
+        Kind kind = Kind::Event;
+        trace::LifecycleEvent ev;
+        trace::AnomalyKind anomaly{};
+        std::uint32_t retireIdx = 0;
+    };
+
     void emulate(const bus::BusTransaction &txn);
+
+    /** One lock-step emulation step with per-node effect sinks. */
+    void emulateStep(const bus::BusTransaction &txn,
+                     const EmuSink *sinks);
     void drainDue(Cycle now);
+
+    /** Queue retired tenure @p idx of retireSlab_ (or emulate it
+     *  inline on this thread while a tag flip awaits its scrub). */
+    void routeRetired(std::uint32_t idx, Cycle now);
+
+    /** Emulate one retirement inline: canonical counters, journal
+     *  slot for events. */
+    void emulateRetirement(std::uint32_t idx);
+
+    /** Worker body: emulate every bucketed retirement of @p shard. */
+    void runShardBucket(std::size_t shard);
+
+    /** Single-shard dispatch: emulate the un-emulated slab tail
+     *  [slabEmulated_, retireSlab_.size()) in retirement order. */
+    void runSlabTail();
+
+    /** Run all buckets to completion and fold counter replicas. */
+    void dispatchBuckets();
+
+    /** Drain queued emulation before code that reads directories. */
+    void flushEmulation();
+
+    /** Feed the journal to the recorder in serial order. */
+    void replayJournal();
+
+    /** (Re)size buckets, counter replicas, and sink arrays. */
+    void rebuildShardScratch();
+
+    /** Rebuild the serial-path per-node sinks (recorder changes). */
+    void rebuildSerialSinks();
+
+    bool anyNodeCorruption() const;
+
+    std::size_t shardOf(Addr addr) const
+    {
+        return static_cast<std::size_t>((addr >> shardShift_) &
+                                        shardMask_);
+    }
+
+    /** Board-level event, journaling-aware (recorder_ checked by the
+     *  caller). */
+    void recordBoardEvent(const trace::LifecycleEvent &ev)
+    {
+        if (journaling_) {
+            JournalItem item;
+            item.kind = JournalItem::Kind::Event;
+            item.ev = ev;
+            journal_.push_back(item);
+        } else {
+            recorder_->record(ev);
+        }
+    }
+
+    /** Board-level anomaly, journaling-aware. */
+    void raiseAnomaly(trace::AnomalyKind kind, Cycle cycle,
+                      std::uint32_t trace_id)
+    {
+        if (journaling_) {
+            JournalItem item;
+            item.kind = JournalItem::Kind::Anomaly;
+            item.anomaly = kind;
+            item.ev.cycle = cycle;
+            item.ev.traceId = trace_id;
+            journal_.push_back(item);
+        } else {
+            recorder_->notifyAnomaly(kind, cycle, trace_id);
+        }
+    }
 
     /**
      * Accept @p txn into the transaction buffer: count the commit,
@@ -286,6 +424,37 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
         hDroppedRetry_, hReads_, hWrites_, hWritebacks_, hRetriesPosted_;
     CounterBank::Handle hLostInflight_, hFaultDropped_, hSampledOut_,
         hShed_, hQuarantined_, hHealthTransitions_;
+
+    /** Target-machine groups, precomputed for the emulation step. */
+    std::vector<MachineGroup> machines_;
+    /** Per-node serial-path sinks: own bank, attached recorder. */
+    std::vector<EmuSink> serialSinks_;
+
+    // --- Batch/shard state. Workers only ever run inside
+    // dispatchBuckets(); the coordinator mutates all of this strictly
+    // before the fork or after the join, so none of it needs atomics.
+    std::unique_ptr<ShardPool> pool_;
+    std::size_t shardCount_ = 1;
+    unsigned shardShift_ = 0;   //!< address bit where the key starts
+    std::uint64_t shardMask_ = 0;
+    bool batching_ = false;     //!< inside a feedBatch call
+    bool journaling_ = false;   //!< batching with a recorder attached
+    /** A tag flip awaits its scrub: emulate inline, coordinator only. */
+    bool inlineEmulation_ = false;
+    /** Tenures retired this batch, in retirement order. */
+    std::vector<bus::BusTransaction> retireSlab_;
+    /** Slab entries already emulated (single-shard batches walk the
+     *  slab itself instead of filling a bucket with 0,1,2,...). */
+    std::size_t slabEmulated_ = 0;
+    /** Node events of each retirement (journaling batches only). */
+    std::vector<std::vector<trace::LifecycleEvent>> retireEvents_;
+    /** Per-shard retireSlab_ indices awaiting emulation. */
+    std::vector<std::vector<std::uint32_t>> buckets_;
+    std::vector<JournalItem> journal_;
+    /** [shard][node] counter deltas, folded wrap-correct at joins. */
+    std::vector<std::vector<std::vector<Counter40>>> shardCounters_;
+    /** [shard][node] worker sinks (deferred slot set per retirement). */
+    std::vector<std::vector<EmuSink>> shardSinks_;
 };
 
 /**

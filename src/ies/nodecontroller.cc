@@ -90,7 +90,8 @@ NodeController::corruptLine(Addr addr, unsigned bit)
 
 void
 NodeController::scrubIfCorrupt(Addr sampled,
-                               const bus::BusTransaction &txn)
+                               const bus::BusTransaction &txn,
+                               const EmuSink &sink)
 {
     for (auto it = corrupted_.begin(); it != corrupted_.end(); ++it) {
         if (*it != sampled)
@@ -101,10 +102,9 @@ NodeController::scrubIfCorrupt(Addr sampled,
         // scrub.
         if (directory_.probe(sampled).hit) {
             directory_.invalidate(sampled);
-            counters_.bump(hParityScrubs_);
-            if (recorder_)
-                recorder_->record(
-                    makeEvent(trace::EventKind::ParityScrub, txn));
+            sink.bump(hParityScrubs_);
+            if (sink.tracing())
+                sink.emit(makeEvent(trace::EventKind::ParityScrub, txn));
         }
         return;
     }
@@ -156,16 +156,17 @@ NodeController::probeState(Addr addr) const
 
 void
 NodeController::processLocal(const bus::BusTransaction &raw_txn,
-                             bus::SnoopResponse emu_resp)
+                             bus::SnoopResponse emu_resp,
+                             const EmuSink &sink)
 {
     if (!inSample(raw_txn.addr)) {
-        counters_.bump(hUnsampled_);
+        sink.bump(hUnsampled_);
         return;
     }
     bus::BusTransaction txn = raw_txn;
     txn.addr = sampleAddr(raw_txn.addr);
     if (!corrupted_.empty())
-        scrubIfCorrupt(txn.addr, raw_txn);
+        scrubIfCorrupt(txn.addr, raw_txn, sink);
 
     const auto opidx = static_cast<std::size_t>(txn.op);
     const auto hit = directory_.lookup(txn.addr);
@@ -176,19 +177,19 @@ NodeController::processLocal(const bus::BusTransaction &raw_txn,
         txn.op == bus::BusOp::Read || txn.op == bus::BusOp::ReadIfetch ||
         txn.op == bus::BusOp::Rwitm || txn.op == bus::BusOp::DClaim;
     if (is_reference)
-        counters_.bump(hLocalRefs_);
+        sink.bump(hLocalRefs_);
 
     if (hit.hit) {
-        counters_.bump(hLocalHit_[opidx]);
+        sink.bump(hLocalHit_[opidx]);
     } else {
-        counters_.bump(hLocalMiss_[opidx]);
+        sink.bump(hLocalMiss_[opidx]);
     }
-    if (recorder_) {
+    if (sink.tracing()) {
         auto ev = makeEvent(hit.hit ? trace::EventKind::CacheHit
                                     : trace::EventKind::CacheMiss,
                             raw_txn);
         ev.arg0 = static_cast<std::uint8_t>(state);
-        recorder_->record(ev);
+        sink.emit(ev);
     }
 
     // Service-point classification for data-bearing requests: a hit is
@@ -198,17 +199,17 @@ NodeController::processLocal(const bus::BusTransaction &raw_txn,
         txn.op == bus::BusOp::ReadIfetch ||
         txn.op == bus::BusOp::Rwitm) {
         if (hit.hit) {
-            counters_.bump(hSatCache_);
+            sink.bump(hSatCache_);
         } else {
             switch (emu_resp) {
               case bus::SnoopResponse::Modified:
-                counters_.bump(hSatModInt_);
+                sink.bump(hSatModInt_);
                 break;
               case bus::SnoopResponse::Shared:
-                counters_.bump(hSatShrInt_);
+                sink.bump(hSatShrInt_);
                 break;
               default:
-                counters_.bump(hSatMem_);
+                sink.bump(hSatMem_);
                 break;
             }
         }
@@ -219,43 +220,44 @@ NodeController::processLocal(const bus::BusTransaction &raw_txn,
 
     if (hit.hit) {
         if (entry.next == LineState::Invalid) {
-            directory_.invalidate(txn.addr);
+            directory_.invalidateAt(txn.addr, hit.way);
         } else if (entry.next != state) {
-            directory_.setState(
-                txn.addr, static_cast<cache::LineStateRaw>(entry.next));
+            directory_.setStateAt(
+                txn.addr, hit.way,
+                static_cast<cache::LineStateRaw>(entry.next));
         }
-        if (recorder_ && entry.next != state) {
+        if (sink.tracing() && entry.next != state) {
             auto ev = makeEvent(trace::EventKind::StateTransition,
                                 raw_txn);
             ev.arg0 = static_cast<std::uint8_t>(state);
             ev.arg1 = static_cast<std::uint8_t>(entry.next);
-            recorder_->record(ev);
+            sink.emit(ev);
         }
         return;
     }
 
     if (entry.allocate && entry.next != LineState::Invalid) {
-        counters_.bump(hFills_);
+        sink.bump(hFills_);
         const auto evicted = directory_.allocate(
             txn.addr, static_cast<cache::LineStateRaw>(entry.next));
-        if (recorder_) {
+        if (sink.tracing()) {
             auto ev = makeEvent(trace::EventKind::StateTransition,
                                 raw_txn);
             ev.arg0 = static_cast<std::uint8_t>(LineState::Invalid);
             ev.arg1 = static_cast<std::uint8_t>(entry.next);
-            recorder_->record(ev);
+            sink.emit(ev);
         }
         if (evicted.valid) {
             const auto ev_state = static_cast<LineState>(evicted.state);
             if (protocol::isDirtyState(ev_state))
-                counters_.bump(hEvDirty_);
+                sink.bump(hEvDirty_);
             else
-                counters_.bump(hEvClean_);
-            if (recorder_) {
+                sink.bump(hEvClean_);
+            if (sink.tracing()) {
                 auto ev = makeEvent(trace::EventKind::Castout, raw_txn);
                 ev.addr = evicted.lineAddr;
                 ev.arg0 = static_cast<std::uint8_t>(ev_state);
-                recorder_->record(ev);
+                sink.emit(ev);
             }
             // Passive limitation (paper 3.4): the board cannot
             // invalidate the line in the real L1/L2 below, so nothing
@@ -265,20 +267,21 @@ NodeController::processLocal(const bus::BusTransaction &raw_txn,
 }
 
 bus::SnoopResponse
-NodeController::snoopRemote(const bus::BusTransaction &raw_txn)
+NodeController::snoopRemote(const bus::BusTransaction &raw_txn,
+                            const EmuSink &sink)
 {
     if (!inSample(raw_txn.addr)) {
-        counters_.bump(hUnsampled_);
+        sink.bump(hUnsampled_);
         return bus::SnoopResponse::None;
     }
     bus::BusTransaction txn = raw_txn;
     txn.addr = sampleAddr(raw_txn.addr);
     if (!corrupted_.empty())
-        scrubIfCorrupt(txn.addr, raw_txn);
+        scrubIfCorrupt(txn.addr, raw_txn, sink);
 
     const auto opidx = static_cast<std::size_t>(txn.op);
-    counters_.bump(hRemoteSeen_[opidx]);
-    counters_.bump(hRemoteRefs_);
+    sink.bump(hRemoteSeen_[opidx]);
+    sink.bump(hRemoteRefs_);
 
     const auto hit = directory_.probe(txn.addr);
     if (!hit.hit)
@@ -288,24 +291,25 @@ NodeController::snoopRemote(const bus::BusTransaction &raw_txn)
     const auto &entry = protocol_.snooper(txn.op, state);
 
     if (entry.next == LineState::Invalid) {
-        directory_.invalidate(txn.addr);
-        counters_.bump(hRemoteInv_);
+        directory_.invalidateAt(txn.addr, hit.way);
+        sink.bump(hRemoteInv_);
     } else if (entry.next != state) {
-        directory_.setState(
-            txn.addr, static_cast<cache::LineStateRaw>(entry.next));
-        counters_.bump(hRemoteDowngrade_);
+        directory_.setStateAt(
+            txn.addr, hit.way,
+            static_cast<cache::LineStateRaw>(entry.next));
+        sink.bump(hRemoteDowngrade_);
     }
-    if (recorder_ && entry.next != state) {
+    if (sink.tracing() && entry.next != state) {
         auto ev = makeEvent(trace::EventKind::StateTransition, raw_txn);
         ev.arg0 = static_cast<std::uint8_t>(state);
         ev.arg1 = static_cast<std::uint8_t>(entry.next);
-        recorder_->record(ev);
+        sink.emit(ev);
     }
 
     if (entry.response == bus::SnoopResponse::Modified)
-        counters_.bump(hSupplyMod_);
+        sink.bump(hSupplyMod_);
     else if (entry.response == bus::SnoopResponse::Shared)
-        counters_.bump(hSupplyShr_);
+        sink.bump(hSupplyShr_);
     return entry.response;
 }
 

@@ -1,0 +1,69 @@
+#include "ies/shardpool.hh"
+
+namespace memories::ies
+{
+
+ShardPool::ShardPool(std::size_t shards)
+    : shards_(shards == 0 ? 1 : shards)
+{
+    if (shards_ <= 1)
+        return;
+    threads_.reserve(shards_);
+    for (std::size_t s = 0; s < shards_; ++s)
+        threads_.emplace_back([this, s] { workerMain(s); });
+}
+
+ShardPool::~ShardPool()
+{
+    if (threads_.empty())
+        return;
+    {
+        std::lock_guard<std::mutex> lock(mu_);
+        stop_ = true;
+    }
+    wake_.notify_all();
+    for (std::thread &t : threads_)
+        t.join();
+}
+
+void
+ShardPool::runAll(const std::function<void(std::size_t)> &fn)
+{
+    if (threads_.empty()) {
+        fn(0);
+        return;
+    }
+    std::unique_lock<std::mutex> lock(mu_);
+    job_ = &fn;
+    outstanding_ = shards_;
+    ++epoch_;
+    wake_.notify_all();
+    done_.wait(lock, [this] { return outstanding_ == 0; });
+    job_ = nullptr;
+}
+
+void
+ShardPool::workerMain(std::size_t shard)
+{
+    std::uint64_t seen = 0;
+    for (;;) {
+        const std::function<void(std::size_t)> *job = nullptr;
+        {
+            std::unique_lock<std::mutex> lock(mu_);
+            wake_.wait(lock,
+                       [this, seen] { return stop_ || epoch_ != seen; });
+            if (stop_)
+                return;
+            seen = epoch_;
+            job = job_;
+        }
+        (*job)(shard);
+        {
+            std::lock_guard<std::mutex> lock(mu_);
+            if (--outstanding_ == 0)
+                done_.notify_one();
+        }
+    }
+}
+
+} // namespace memories::ies

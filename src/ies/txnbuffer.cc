@@ -13,62 +13,94 @@ TransactionBuffer::TransactionBuffer(std::size_t entries,
         fatal("transaction buffer needs at least one entry");
     if (throughput_percent == 0 || throughput_percent > 100)
         fatal("throughput percent must be in (0, 100]");
+    ring_.resize(capacity_);
 }
 
 bool
 TransactionBuffer::push(const bus::BusTransaction &txn)
 {
-    if (fifo_.size() >= effectiveCapacity(txn.cycle)) {
+    if (count_ >= effectiveCapacity(txn.cycle)) {
         ++rejected_;
         return false;
     }
-    fifo_.push_back(txn);
-    if (fifo_.size() > highWater_)
-        highWater_ = fifo_.size();
+    std::size_t slot = head_ + count_;
+    if (slot >= capacity_)
+        slot -= capacity_;
+    ring_[slot] = txn;
+    ++count_;
+    if (count_ > highWater_)
+        highWater_ = count_;
     if (occupancyHist_)
-        occupancyHist_->record(fifo_.size());
+        occupancyHist_->record(count_);
     return true;
+}
+
+void
+TransactionBuffer::earn(Cycle now)
+{
+    if (now <= lastEarnCycle_)
+        return;
+    // An injected retirement stall suppresses credit earning for
+    // the stalled span; the span is skipped, never paid back.
+    Cycle from = lastEarnCycle_;
+    if (from < stallUntil_)
+        from = now < stallUntil_ ? now : stallUntil_;
+    if (now > from)
+        credits_ += (now - from) * throughputPercent_;
+    lastEarnCycle_ = now;
+    // Cap banked credits at one buffer's worth of retirements so an
+    // idle stretch cannot bank unbounded instant throughput.
+    const std::uint64_t cap = static_cast<std::uint64_t>(capacity_) * 100;
+    if (credits_ > cap)
+        credits_ = cap;
+}
+
+bus::BusTransaction
+TransactionBuffer::popFront()
+{
+    bus::BusTransaction txn = ring_[head_];
+    if (++head_ == capacity_)
+        head_ = 0;
+    --count_;
+    ++retired_;
+    return txn;
 }
 
 std::optional<bus::BusTransaction>
 TransactionBuffer::drain(Cycle now)
 {
-    if (now > lastEarnCycle_) {
-        // An injected retirement stall suppresses credit earning for
-        // the stalled span; the span is skipped, never paid back.
-        Cycle from = lastEarnCycle_;
-        if (from < stallUntil_)
-            from = now < stallUntil_ ? now : stallUntil_;
-        if (now > from)
-            credits_ += (now - from) * throughputPercent_;
-        lastEarnCycle_ = now;
-        // Cap banked credits at one buffer's worth of retirements so an
-        // idle stretch cannot bank unbounded instant throughput.
-        const std::uint64_t cap =
-            static_cast<std::uint64_t>(capacity_) * 100;
-        if (credits_ > cap)
-            credits_ = cap;
-    }
-    if (fifo_.empty() || credits_ < 100)
+    earn(now);
+    if (count_ == 0 || credits_ < 100)
         return std::nullopt;
     credits_ -= 100;
-    bus::BusTransaction txn = fifo_.front();
-    fifo_.pop_front();
-    ++retired_;
+    bus::BusTransaction txn = popFront();
     if (latencyHist_ && now >= txn.cycle)
         latencyHist_->record(now - txn.cycle);
     return txn;
 }
 
+std::size_t
+TransactionBuffer::drainInto(Cycle now, std::vector<bus::BusTransaction> &out)
+{
+    earn(now);
+    std::size_t drained = 0;
+    while (count_ != 0 && credits_ >= 100) {
+        credits_ -= 100;
+        bus::BusTransaction txn = popFront();
+        if (latencyHist_ && now >= txn.cycle)
+            latencyHist_->record(now - txn.cycle);
+        out.push_back(txn);
+        ++drained;
+    }
+    return drained;
+}
+
 std::optional<bus::BusTransaction>
 TransactionBuffer::drainUnpaced()
 {
-    if (fifo_.empty())
+    if (count_ == 0)
         return std::nullopt;
-    bus::BusTransaction txn = fifo_.front();
-    fifo_.pop_front();
-    ++retired_;
-    return txn;
+    return popFront();
 }
 
 } // namespace memories::ies

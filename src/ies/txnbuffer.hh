@@ -19,8 +19,8 @@
 #define MEMORIES_IES_TXNBUFFER_HH
 
 #include <cstdint>
-#include <deque>
 #include <optional>
+#include <vector>
 
 #include "bus/transaction.hh"
 #include "common/types.hh"
@@ -54,14 +54,23 @@ class TransactionBuffer
     std::optional<bus::BusTransaction> drain(Cycle now);
 
     /**
+     * Batch drain: earn credits up to @p now once, then append every
+     * retirable transaction to @p out in FIFO order. Byte-identical to
+     * calling drain(now) until nullopt — the first drain call earns all
+     * credits for the span, later same-cycle calls earn nothing.
+     * @return the number of transactions appended.
+     */
+    std::size_t drainInto(Cycle now, std::vector<bus::BusTransaction> &out);
+
+    /**
      * Pop everything regardless of credits (end-of-run flush: the host
      * has stopped issuing, so the SDRAM catches up in real time).
      */
     std::optional<bus::BusTransaction> drainUnpaced();
 
-    std::size_t size() const { return fifo_.size(); }
+    std::size_t size() const { return count_; }
     std::size_t capacity() const { return capacity_; }
-    bool empty() const { return fifo_.empty(); }
+    bool empty() const { return count_ == 0; }
 
     /**
      * Fault hook (RetirementStall): the SDRAM side earns no drain
@@ -121,9 +130,18 @@ class TransactionBuffer
     }
 
   private:
+    /** Earn drain credits for the span (lastEarnCycle_, now]. */
+    void earn(Cycle now);
+
+    /** Pop the head entry (caller has checked count_ and credits). */
+    bus::BusTransaction popFront();
+
     std::size_t capacity_;
     unsigned throughputPercent_;
-    std::deque<bus::BusTransaction> fifo_;
+    /** Fixed-size ring of capacity_ entries; head_ indexes the oldest. */
+    std::vector<bus::BusTransaction> ring_;
+    std::size_t head_ = 0;
+    std::size_t count_ = 0;
     Cycle lastEarnCycle_ = 0;
     Cycle stallUntil_ = 0;         //!< injected retirement stall
     std::size_t slotLossSlots_ = 0; //!< injected capacity loss

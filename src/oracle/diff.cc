@@ -106,13 +106,31 @@ diffStream(const ies::BoardConfig &config,
     trace::FlightRecorder recorder(capacity);
     board->attachFlightRecorder(recorder);
 
-    for (const bus::BusTransaction &txn : stream) {
-        const bool prod_ok = board->feedCommitted(txn);
-        const bool ref_ok = ref.feedCommitted(txn);
+    auto noteAcceptance = [&note](const bus::BusTransaction &txn,
+                                  bool prod_ok, bool ref_ok) {
         if (prod_ok != ref_ok) {
             note("acceptance of " + fmtTxn(txn) + ": production " +
                  (prod_ok ? "accepted" : "rejected") + ", reference " +
                  (ref_ok ? "accepted" : "rejected"));
+        }
+    };
+    if (opts.shards == 0) {
+        for (const bus::BusTransaction &txn : stream)
+            noteAcceptance(txn, board->feedCommitted(txn),
+                           ref.feedCommitted(txn));
+    } else {
+        board->enableSharding(opts.shards);
+        const std::size_t chunk =
+            opts.batchSize == 0 ? 256 : opts.batchSize;
+        std::vector<char> flag_buf(chunk, 0);
+        bool *flags = reinterpret_cast<bool *>(flag_buf.data());
+        for (std::size_t at = 0; at < stream.size(); at += chunk) {
+            const std::size_t n =
+                chunk < stream.size() - at ? chunk : stream.size() - at;
+            board->feedBatch(&stream[at], n, flags);
+            for (std::size_t i = 0; i < n; ++i)
+                noteAcceptance(stream[at + i], flags[i],
+                               ref.feedCommitted(stream[at + i]));
         }
     }
     board->drainAll();

@@ -61,7 +61,7 @@ RefBoard::RefBoard(const ies::BoardConfig &config, std::uint64_t seed,
             (node.cfg.cache.lineSize * node.cfg.cache.assoc);
         node.setMask = sampled_sets - 1;
         node.assoc = node.cfg.cache.assoc;
-        node.rng = Rng(seed + i * 7919);
+        node.seedBase = seed + i * 7919;
         node.prefix = "node" + std::to_string(i) + ".";
 
         // Pre-register every per-node counter name so the name sets
@@ -157,9 +157,15 @@ RefBoard::sampleAddr(const Node &node, Addr addr) const
 RefBoard::Set &
 RefBoard::setFor(Node &node, std::uint64_t line)
 {
-    Set &set = node.sets[line & node.setMask];
-    if (set.ways.empty())
+    const std::uint64_t index = line & node.setMask;
+    Set &set = node.sets[index];
+    if (set.ways.empty()) {
         set.ways.resize(node.assoc);
+        // Same per-set seeding formula as the production TagStore
+        // (golden-gamma offset per set index within the sampled
+        // directory), so Random-policy victim draws stay in lockstep.
+        set.rng = Rng(node.seedBase + index * 0x9E3779B97F4A7C15ull);
+    }
     return set;
 }
 
@@ -214,7 +220,7 @@ RefBoard::victimWay(Node &node, Set &set)
         return victim;
       }
       case cache::ReplacementPolicy::Random:
-        return static_cast<unsigned>(node.rng.nextBounded(node.assoc));
+        return static_cast<unsigned>(set.rng.nextBounded(node.assoc));
       case cache::ReplacementPolicy::TreePLRU:
         return node.assoc == 1 ? 0 : plruVictim(set, node.assoc);
     }

@@ -150,6 +150,10 @@ class RefBoard
     {
         std::vector<Frame> ways;
         std::uint8_t plruBits = 0;
+        /** Random-policy victim stream: the production TagStore keeps
+         *  one Rng per set (seeded seedBase + set * golden gamma) so
+         *  disjoint sets share no state; the oracle mirrors that. */
+        Rng rng;
     };
 
     /** One emulated node: geometry, lazily-built sets, counters. */
@@ -163,7 +167,8 @@ class RefBoard
         /** Set index -> set, created on first touch. */
         std::map<std::uint64_t, Set> sets;
         std::uint64_t tick = 0;
-        Rng rng; //!< Random-policy victim draws (seed + id*7919)
+        /** Base seed for per-set Random draws (seed + id*7919). */
+        std::uint64_t seedBase = 0;
         std::string prefix; //!< "node<id>." counter prefix
     };
 

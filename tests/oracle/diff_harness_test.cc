@@ -105,6 +105,42 @@ TEST(DiffLatticeTest, SmallSweepIsClean)
     }
 }
 
+TEST(DiffLatticeTest, ShardedSweepIsClean)
+{
+    // Same miniature sweep, but the production board is fed through
+    // the set-sharded batch pipeline. The oracle never batches, so
+    // this diffs the whole sharded hot path against the naive model;
+    // the 100-seed versions run in CI via oracle_diff --shards.
+    for (const std::size_t shards : {std::size_t{2}, std::size_t{4}}) {
+        DiffOptions opts;
+        opts.shards = shards;
+        opts.batchSize = 128;
+        const LatticeRun run = runLattice(1, 2, 300, "", opts);
+        EXPECT_EQ(run.comparisons, 2 * latticeConfigs().size());
+        for (const auto &div : run.divergences) {
+            ADD_FAILURE() << "config " << div.configName << " seed "
+                          << div.seed << " @" << shards << " shards:\n"
+                          << div.report.describe();
+        }
+    }
+}
+
+TEST(DiffHarnessTest, ShardedFeedStillCatchesMutations)
+{
+    // The sharded feed must not blunt the harness: a mutated oracle
+    // still has to diverge when the production side batches.
+    const auto cfg = conflictBoard(cache::ReplacementPolicy::TreePLRU);
+    DiffOptions opts;
+    opts.mutation = RefMutation::SkipPlruTouchOnHit;
+    opts.shards = 4;
+    bool caught = false;
+    for (std::uint64_t seed = 1; seed <= 5 && !caught; ++seed)
+        caught = diffStream(cfg, stream(seed, 600, hotParams()), opts)
+                     .diverged;
+    EXPECT_TRUE(caught)
+        << "PLRU mutation survived the sharded-feed harness";
+}
+
 TEST(DiffHarnessTest, AgreesOnDefaultBoard)
 {
     const auto cfg = conflictBoard(cache::ReplacementPolicy::LRU);
