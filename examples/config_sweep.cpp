@@ -12,7 +12,17 @@
  *
  * Build and run:
  *   cmake -B build -G Ninja && cmake --build build
- *   ./build/examples/config_sweep [--faults plan] [workers] [telemetry-dir]
+ *   ./build/examples/config_sweep [--faults plan]
+ *       [--warm-checkpoint dir] [workers] [telemetry-dir]
+ *
+ * With --warm-checkpoint, the per-app warmup pass is checkpointed: the
+ * first run saves every board's post-warmup state to dir as IESCKPT
+ * files, and later runs restore those instead of re-emulating the
+ * warmup on all boards (the host still replays its half-length warmup
+ * detached, which is exactly equivalent — the fan-out tap is passive,
+ * see tests/ies/fanout_equiv_test.cc — but skips the board-side work).
+ * Measured ratios are bit-identical either way; the tool reports the
+ * measured wall-clock speedup.
  *
  * With a telemetry-dir, each application's measurement pass also emits
  * windowed telemetry (host refs, bus utilization, per-board fleet
@@ -26,6 +36,7 @@
  * state next to its miss ratios (see docs/FAULTS.md).
  */
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <filesystem>
@@ -37,27 +48,48 @@
 
 #include "memories/memories.hh"
 
+namespace
+{
+
+/** Wall-clock milliseconds since @p start. */
+double
+msSince(std::chrono::steady_clock::time_point start)
+{
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
+
+} // namespace
+
 int
 main(int argc, char **argv)
 {
     using namespace memories;
 
     std::string fault_plan_path;
+    std::string warm_dir;
     std::vector<std::string> positional;
     for (int i = 1; i < argc; ++i) {
         const std::string arg = argv[i];
-        if (arg == "--faults") {
+        if (arg == "--faults" || arg == "--warm-checkpoint") {
             if (i + 1 >= argc) {
                 std::fprintf(stderr,
                              "usage: config_sweep [--faults plan] "
+                             "[--warm-checkpoint dir] "
                              "[workers] [telemetry-dir]\n");
                 return 1;
             }
-            fault_plan_path = argv[++i];
+            if (arg == "--faults")
+                fault_plan_path = argv[++i];
+            else
+                warm_dir = argv[++i];
         } else {
             positional.push_back(arg);
         }
     }
+    if (!warm_dir.empty())
+        std::filesystem::create_directories(warm_dir);
 
     std::size_t workers = std::thread::hardware_concurrency();
     if (positional.size() > 0)
@@ -141,14 +173,65 @@ main(int argc, char **argv)
                 fleet.attachFaultInjector(c, *injectors.back());
             }
         }
-        fleet.attach(machine.bus());
-
         // Warmup pass, then measure the steady state: the boards stay
         // warm across fleet sessions, so clearing counters between
         // start() calls reproduces the paper's long-trace methodology.
-        fleet.start(workers);
-        machine.run(refs / 2);
-        fleet.finish();
+        //
+        // With --warm-checkpoint, the board-side warmup runs once ever:
+        // the first pass saves each board's post-warmup IESCKPT file,
+        // and later runs restore them while the host replays its
+        // warmup detached (the fan-out tap is passive, so the host
+        // reaches an identical state either way).
+        std::vector<std::string> warm_paths;
+        for (std::size_t c = 0; c < sizes.size(); ++c) {
+            if (!warm_dir.empty())
+                warm_paths.push_back(
+                    warm_dir + "/warm_" + app.name + "_" +
+                    std::to_string(sizes[c].sizeBytes) + ".ckpt");
+        }
+        bool have_warm = !warm_dir.empty();
+        for (const auto &path : warm_paths)
+            have_warm = have_warm && std::filesystem::exists(path);
+        const std::string cold_ms_path =
+            warm_dir + "/warm_" + app.name + ".cold_ms";
+
+        const auto warmup_start = std::chrono::steady_clock::now();
+        if (have_warm) {
+            machine.run(refs / 2);
+            for (std::size_t c = 0; c < sizes.size(); ++c)
+                fleet.restoreBoard(c, warm_paths[c]);
+            const double warm_ms = msSince(warmup_start);
+            double cold_ms = 0.0;
+            std::ifstream in(cold_ms_path);
+            in >> cold_ms;
+            if (cold_ms > 0.0) {
+                std::printf("  %s warm start: %.0f ms vs %.0f ms cold "
+                            "warmup (%.1fx)\n",
+                            app.name.c_str(), warm_ms, cold_ms,
+                            cold_ms / (warm_ms > 0.0 ? warm_ms : 1.0));
+            } else {
+                std::printf("  %s warm start: restored %zu boards in "
+                            "%.0f ms\n",
+                            app.name.c_str(), warm_paths.size(),
+                            warm_ms);
+            }
+        } else {
+            fleet.attach(machine.bus());
+            fleet.start(workers);
+            machine.run(refs / 2);
+            fleet.finish();
+            const double cold_ms = msSince(warmup_start);
+            if (!warm_dir.empty()) {
+                for (std::size_t c = 0; c < sizes.size(); ++c)
+                    fleet.checkpointBoard(c, warm_paths[c]);
+                std::ofstream out(cold_ms_path, std::ios::trunc);
+                out << cold_ms << "\n";
+                std::printf("  %s warmup checkpointed to %s "
+                            "(%.0f ms cold)\n",
+                            app.name.c_str(), warm_dir.c_str(),
+                            cold_ms);
+            }
+        }
         for (std::size_t c = 0; c < sizes.size(); ++c)
             fleet.board(c).clearCounters();
 

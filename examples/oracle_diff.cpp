@@ -16,12 +16,25 @@
  *
  * On a divergence the minimized witness stream is written to DIR as a
  * replayable trace (see docs/TESTING.md for the reproduction recipe).
+ *
+ * Checkpoint-resume mode:
+ *
+ *   oracle_diff --from-checkpoint=FILE --config=NAME
+ *               [--trace=FILE | --txns=N --start-seed=N]
+ *               [--shards=N] [--batch=N]
+ *
+ * Both boards restore the IESCKPT checkpoint first (counters cleared),
+ * then diff over the tail stream: either a replayable trace file
+ * (typically the witness a lattice run dumped) or one generated
+ * stimulus stream. --config names the lattice configuration the
+ * checkpoint was taken under; its fingerprint must match.
  */
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <vector>
 
 #include "memories/memories.hh"
 
@@ -50,6 +63,9 @@ main(int argc, char **argv)
     std::uint64_t shards = 0;
     std::uint64_t batch = 256;
     std::string out_dir = "oracle-out";
+    std::string checkpoint;
+    std::string config_name;
+    std::string trace_path;
     for (int i = 1; i < argc; ++i) {
         seeds = parseArg(argv[i], "--seeds", seeds);
         txns = parseArg(argv[i], "--txns", txns);
@@ -58,11 +74,67 @@ main(int argc, char **argv)
         batch = parseArg(argv[i], "--batch", batch);
         if (std::strncmp(argv[i], "--out=", 6) == 0)
             out_dir = argv[i] + 6;
+        if (std::strncmp(argv[i], "--from-checkpoint=", 18) == 0)
+            checkpoint = argv[i] + 18;
+        if (std::strncmp(argv[i], "--config=", 9) == 0)
+            config_name = argv[i] + 9;
+        if (std::strncmp(argv[i], "--trace=", 8) == 0)
+            trace_path = argv[i] + 8;
     }
 
     oracle::DiffOptions opts;
     opts.shards = static_cast<std::size_t>(shards);
     opts.batchSize = static_cast<std::size_t>(batch);
+
+    if (!checkpoint.empty()) {
+        if (config_name.empty()) {
+            std::fprintf(stderr,
+                         "oracle_diff: --from-checkpoint needs "
+                         "--config=NAME (the lattice configuration the "
+                         "checkpoint was taken under)\n");
+            return 2;
+        }
+        const ies::BoardConfig *cfg = nullptr;
+        const auto lattice = oracle::latticeConfigs();
+        for (const auto &lc : lattice) {
+            if (lc.name == config_name)
+                cfg = &lc.config;
+        }
+        if (!cfg) {
+            std::fprintf(stderr,
+                         "oracle_diff: unknown --config '%s'; known:\n",
+                         config_name.c_str());
+            for (const auto &lc : lattice)
+                std::fprintf(stderr, "  %s\n", lc.name.c_str());
+            return 2;
+        }
+        std::vector<bus::BusTransaction> stream;
+        if (!trace_path.empty()) {
+            stream = oracle::readTrace(trace_path);
+        } else {
+            oracle::StimulusParams params;
+            params.seed = start_seed;
+            params.count = static_cast<std::size_t>(txns);
+            params.cpus = 8;
+            stream = oracle::StimulusGen(params).generate();
+        }
+        std::printf("oracle_diff: resuming config %s from %s, "
+                    "%zu tail txns (%s)\n",
+                    config_name.c_str(), checkpoint.c_str(),
+                    stream.size(),
+                    trace_path.empty() ? "generated" : trace_path.c_str());
+        const oracle::DiffReport report = oracle::diffStreamFromCheckpoint(
+            *cfg, checkpoint, stream, opts);
+        std::printf("%s", report.describe().c_str());
+        if (report.diverged) {
+            std::printf("ORACLE_DIFF FAILED: resumed comparison "
+                        "diverged\n");
+            return 1;
+        }
+        std::printf("ORACLE_DIFF ok: 1 resumed comparison, "
+                    "0 divergences\n");
+        return 0;
+    }
 
     const auto lattice = oracle::latticeConfigs();
     std::string feed_desc;

@@ -10,6 +10,8 @@
 #include <cstdint>
 
 #include "bus/busop.hh"
+#include "checkpoint/codec.hh"
+#include "common/logging.hh"
 #include "common/types.hh"
 
 namespace memories::bus
@@ -78,6 +80,41 @@ struct BusTransaction
      */
     std::uint32_t traceId = 0;
 };
+
+/** StateCodec: append one tenure to @p sink (fixed 25-byte layout). */
+inline void
+saveTransaction(ckpt::Sink &sink, const BusTransaction &txn)
+{
+    sink.u64(txn.addr);
+    sink.u64(txn.cycle);
+    sink.u8(static_cast<std::uint8_t>(txn.op));
+    sink.u8(txn.cpu);
+    sink.u16(txn.size);
+    sink.u8(txn.isRetryReplay ? 1 : 0);
+    sink.u32(txn.traceId);
+}
+
+/** StateCodec: decode a tenure written by saveTransaction(); fatal()
+ *  on an unknown bus op or malformed flag. */
+inline BusTransaction
+decodeTransaction(ckpt::Source &source)
+{
+    BusTransaction txn;
+    txn.addr = source.u64();
+    txn.cycle = source.u64();
+    const std::uint8_t op = source.u8();
+    if (op >= numBusOps)
+        fatal(source.context(), ": unknown bus op ", unsigned{op});
+    txn.op = static_cast<BusOp>(op);
+    txn.cpu = source.u8();
+    txn.size = source.u16();
+    const std::uint8_t replay = source.u8();
+    if (replay > 1)
+        fatal(source.context(), ": retry-replay flag must be 0 or 1");
+    txn.isRetryReplay = replay != 0;
+    txn.traceId = source.u32();
+    return txn;
+}
 
 } // namespace memories::bus
 

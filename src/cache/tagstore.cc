@@ -1,5 +1,7 @@
 #include "cache/tagstore.hh"
 
+#include <algorithm>
+
 #include "common/bitops.hh"
 #include "common/logging.hh"
 
@@ -263,6 +265,95 @@ TagStore::reset()
 {
     std::fill(slab_.begin(), slab_.end(), 0);
     std::fill(plruBits_.begin(), plruBits_.end(), 0);
+}
+
+void
+TagStore::saveState(ckpt::Sink &sink) const
+{
+    // Frame words (tag|state and recency stamps interleaved per set)
+    // straight from the aligned view; slab padding is not serialized.
+    const std::uint64_t words = numSets_ * stride_;
+    sink.u64(words);
+    for (std::uint64_t i = 0; i < words; ++i)
+        sink.u64(frames_[i]);
+
+    sink.u64(plruBits_.size());
+    for (std::uint8_t b : plruBits_)
+        sink.u8(b);
+
+    sink.u64(rngs_.size());
+    for (const Rng &rng : rngs_) {
+        for (std::uint64_t w : rng.state())
+            sink.u64(w);
+    }
+}
+
+TagStore::State
+TagStore::decodeState(ckpt::Source &source) const
+{
+    State state;
+
+    const std::uint64_t words = source.u64();
+    if (words != numSets_ * stride_) {
+        fatal(source.context(), ": directory holds ", words,
+              " frame words but this geometry needs ", numSets_ * stride_);
+    }
+    state.frames.reserve(words);
+    for (std::uint64_t i = 0; i < words; ++i)
+        state.frames.push_back(source.u64());
+    // Tag|state words must fit the 56-bit packed tag discipline; the
+    // stamp words are unconstrained.
+    for (std::uint64_t s = 0; s < numSets_; ++s) {
+        for (unsigned w = 0; w < assoc_; ++w) {
+            const std::uint64_t ts = state.frames[s * stride_ + w];
+            if (stateOf(ts) != invalidState && setIndex(tagOf(ts)) != s) {
+                fatal(source.context(), ": line 0x", tagOf(ts),
+                      " stored in set ", s, " does not map there");
+            }
+        }
+    }
+
+    const std::uint64_t plruCount = source.u64();
+    if (plruCount != plruBits_.size()) {
+        fatal(source.context(), ": ", plruCount,
+              " PLRU entries but this store has ", plruBits_.size());
+    }
+    state.plru.reserve(plruCount);
+    for (std::uint64_t i = 0; i < plruCount; ++i)
+        state.plru.push_back(source.u8());
+
+    const std::uint64_t rngCount = source.u64();
+    if (rngCount != rngs_.size()) {
+        fatal(source.context(), ": ", rngCount,
+              " replacement RNG streams but this store has ", rngs_.size());
+    }
+    state.rngWords.reserve(rngCount * 4);
+    for (std::uint64_t i = 0; i < rngCount; ++i) {
+        std::uint64_t ored = 0;
+        for (unsigned w = 0; w < 4; ++w) {
+            const std::uint64_t v = source.u64();
+            ored |= v;
+            state.rngWords.push_back(v);
+        }
+        if (ored == 0) {
+            fatal(source.context(), ": set ", i,
+                  " RNG stream is the invalid all-zero state");
+        }
+    }
+    return state;
+}
+
+void
+TagStore::restoreState(const State &state)
+{
+    std::copy(state.frames.begin(), state.frames.end(), frames_);
+    std::copy(state.plru.begin(), state.plru.end(), plruBits_.begin());
+    for (std::size_t i = 0; i < rngs_.size(); ++i) {
+        rngs_[i].setState({state.rngWords[i * 4 + 0],
+                           state.rngWords[i * 4 + 1],
+                           state.rngWords[i * 4 + 2],
+                           state.rngWords[i * 4 + 3]});
+    }
 }
 
 } // namespace memories::cache

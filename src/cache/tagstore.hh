@@ -40,6 +40,7 @@
 #include <vector>
 
 #include "cache/config.hh"
+#include "checkpoint/codec.hh"
 #include "common/random.hh"
 #include "common/types.hh"
 
@@ -140,6 +141,37 @@ class TagStore
 
     /** Drop every line (console reset). */
     void reset();
+
+    /**
+     * StateCodec: append the full directory state — every set's packed
+     * tag|state words *and* relative recency stamps, the Tree-PLRU bit
+     * array, and the Random policy's per-set RNG streams — to @p sink.
+     * Restoring reproduces victim selection exactly, which a tag-only
+     * export cannot (see docs/FORMATS.md section 7).
+     */
+    void saveState(ckpt::Sink &sink) const;
+
+    /** Decoded-but-unapplied directory state (see decodeState). */
+    struct State
+    {
+        std::vector<std::uint64_t> frames;   //!< numSets * stride words
+        std::vector<std::uint8_t> plru;      //!< per-set PLRU bits
+        std::vector<std::uint64_t> rngWords; //!< 4 words per set Rng
+    };
+
+    /**
+     * Validate-only half of loadState: decode a saveState() payload and
+     * check it against this store's geometry without mutating anything.
+     * fatal() on any mismatch, so a caller staging a multi-component
+     * restore can guarantee the live store is untouched on failure.
+     */
+    State decodeState(ckpt::Source &source) const;
+
+    /** Apply a state staged by decodeState(). */
+    void restoreState(const State &state);
+
+    /** StateCodec: decodeState + restoreState in one step. */
+    void loadState(ckpt::Source &source) { restoreState(decodeState(source)); }
 
     const CacheConfig &config() const { return config_; }
 

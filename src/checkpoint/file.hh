@@ -1,0 +1,143 @@
+/**
+ * @file
+ * IESCKPT: the versioned binary checkpoint container (docs/FORMATS.md
+ * §7).
+ *
+ * Layout (all integers little-endian):
+ *
+ *   magic   "IESCKPT\0"                                   8 bytes
+ *   u32     version (currently 1)
+ *   u32     section count
+ *   u64     board-config fingerprint (BoardConfig::fingerprint,
+ *           which folds in every node's ProtocolTable::fingerprint)
+ *   u32     header CRC-32 over the 24 bytes above
+ *   -- section table, one entry per section --
+ *   u32     section id        u32  payload CRC-32
+ *   u64     payload offset    u64  payload length
+ *   u32     table CRC-32 over all table entries
+ *   -- section payloads, at their recorded offsets --
+ *
+ * Section payloads are opaque StateCodec streams produced by each
+ * component's saveState(Sink&); the container only frames and
+ * checksums them. CheckpointImage validates magic, version, both
+ * structural CRCs and every section CRC *before* handing out a single
+ * payload byte, so a component loadState never sees corrupt framing —
+ * restores fail closed with a diagnostic and the target board is left
+ * untouched.
+ */
+
+#ifndef MEMORIES_CHECKPOINT_FILE_HH
+#define MEMORIES_CHECKPOINT_FILE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "checkpoint/codec.hh"
+
+namespace memories::ckpt
+{
+
+/** File format version this build writes and reads. */
+inline constexpr std::uint32_t formatVersion = 1;
+
+/** Well-known section ids of a board checkpoint. */
+enum SectionId : std::uint32_t
+{
+    /** Board meta: node count, global counters, pending tenure. */
+    secBoard = 0x01,
+    /** TransactionBuffer: ring, credits, fault pacing state. */
+    secBuffer = 0x02,
+    /** HealthMonitor: ladder state and backoff counters. */
+    secHealth = 0x03,
+    /** FaultInjector: RNG stream and opportunity counters. */
+    secInjector = 0x04,
+    /** NodeController n: secNodeBase + n (directory, counters, RNGs). */
+    secNodeBase = 0x100,
+};
+
+/** Human-readable name of a section id ("ckpt info"). */
+std::string sectionName(std::uint32_t id);
+
+/** Accumulates sections and renders/writes the IESCKPT container. */
+class CheckpointWriter
+{
+  public:
+    /**
+     * Open section @p id and return its payload sink. Sections are
+     * written in call order; ids must be unique within one file.
+     */
+    Sink &section(std::uint32_t id);
+
+    /** Render the complete container. */
+    std::vector<std::uint8_t> bytes(std::uint64_t config_fingerprint)
+        const;
+
+    /** Render and write to @p path; fatal() on I/O failure. */
+    void writeFile(const std::string &path,
+                   std::uint64_t config_fingerprint) const;
+
+  private:
+    struct Entry
+    {
+        std::uint32_t id;
+        Sink sink;
+    };
+    std::vector<Entry> sections_;
+};
+
+/** A parsed, CRC-verified checkpoint held in memory. */
+class CheckpointImage
+{
+  public:
+    /**
+     * Parse @p data, validating magic, version, header/table CRCs and
+     * every section CRC. @p context names the checkpoint in
+     * diagnostics (a path, or "resync"). fatal() on any violation.
+     */
+    static CheckpointImage fromBytes(std::vector<std::uint8_t> data,
+                                     const std::string &context);
+
+    /** Read and parse @p path; fatal() on I/O or format errors. */
+    static CheckpointImage fromFile(const std::string &path);
+
+    std::uint64_t configFingerprint() const { return fingerprint_; }
+
+    bool has(std::uint32_t id) const;
+
+    /**
+     * Sequential Source over section @p id's payload, tagged
+     * "<context>: <section name>". fatal() when the section is absent.
+     */
+    Source open(std::uint32_t id) const;
+
+    /** Section ids in file order ("ckpt info", structural tests). */
+    const std::vector<std::uint32_t> &sectionIds() const { return ids_; }
+
+    /** Payload length of section @p id; fatal() when absent. */
+    std::size_t sectionLength(std::uint32_t id) const;
+
+    /** Multi-line human rendering (console "ckpt info"). */
+    std::string describe() const;
+
+  private:
+    CheckpointImage() = default;
+
+    struct Section
+    {
+        std::uint32_t id;
+        std::size_t offset;
+        std::size_t length;
+    };
+    const Section &find(std::uint32_t id) const;
+
+    std::vector<std::uint8_t> data_;
+    std::vector<Section> sections_;
+    std::vector<std::uint32_t> ids_;
+    std::uint64_t fingerprint_ = 0;
+    std::string context_;
+};
+
+} // namespace memories::ckpt
+
+#endif // MEMORIES_CHECKPOINT_FILE_HH

@@ -17,6 +17,8 @@
 #include <string_view>
 #include <vector>
 
+#include "checkpoint/codec.hh"
+
 namespace memories
 {
 
@@ -133,17 +135,11 @@ class CounterBank
     void clearAll();
 
     /**
-     * Structured read-out of every counter, in handle order. This is
-     * the surface everything else formats from: dump(), the CSV
-     * exporters, and the telemetry sampler all consume samples rather
-     * than re-parsing rendered text.
-     */
-    std::vector<CounterSample> snapshot() const;
-
-    /**
-     * Visitor overload: invoke @p visit with each CounterSample in
-     * handle order without materializing a vector (hot telemetry
-     * paths).
+     * The canonical traversal API: invoke @p visit with each
+     * CounterSample in handle order without materializing a vector.
+     * Everything that reads counters out of a bank — dump(), the CSV
+     * exporters, the telemetry sampler, the differential oracle, and
+     * the checkpoint codec (saveState) — consumes this one visitor.
      */
     template <typename Visitor>
     void snapshot(Visitor &&visit) const
@@ -154,8 +150,44 @@ class CounterBank
         }
     }
 
+    /**
+     * Compatibility shim over the visitor overload for callers that
+     * want a materialized vector. Prefer the visitor form in new code
+     * (it is the single traversal the StateCodec is defined against).
+     */
+    std::vector<CounterSample> snapshot() const;
+
     /** Render "name value" lines: a thin formatter over snapshot(). */
     std::string dump() const;
+
+    /**
+     * StateCodec: append this bank's state (count + 40-bit values, in
+     * handle order) to @p sink. Names are not serialized — the bank
+     * layout is part of the board configuration the checkpoint header
+     * fingerprints, so the value array alone pins the state.
+     */
+    void saveState(ckpt::Sink &sink) const;
+
+    /**
+     * StateCodec: restore a bank saved by saveState(). Fails closed —
+     * fatal() without touching any counter when the stored count does
+     * not match size() or a value exceeds the 40-bit width.
+     */
+    void loadState(ckpt::Source &source)
+    {
+        restoreState(decodeState(source));
+    }
+
+    /**
+     * Validate-only half of loadState: decode and bounds-check the
+     * value array without touching this bank. Containers that must
+     * stay untouched on *any* section failure (MemoriesBoard) decode
+     * every component first and apply the staged values after.
+     */
+    std::vector<std::uint64_t> decodeState(ckpt::Source &source) const;
+
+    /** Apply values staged by decodeState(). */
+    void restoreState(const std::vector<std::uint64_t> &values);
 
   private:
     std::vector<Counter40> counters_;

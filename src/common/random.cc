@@ -39,6 +39,15 @@ Rng::Rng(std::uint64_t seed)
         s_[0] = 1;
 }
 
+void
+Rng::setState(const std::array<std::uint64_t, 4> &s)
+{
+    if ((s[0] | s[1] | s[2] | s[3]) == 0)
+        fatal("Rng::setState: the all-zero state is invalid");
+    for (std::size_t i = 0; i < 4; ++i)
+        s_[i] = s[i];
+}
+
 std::uint64_t
 Rng::next()
 {

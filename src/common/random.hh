@@ -11,6 +11,7 @@
 #ifndef MEMORIES_COMMON_RANDOM_HH
 #define MEMORIES_COMMON_RANDOM_HH
 
+#include <array>
 #include <cstdint>
 #include <vector>
 
@@ -39,6 +40,19 @@ class Rng
 
     /** Bernoulli draw with probability @p p of returning true. */
     bool nextBool(double p);
+
+    /**
+     * Raw engine state, for checkpointing: restoring the four words
+     * resumes the stream at exactly the draw where state() was taken.
+     */
+    std::array<std::uint64_t, 4> state() const
+    {
+        return {s_[0], s_[1], s_[2], s_[3]};
+    }
+
+    /** Restore a state captured by state(); rejects the all-zero
+     *  state (the one invalid xoshiro256** state). */
+    void setState(const std::array<std::uint64_t, 4> &s);
 
   private:
     std::uint64_t s_[4];

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <sstream>
 
+#include "common/logging.hh"
+
 namespace memories::fault
 {
 
@@ -93,6 +95,41 @@ HealthMonitor::resync()
     storms_ = 0;
     shedRemaining_ = 0;
     moveTo(HealthState::Healthy);
+}
+
+void
+HealthMonitor::saveState(ckpt::Sink &sink) const
+{
+    sink.u8(static_cast<std::uint8_t>(state_));
+    sink.u32(pressured_);
+    sink.u32(calm_);
+    sink.u32(storms_);
+    sink.u64(shedRemaining_);
+}
+
+HealthMonitor::State
+HealthMonitor::decodeState(ckpt::Source &source) const
+{
+    State state;
+    const std::uint8_t ladder = source.u8();
+    if (ladder > static_cast<std::uint8_t>(HealthState::Quarantined))
+        fatal(source.context(), ": unknown health state ", unsigned{ladder});
+    state.state = static_cast<HealthState>(ladder);
+    state.pressured = source.u32();
+    state.calm = source.u32();
+    state.storms = source.u32();
+    state.shedRemaining = source.u64();
+    return state;
+}
+
+void
+HealthMonitor::restoreState(const State &state)
+{
+    state_ = state.state;
+    pressured_ = state.pressured;
+    calm_ = state.calm;
+    storms_ = state.storms;
+    shedRemaining_ = state.shedRemaining;
 }
 
 std::string

@@ -33,6 +33,7 @@
 #include <string>
 #include <string_view>
 
+#include "checkpoint/codec.hh"
 #include "common/types.hh"
 
 namespace memories::fault
@@ -131,6 +132,38 @@ class HealthMonitor
 
     /** One-line console rendering ("health status"). */
     std::string describe() const;
+
+    /**
+     * StateCodec: append the machine position (ladder state plus the
+     * pressure/recovery/storm/backoff counters) to @p sink. The policy
+     * itself is board configuration (fingerprinted in the checkpoint
+     * header), so only the dynamic state is serialized.
+     */
+    void saveState(ckpt::Sink &sink) const;
+
+    /** Decoded-but-unapplied monitor state (see decodeState). */
+    struct State
+    {
+        HealthState state = HealthState::Healthy;
+        unsigned pressured = 0;
+        unsigned calm = 0;
+        unsigned storms = 0;
+        std::uint64_t shedRemaining = 0;
+    };
+
+    /** Validate-only half of loadState; fatal() on an unknown ladder
+     *  state, no mutation. */
+    State decodeState(ckpt::Source &source) const;
+
+    /**
+     * Apply a state staged by decodeState(). Sets the ladder position
+     * directly — restoring a checkpoint resumes a run rather than
+     * transitioning within one, so the transition hook does NOT fire.
+     */
+    void restoreState(const State &state);
+
+    /** StateCodec: decodeState + restoreState in one step. */
+    void loadState(ckpt::Source &source) { restoreState(decodeState(source)); }
 
   private:
     void moveTo(HealthState to);

@@ -3,6 +3,7 @@
 #include <sstream>
 
 #include "bus/busop.hh"
+#include "common/logging.hh"
 
 namespace memories::fault
 {
@@ -139,6 +140,77 @@ FaultInjector::onCommit(const bus::BusTransaction &txn)
         }
     }
     return out;
+}
+
+namespace
+{
+
+/** FNV-1a over the plan's canonical text rendering. */
+std::uint64_t
+planHash(const FaultPlan &plan)
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    for (char c : plan.describe()) {
+        h ^= static_cast<std::uint8_t>(c);
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+} // namespace
+
+void
+FaultInjector::saveState(ckpt::Sink &sink) const
+{
+    sink.u64(seed_);
+    sink.u64(planHash(plan_));
+    for (std::uint64_t w : rng_.state())
+        sink.u64(w);
+    sink.u64(busTenures_);
+    sink.u64(streamTenures_);
+    sink.u64(commits_);
+    counters_.saveState(sink);
+}
+
+FaultInjector::State
+FaultInjector::decodeState(ckpt::Source &source) const
+{
+    const std::uint64_t seed = source.u64();
+    if (seed != seed_) {
+        fatal(source.context(), ": checkpoint was taken with injector seed ",
+              seed, " but this injector uses ", seed_);
+    }
+    const std::uint64_t hash = source.u64();
+    if (hash != planHash(plan_)) {
+        fatal(source.context(),
+              ": checkpointed fault plan differs from the attached plan — "
+              "the fault schedule would not resume deterministically");
+    }
+    State state;
+    std::uint64_t ored = 0;
+    for (unsigned w = 0; w < 4; ++w) {
+        state.rng[w] = source.u64();
+        ored |= state.rng[w];
+    }
+    if (ored == 0) {
+        fatal(source.context(),
+              ": injector RNG stream is the invalid all-zero state");
+    }
+    state.busTenures = source.u64();
+    state.streamTenures = source.u64();
+    state.commits = source.u64();
+    state.counters = counters_.decodeState(source);
+    return state;
+}
+
+void
+FaultInjector::restoreState(const State &state)
+{
+    rng_.setState(state.rng);
+    busTenures_ = state.busTenures;
+    streamTenures_ = state.streamTenures;
+    commits_ = state.commits;
+    counters_.restoreState(state.counters);
 }
 
 std::uint64_t

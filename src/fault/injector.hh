@@ -33,6 +33,7 @@
 #include <utility>
 
 #include "bus/bus6xx.hh"
+#include "checkpoint/codec.hh"
 #include "common/counters.hh"
 #include "common/random.hh"
 #include "fault/faultplan.hh"
@@ -137,6 +138,39 @@ class FaultInjector final : public bus::BusSnooper
 
     /** One-line-per-kind console rendering ("fault status"). */
     std::string dumpStats() const;
+
+    /**
+     * StateCodec: append the injector's dynamic state — seed and plan
+     * identity (for cross-checking at restore), the Bernoulli RNG
+     * stream position, the three opportunity counts, and the injection
+     * counters — to @p sink. The plan itself is not serialized; a
+     * restore requires the same plan to be attached and cross-checks
+     * it by hash.
+     */
+    void saveState(ckpt::Sink &sink) const;
+
+    /** Decoded-but-unapplied injector state (see decodeState). */
+    struct State
+    {
+        std::array<std::uint64_t, 4> rng{};
+        std::uint64_t busTenures = 0;
+        std::uint64_t streamTenures = 0;
+        std::uint64_t commits = 0;
+        std::vector<std::uint64_t> counters;
+    };
+
+    /**
+     * Validate-only half of loadState: fatal() when the saved seed or
+     * plan hash differs from this injector's (the checkpointed fault
+     * schedule would not resume deterministically), no mutation.
+     */
+    State decodeState(ckpt::Source &source) const;
+
+    /** Apply a state staged by decodeState(). */
+    void restoreState(const State &state);
+
+    /** StateCodec: decodeState + restoreState in one step. */
+    void loadState(ckpt::Source &source) { restoreState(decodeState(source)); }
 
   private:
     /**

@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <sstream>
 
+#include "checkpoint/file.hh"
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "common/stats.hh"
@@ -158,24 +159,30 @@ MemoriesBoard::resyncFrom(const MemoriesBoard &healthy)
         fatal("resync source has ", healthy.nodes_.size(),
               " nodes but this board has ", nodes_.size());
     }
+    // Round-trip each directory through the StateCodec and stage every
+    // decoded state before touching anything, so a mismatch partway
+    // through leaves this board intact.
+    std::vector<NodeController::State> staged;
+    staged.reserve(nodes_.size());
     for (std::size_t i = 0; i < nodes_.size(); ++i) {
         if (healthy.nodes_[i]->geometrySignature() !=
             nodes_[i]->geometrySignature()) {
             fatal("resync geometry mismatch at node ", i);
         }
+        ckpt::Sink sink;
+        healthy.nodes_[i]->saveDirectoryState(sink);
+        ckpt::Source source(sink.bytes().data(), sink.size(),
+                            "resync node " + std::to_string(i));
+        staged.push_back(nodes_[i]->decodeDirectoryState(source));
+        source.expectEnd();
     }
     // Buffered tenures predate the mirrored directories; retiring them
     // now would corrupt the copy, so they are lost in flight (keeping
     // committed == retired + lost_inflight).
     while (buffer_.drainUnpaced())
         global_.bump(hLostInflight_);
-    for (std::size_t i = 0; i < nodes_.size(); ++i) {
-        nodes_[i]->resetDirectory();
-        healthy.nodes_[i]->exportDirectory(
-            [&](Addr addr, cache::LineStateRaw state) {
-                nodes_[i]->importLine(addr, state);
-            });
-    }
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        nodes_[i]->restoreDirectoryState(staged[i]);
     health_.resync();
 }
 
@@ -933,95 +940,131 @@ MemoriesBoard::dumpStats() const
     return os.str();
 }
 
-namespace
+void
+MemoriesBoard::saveState(ckpt::CheckpointWriter &writer) const
 {
-constexpr std::uint64_t stateMagic = 0x4945535354415445ull; // IESSTATE
-constexpr std::uint64_t stateVersion = 1;
-} // namespace
+    {
+        ckpt::Sink &sink = writer.section(ckpt::secBoard);
+        sink.u64(nodes_.size());
+        global_.saveState(sink);
+        sink.u8(pending_ ? 1 : 0);
+        if (pending_)
+            bus::saveTransaction(sink, *pending_);
+        sink.u8(pendingRetried_ ? 1 : 0);
+        sink.u64(healthCycle_);
+        sink.u32(healthTraceId_);
+    }
+    buffer_.saveState(writer.section(ckpt::secBuffer));
+    health_.saveState(writer.section(ckpt::secHealth));
+    if (injector_)
+        injector_->saveState(writer.section(ckpt::secInjector));
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        nodes_[i]->saveState(writer.section(
+            ckpt::secNodeBase + static_cast<std::uint32_t>(i)));
+    }
+}
 
 void
 MemoriesBoard::saveState(const std::string &path) const
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        fatal("cannot create state file '", path, "'");
-    auto put64 = [&](std::uint64_t v) {
-        if (std::fwrite(&v, sizeof(v), 1, f) != 1) {
-            std::fclose(f);
-            fatal("failed writing state file '", path, "'");
-        }
-    };
-    put64(stateMagic);
-    put64(stateVersion);
-    put64(nodes_.size());
-    for (const auto &node : nodes_) {
-        put64(node->geometrySignature());
-        // Count first, then the lines.
-        std::uint64_t count = 0;
-        node->exportDirectory(
-            [&](Addr, cache::LineStateRaw) { ++count; });
-        put64(count);
-        bool io_ok = true;
-        node->exportDirectory([&](Addr addr, cache::LineStateRaw s) {
-            io_ok = io_ok &&
-                    std::fwrite(&addr, sizeof(addr), 1, f) == 1 &&
-                    std::fwrite(&s, sizeof(s), 1, f) == 1;
-        });
-        if (!io_ok) {
-            std::fclose(f);
-            fatal("failed writing state file '", path, "'");
-        }
+    ckpt::CheckpointWriter writer;
+    saveState(writer);
+    writer.writeFile(path, config_.fingerprint());
+}
+
+void
+MemoriesBoard::loadState(const ckpt::CheckpointImage &image)
+{
+    // Gate on the configuration fingerprint first: a checkpoint from a
+    // differently-shaped board is rejected before any section decode.
+    const std::vector<std::string> errors =
+        config_.validationErrors(image.configFingerprint());
+    if (!errors.empty()) {
+        std::ostringstream os;
+        os << "cannot restore checkpoint (" << errors.size()
+           << " problem" << (errors.size() == 1 ? "" : "s") << "):";
+        for (const std::string &e : errors)
+            os << "\n  - " << e;
+        fatal(os.str());
     }
-    std::fclose(f);
+
+    // The injector's RNG position is load-bearing state: restoring a
+    // checkpoint taken with an injector into a board without one (or
+    // vice versa) cannot resume deterministically.
+    if (image.has(ckpt::secInjector) && !injector_) {
+        fatal("checkpoint was taken with a fault injector attached; "
+              "attach the same injector before restoring");
+    }
+    if (!image.has(ckpt::secInjector) && injector_) {
+        fatal("checkpoint was taken without a fault injector but one "
+              "is attached; detach it before restoring");
+    }
+
+    // Decode every section into staging state before mutating anything,
+    // so any failure leaves the board untouched.
+    ckpt::Source boardSrc = image.open(ckpt::secBoard);
+    const std::uint64_t nodeCount = boardSrc.u64();
+    if (nodeCount != nodes_.size()) {
+        fatal(boardSrc.context(), ": checkpoint holds ", nodeCount,
+              " nodes but this board has ", nodes_.size());
+    }
+    const std::vector<std::uint64_t> globalValues =
+        global_.decodeState(boardSrc);
+    const std::uint8_t hasPending = boardSrc.u8();
+    if (hasPending > 1)
+        fatal(boardSrc.context(), ": pending flag must be 0 or 1");
+    std::optional<bus::BusTransaction> pending;
+    if (hasPending)
+        pending = bus::decodeTransaction(boardSrc);
+    const bool pendingRetried = boardSrc.u8() != 0;
+    const Cycle healthCycle = boardSrc.u64();
+    const std::uint32_t healthTraceId = boardSrc.u32();
+    boardSrc.expectEnd();
+
+    ckpt::Source bufferSrc = image.open(ckpt::secBuffer);
+    const TransactionBuffer::State bufferState =
+        buffer_.decodeState(bufferSrc);
+    bufferSrc.expectEnd();
+
+    ckpt::Source healthSrc = image.open(ckpt::secHealth);
+    const fault::HealthMonitor::State healthState =
+        health_.decodeState(healthSrc);
+    healthSrc.expectEnd();
+
+    std::optional<fault::FaultInjector::State> injectorState;
+    if (injector_) {
+        ckpt::Source injectorSrc = image.open(ckpt::secInjector);
+        injectorState = injector_->decodeState(injectorSrc);
+        injectorSrc.expectEnd();
+    }
+
+    std::vector<NodeController::State> nodeStates;
+    nodeStates.reserve(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        ckpt::Source nodeSrc = image.open(
+            ckpt::secNodeBase + static_cast<std::uint32_t>(i));
+        nodeStates.push_back(nodes_[i]->decodeState(nodeSrc));
+        nodeSrc.expectEnd();
+    }
+
+    // Everything validated — commit the staged state.
+    global_.restoreState(globalValues);
+    pending_ = pending;
+    pendingRetried_ = pendingRetried;
+    healthCycle_ = healthCycle;
+    healthTraceId_ = healthTraceId;
+    buffer_.restoreState(bufferState);
+    health_.restoreState(healthState);
+    if (injector_)
+        injector_->restoreState(*injectorState);
+    for (std::size_t i = 0; i < nodes_.size(); ++i)
+        nodes_[i]->restoreState(nodeStates[i]);
 }
 
 void
 MemoriesBoard::loadState(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        fatal("cannot open state file '", path, "'");
-    auto get64 = [&]() {
-        std::uint64_t v = 0;
-        if (std::fread(&v, sizeof(v), 1, f) != 1) {
-            std::fclose(f);
-            fatal("truncated state file '", path, "'");
-        }
-        return v;
-    };
-    if (get64() != stateMagic) {
-        std::fclose(f);
-        fatal("'", path, "' is not a MemorIES state file");
-    }
-    if (get64() != stateVersion) {
-        std::fclose(f);
-        fatal("unsupported state file version in '", path, "'");
-    }
-    if (get64() != nodes_.size()) {
-        std::fclose(f);
-        fatal("state file '", path,
-              "' was taken from a different node configuration");
-    }
-    for (auto &node : nodes_) {
-        if (get64() != node->geometrySignature()) {
-            std::fclose(f);
-            fatal("state file '", path, "' geometry mismatch at node ",
-                  static_cast<unsigned>(node->id()));
-        }
-        node->resetDirectory();
-        const std::uint64_t count = get64();
-        for (std::uint64_t i = 0; i < count; ++i) {
-            Addr addr = 0;
-            cache::LineStateRaw state = 0;
-            if (std::fread(&addr, sizeof(addr), 1, f) != 1 ||
-                std::fread(&state, sizeof(state), 1, f) != 1) {
-                std::fclose(f);
-                fatal("truncated state file '", path, "'");
-            }
-            node->importLine(addr, state);
-        }
-    }
-    std::fclose(f);
+    loadState(ckpt::CheckpointImage::fromFile(path));
 }
 
 BoardConfig

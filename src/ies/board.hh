@@ -34,6 +34,12 @@ namespace memories::fault
 class FaultInjector;
 } // namespace memories::fault
 
+namespace memories::ckpt
+{
+class CheckpointWriter;
+class CheckpointImage;
+} // namespace memories::ckpt
+
 namespace memories::ies
 {
 
@@ -172,24 +178,38 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
     std::string dumpStats() const;
 
     /**
-     * Checkpoint every node's directory contents to @p path.
+     * Checkpoint the complete board state to @p path as an IESCKPT
+     * container (docs/FORMATS.md section 7).
      *
      * Section 4.2 notes that, unlike Embra, the hardware board cannot
-     * checkpoint and reposition a workload. A software board can:
-     * saving warm directories lets a study resume measurement at an
-     * interesting point without replaying hours of warmup. Replacement
-     * recency is not preserved (the directories come back warm but
-     * freshly-ordered), which perturbs only the first evictions per
-     * set.
+     * checkpoint and reposition a workload. A software board can — and
+     * the capture is exact: directories *with* replacement metadata
+     * (recency stamps, PLRU bits, per-set replacement RNGs), every
+     * 40-bit counter bank, the transaction buffer's in-flight entries
+     * and pacing credits, active fault windows, the health state
+     * machine, and any attached fault injector's RNG stream. A run
+     * resumed from the checkpoint retires, counts, and traces
+     * byte-identically to one that never stopped. The only state not
+     * captured is the on-board trace-capture buffer's *contents* (its
+     * mode is part of the fingerprinted configuration).
      */
     void saveState(const std::string &path) const;
 
+    /** Checkpoint into @p writer (caller renders/stores the bytes). */
+    void saveState(ckpt::CheckpointWriter &writer) const;
+
     /**
-     * Restore directories checkpointed by saveState(). The board
-     * configuration (node count and geometries) must match; fatal()
-     * otherwise. Counters are left untouched.
+     * Restore a board checkpointed by saveState(). Fails closed: the
+     * checkpoint's config fingerprint must match this board's (see
+     * BoardConfig::validationErrors(fingerprint)), an injector must be
+     * attached iff one was attached at save time, and every section
+     * must decode cleanly — any failure is a fatal() diagnostic that
+     * leaves the board completely untouched.
      */
     void loadState(const std::string &path);
+
+    /** Restore from an already-validated container image. */
+    void loadState(const ckpt::CheckpointImage &image);
 
     const BoardConfig &config() const { return config_; }
 
@@ -256,10 +276,14 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
 
     /**
      * Recover a quarantined board by mirroring @p healthy's directories
-     * through the same export/import path saveState()/loadState() use.
-     * Node counts and geometries must match; fatal() otherwise. Stale
-     * buffered tenures predate the new directories and are discarded
-     * (counted as lost in flight); counters are otherwise untouched;
+     * through the same StateCodec the checkpoint path uses (each node's
+     * saveDirectoryState/decodeDirectoryState/restoreDirectoryState),
+     * so the copy is exact down to recency stamps and replacement RNG
+     * streams. Node counts and geometries must match; fatal() before
+     * anything is touched otherwise. Only the directories move:
+     * counters stay (a resynced board keeps its own history, unlike a
+     * checkpoint restore), stale buffered tenures predate the new
+     * directories and are discarded (counted as lost in flight), and
      * health returns to Healthy.
      */
     void resyncFrom(const MemoriesBoard &healthy);

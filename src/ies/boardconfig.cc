@@ -133,6 +133,56 @@ BoardConfig::validationErrors() const
     return errors;
 }
 
+std::uint64_t
+BoardConfig::fingerprint() const
+{
+    std::uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](std::uint64_t v) {
+        h = (h ^ v) * 0x100000001b3ull;
+    };
+    mix(nodes.size());
+    for (const NodeConfig &node : nodes) {
+        mix(node.cache.sizeBytes);
+        mix(node.cache.assoc);
+        mix(node.cache.lineSize);
+        mix(static_cast<std::uint64_t>(node.cache.policy));
+        mix(node.setSamplingShift);
+        mix(node.targetMachine);
+        mix(node.cpus.size());
+        for (CpuId cpu : node.cpus)
+            mix(cpu);
+        mix(node.protocol.fingerprint());
+    }
+    mix(bufferEntries);
+    mix(sdramThroughputPercent);
+    mix(health.enabled ? 1 : 0);
+    mix(health.degradeOccupancyPercent);
+    mix(health.degradeWindow);
+    mix(health.recoverWindow);
+    mix(health.degradedSamplingShift);
+    mix(health.backoffLimit);
+    mix(health.quarantineStorms);
+    mix(traceCapture ? 1 : 0);
+    mix(traceCaptureRecords);
+    return h;
+}
+
+std::vector<std::string>
+BoardConfig::validationErrors(std::uint64_t restore_fingerprint) const
+{
+    std::vector<std::string> errors = validationErrors();
+    if (restore_fingerprint != fingerprint()) {
+        std::ostringstream os;
+        os << "checkpoint was taken under a different board "
+              "configuration (fingerprint 0x"
+           << std::hex << restore_fingerprint
+           << " vs this board's 0x" << fingerprint()
+           << "); restore requires an identical configuration";
+        errors.push_back(os.str());
+    }
+    return errors;
+}
+
 void
 BoardConfig::validate() const
 {

@@ -90,6 +90,26 @@ struct BoardConfig
      * nothing downstream re-checks.
      */
     void validate() const;
+
+    /**
+     * Configuration fingerprint stored in IESCKPT checkpoint headers:
+     * an FNV-1a mix over everything that shapes the board's emulated
+     * state — every node's geometry, replacement policy, set sampling,
+     * target machine, CPU assignment, and protocol fingerprint, plus
+     * the buffering/pacing parameters, health policy, and trace
+     * capture mode. Labels are cosmetic and excluded. Two configs with
+     * the same fingerprint produce interchangeable checkpoints.
+     */
+    std::uint64_t fingerprint() const;
+
+    /**
+     * validationErrors() plus checkpoint-compatibility checks: also
+     * reject (with a message naming both fingerprints) when
+     * @p restore_fingerprint — from the header of a checkpoint about
+     * to be restored — differs from this configuration's fingerprint().
+     */
+    std::vector<std::string>
+    validationErrors(std::uint64_t restore_fingerprint) const;
 };
 
 } // namespace memories::ies

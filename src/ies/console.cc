@@ -5,6 +5,7 @@
 #include <map>
 #include <sstream>
 
+#include "checkpoint/file.hh"
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "ies/analysis.hh"
@@ -380,13 +381,36 @@ Console::handle(const std::vector<std::string> &tokens)
         if (tokens.size() != 2)
             fatal("usage: save-state <path>");
         require_board().saveState(tokens[1]);
-        return "directory state saved to " + tokens[1];
+        return "board state saved to " + tokens[1];
     }
     if (cmd == "load-state") {
         if (tokens.size() != 2)
             fatal("usage: load-state <path>");
         require_board().loadState(tokens[1]);
-        return "directory state restored from " + tokens[1];
+        return "board state restored from " + tokens[1];
+    }
+    if (cmd == "ckpt") {
+        if (tokens.size() < 2)
+            fatal("usage: ckpt <save|load|info> <path>");
+        const std::string &sub = tokens[1];
+        if (sub == "save") {
+            if (tokens.size() != 3)
+                fatal("usage: ckpt save <path>");
+            require_board().saveState(tokens[2]);
+            return "checkpoint saved to " + tokens[2];
+        }
+        if (sub == "load") {
+            if (tokens.size() != 3)
+                fatal("usage: ckpt load <path>");
+            require_board().loadState(tokens[2]);
+            return "checkpoint restored from " + tokens[2];
+        }
+        if (sub == "info") {
+            if (tokens.size() != 3)
+                fatal("usage: ckpt info <path>");
+            return ckpt::CheckpointImage::fromFile(tokens[2]).describe();
+        }
+        fatal("unknown ckpt subcommand '", sub, "'");
     }
     if (cmd == "save-protocol") {
         if (tokens.size() != 3)
@@ -518,7 +542,7 @@ Console::handle(const std::vector<std::string> &tokens)
     if (cmd == "help") {
         return "commands: node buffer throughput capture init stats "
                "counters monitor trace fault health clear reset "
-               "dump-trace shutdown";
+               "dump-trace ckpt save-state load-state shutdown";
     }
     fatal("unknown command '", cmd, "'");
 }

@@ -309,6 +309,28 @@ class ExperimentFleet final : public bus::BusObserver
         boards_[sick]->resyncFrom(*boards_[healthy]);
     }
 
+    /**
+     * Checkpoint board @p i to @p path as an IESCKPT container
+     * (MemoriesBoard::saveState). Only between runs: the board must be
+     * quiescent so the capture is a consistent cut.
+     */
+    void checkpointBoard(std::size_t i, const std::string &path) const
+    {
+        requireIdle("checkpointBoard");
+        boards_[i]->saveState(path);
+    }
+
+    /**
+     * Restore board @p i from an IESCKPT checkpoint
+     * (MemoriesBoard::loadState): fails closed on any mismatch,
+     * leaving the board untouched. Only between runs.
+     */
+    void restoreBoard(std::size_t i, const std::string &path)
+    {
+        requireIdle("restoreBoard");
+        boards_[i]->loadState(path);
+    }
+
   private:
     void workerMain(std::size_t worker, std::size_t worker_count);
     void feedBoard(std::size_t i, const FleetEvent *events,

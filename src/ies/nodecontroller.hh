@@ -23,6 +23,7 @@
 
 #include "bus/transaction.hh"
 #include "cache/tagstore.hh"
+#include "checkpoint/codec.hh"
 #include "common/counters.hh"
 #include "ies/boardconfig.hh"
 #include "protocol/table.hh"
@@ -219,7 +220,14 @@ class NodeController
     /** Set-sampling shift this node runs with (0 = every set). */
     unsigned samplingShift() const { return config_.setSamplingShift; }
 
-    /** Visit every valid directory line (checkpointing). */
+    /**
+     * Visit every valid directory line as (lineAddr, state) — the
+     * canonical directory traversal. Observational consumers (the
+     * differential oracle, directorySnapshot) are built on it; exact
+     * state capture goes through the StateCodec (saveState), which
+     * additionally carries replacement metadata this visitor cannot
+     * express.
+     */
     void exportDirectory(
         const std::function<void(Addr, cache::LineStateRaw)> &fn) const
     {
@@ -227,28 +235,61 @@ class NodeController
     }
 
     /**
-     * Directory contents as (line address, state) pairs sorted by
-     * address — the canonical form the differential oracle compares.
+     * Compatibility shim over exportDirectory(): directory contents as
+     * (line address, state) pairs sorted by address, the materialized
+     * form the differential oracle compares. Prefer exportDirectory()
+     * in new code.
      */
     std::vector<std::pair<Addr, cache::LineStateRaw>>
     directorySnapshot() const
     {
         std::vector<std::pair<Addr, cache::LineStateRaw>> lines;
-        directory_.forEachValid([&](Addr addr, cache::LineStateRaw s) {
+        exportDirectory([&](Addr addr, cache::LineStateRaw s) {
             lines.emplace_back(addr, s);
         });
         std::sort(lines.begin(), lines.end());
         return lines;
     }
 
-    /** Reinsert one exported line (checkpoint restore). */
-    void importLine(Addr addr, cache::LineStateRaw state)
-    {
-        directory_.allocate(addr, state);
-    }
-
-    /** Geometry fingerprint used to validate checkpoints. */
+    /** Geometry fingerprint used to validate checkpoints/resyncs. */
     std::uint64_t geometrySignature() const;
+
+    /**
+     * StateCodec: append this node's full state — geometry signature,
+     * counter bank, pending parity scrubs, and the exact directory
+     * (tags, states, recency stamps, PLRU bits, replacement RNGs) — to
+     * @p sink.
+     */
+    void saveState(ckpt::Sink &sink) const;
+
+    /** Decoded-but-unapplied node state (see decodeState). */
+    struct State
+    {
+        std::vector<std::uint64_t> counters;
+        std::vector<Addr> corrupted;
+        cache::TagStore::State directory;
+    };
+
+    /**
+     * Validate-only half of loadState: fatal() when the saved geometry
+     * signature does not match this node's, no mutation.
+     */
+    State decodeState(ckpt::Source &source) const;
+
+    /** Apply a state staged by decodeState(). */
+    void restoreState(const State &state);
+
+    /** StateCodec: decodeState + restoreState in one step. */
+    void loadState(ckpt::Source &source) { restoreState(decodeState(source)); }
+
+    /**
+     * Directory-only codec half for the resync path: like saveState /
+     * decodeState but without the counter bank (a resynced board keeps
+     * its own counters; a restored board gets the saved ones).
+     */
+    void saveDirectoryState(ckpt::Sink &sink) const;
+    State decodeDirectoryState(ckpt::Source &source) const;
+    void restoreDirectoryState(const State &state);
 
     /** References that fell outside the sampled sets. */
     std::uint64_t unsampledRefs() const
@@ -271,6 +312,9 @@ class NodeController
     }
 
   private:
+    /** Shared decode body of decodeState/decodeDirectoryState. */
+    void decodeDirectoryInto(State &state, ckpt::Source &source) const;
+
     /** True when @p addr falls in a tracked (sampled) set. */
     bool inSample(Addr addr) const;
 

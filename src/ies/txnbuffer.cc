@@ -103,4 +103,74 @@ TransactionBuffer::drainUnpaced()
     return popFront();
 }
 
+void
+TransactionBuffer::saveState(ckpt::Sink &sink) const
+{
+    sink.u64(count_);
+    for (std::size_t i = 0; i < count_; ++i) {
+        std::size_t slot = head_ + i;
+        if (slot >= capacity_)
+            slot -= capacity_;
+        bus::saveTransaction(sink, ring_[slot]);
+    }
+    sink.u64(lastEarnCycle_);
+    sink.u64(stallUntil_);
+    sink.u64(slotLossSlots_);
+    sink.u64(slotLossUntil_);
+    sink.u64(credits_);
+    sink.u64(highWater_);
+    sink.u64(rejected_);
+    sink.u64(retired_);
+}
+
+TransactionBuffer::State
+TransactionBuffer::decodeState(ckpt::Source &source) const
+{
+    State state;
+    const std::uint64_t count = source.u64();
+    if (count > capacity_) {
+        fatal(source.context(), ": ", count,
+              " in-flight entries exceed this buffer's capacity of ",
+              capacity_);
+    }
+    state.entries.reserve(count);
+    for (std::uint64_t i = 0; i < count; ++i)
+        state.entries.push_back(bus::decodeTransaction(source));
+    state.lastEarnCycle = source.u64();
+    state.stallUntil = source.u64();
+    state.slotLossSlots = source.u64();
+    state.slotLossUntil = source.u64();
+    state.credits = source.u64();
+    const std::uint64_t cap = static_cast<std::uint64_t>(capacity_) * 100;
+    if (state.credits > cap) {
+        fatal(source.context(), ": ", state.credits,
+              " banked credits exceed the earning cap of ", cap);
+    }
+    state.highWater = source.u64();
+    if (state.highWater > capacity_) {
+        fatal(source.context(), ": high-water mark ", state.highWater,
+              " exceeds capacity ", capacity_);
+    }
+    state.rejected = source.u64();
+    state.retired = source.u64();
+    return state;
+}
+
+void
+TransactionBuffer::restoreState(const State &state)
+{
+    head_ = 0;
+    count_ = state.entries.size();
+    for (std::size_t i = 0; i < count_; ++i)
+        ring_[i] = state.entries[i];
+    lastEarnCycle_ = state.lastEarnCycle;
+    stallUntil_ = state.stallUntil;
+    slotLossSlots_ = state.slotLossSlots;
+    slotLossUntil_ = state.slotLossUntil;
+    credits_ = state.credits;
+    highWater_ = state.highWater;
+    rejected_ = state.rejected;
+    retired_ = state.retired;
+}
+
 } // namespace memories::ies

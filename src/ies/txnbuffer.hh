@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "bus/transaction.hh"
+#include "checkpoint/codec.hh"
 #include "common/types.hh"
 #include "telemetry/histogram.hh"
 
@@ -128,6 +129,42 @@ class TransactionBuffer
         occupancyHist_ = occupancy;
         latencyHist_ = latency;
     }
+
+    /**
+     * StateCodec: append the full pacing state — in-flight entries in
+     * FIFO order, earned credits, fault windows (stall / slot loss) and
+     * the diagnostic counters — to @p sink. Telemetry histogram
+     * attachments are runtime wiring, not state, and are not saved.
+     */
+    void saveState(ckpt::Sink &sink) const;
+
+    /** Decoded-but-unapplied buffer state (see decodeState). */
+    struct State
+    {
+        std::vector<bus::BusTransaction> entries; //!< FIFO order
+        Cycle lastEarnCycle = 0;
+        Cycle stallUntil = 0;
+        std::uint64_t slotLossSlots = 0;
+        Cycle slotLossUntil = 0;
+        std::uint64_t credits = 0;
+        std::uint64_t highWater = 0;
+        std::uint64_t rejected = 0;
+        std::uint64_t retired = 0;
+    };
+
+    /**
+     * Validate-only half of loadState: decode a saveState() payload
+     * against this buffer's capacity without mutating anything;
+     * fatal() on occupancy overflow, unknown bus ops, or credits
+     * beyond the earning cap.
+     */
+    State decodeState(ckpt::Source &source) const;
+
+    /** Apply a state staged by decodeState(). */
+    void restoreState(const State &state);
+
+    /** StateCodec: decodeState + restoreState in one step. */
+    void loadState(ckpt::Source &source) { restoreState(decodeState(source)); }
 
   private:
     /** Earn drain credits for the span (lastEarnCycle_, now]. */

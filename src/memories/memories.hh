@@ -22,6 +22,8 @@
 #include "bus/transaction.hh"
 #include "cache/config.hh"
 #include "cache/tagstore.hh"
+#include "checkpoint/codec.hh"
+#include "checkpoint/file.hh"
 #include "common/bitops.hh"
 #include "common/counters.hh"
 #include "common/logging.hh"

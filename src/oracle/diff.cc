@@ -4,6 +4,7 @@
 #include <map>
 #include <sstream>
 
+#include "checkpoint/file.hh"
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "ies/board.hh"
@@ -41,12 +42,12 @@ std::map<std::string, std::uint64_t>
 productionCounters(const ies::MemoriesBoard &board)
 {
     std::map<std::string, std::uint64_t> all;
-    for (const CounterSample &s : board.globalCounters().snapshot())
+    const auto collect = [&all](const CounterSample &s) {
         all[std::string(s.name)] = s.value;
-    for (std::size_t i = 0; i < board.numNodes(); ++i) {
-        for (const CounterSample &s : board.node(i).counters().snapshot())
-            all[std::string(s.name)] = s.value;
-    }
+    };
+    board.globalCounters().snapshot(collect);
+    for (std::size_t i = 0; i < board.numNodes(); ++i)
+        board.node(i).counters().snapshot(collect);
     return all;
 }
 
@@ -75,10 +76,16 @@ DiffReport::describe() const
     return os.str();
 }
 
-DiffReport
-diffStream(const ies::BoardConfig &config,
-           const std::vector<bus::BusTransaction> &stream,
-           const DiffOptions &opts)
+/**
+ * Shared diff body: when @p checkpoint_path is non-null both boards
+ * resume from it (counters cleared, so the diff covers the resumed
+ * stream only) before the stream is fed.
+ */
+static DiffReport
+diffStreamImpl(const ies::BoardConfig &config,
+               const std::string *checkpoint_path,
+               const std::vector<bus::BusTransaction> &stream,
+               const DiffOptions &opts)
 {
     DiffReport report;
     auto note = [&report, &opts](std::string msg) {
@@ -93,6 +100,12 @@ diffStream(const ies::BoardConfig &config,
     const ies::BoardConfig &ref_config =
         opts.refConfig ? *opts.refConfig : config;
     RefBoard ref(ref_config, opts.boardSeed, opts.mutation);
+    if (checkpoint_path) {
+        board->loadState(*checkpoint_path);
+        board->clearCounters();
+        ref.restoreFromCheckpoint(
+            ckpt::CheckpointImage::fromFile(*checkpoint_path));
+    }
 
     // Size the recorder to hold the whole run when the caller did not
     // insist: each tenure produces well under 16 events.
@@ -255,6 +268,23 @@ diffStream(const ies::BoardConfig &config,
         report.flightDump = recorder.snapshot();
     board->detachFlightRecorder();
     return report;
+}
+
+DiffReport
+diffStream(const ies::BoardConfig &config,
+           const std::vector<bus::BusTransaction> &stream,
+           const DiffOptions &opts)
+{
+    return diffStreamImpl(config, nullptr, stream, opts);
+}
+
+DiffReport
+diffStreamFromCheckpoint(const ies::BoardConfig &config,
+                         const std::string &checkpointPath,
+                         const std::vector<bus::BusTransaction> &stream,
+                         const DiffOptions &opts)
+{
+    return diffStreamImpl(config, &checkpointPath, stream, opts);
 }
 
 std::vector<LatticeConfig>

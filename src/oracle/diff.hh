@@ -85,6 +85,26 @@ DiffReport diffStream(const ies::BoardConfig &config,
                       const std::vector<bus::BusTransaction> &stream,
                       const DiffOptions &opts = {});
 
+/**
+ * Like diffStream(), but both boards first resume from the IESCKPT
+ * checkpoint at @p checkpointPath: the production board restores it
+ * via MemoriesBoard::loadState and the reference board re-parses the
+ * same file independently (RefBoard::restoreFromCheckpoint). Counters
+ * are cleared on both sides after the restore, so the comparison
+ * covers exactly the resumed stream — this is the
+ * `oracle_diff --from-checkpoint` path for replaying a divergence
+ * tail without its warmup (docs/TESTING.md).
+ *
+ * The checkpoint must be quiescent and fault-free: no in-flight retry
+ * tenure, no fault-injector section, no parity-corrupted lines and no
+ * buffer stall/slot-loss state, and its config fingerprint must match
+ * @p config. Violations fatal() with a diagnostic.
+ */
+DiffReport diffStreamFromCheckpoint(
+    const ies::BoardConfig &config, const std::string &checkpointPath,
+    const std::vector<bus::BusTransaction> &stream,
+    const DiffOptions &opts = {});
+
 /** One named point of the configuration lattice. */
 struct LatticeConfig
 {

@@ -1,8 +1,10 @@
 #include "oracle/refboard.hh"
 
 #include <algorithm>
+#include <array>
 
 #include "bus/busop.hh"
+#include "checkpoint/file.hh"
 #include "common/bitops.hh"
 #include "common/logging.hh"
 #include "protocol/state.hh"
@@ -85,6 +87,189 @@ RefBoard::RefBoard(const ies::BoardConfig &config, std::uint64_t seed,
         }
         nodes_.push_back(std::move(node));
     }
+}
+
+void
+RefBoard::restoreFromCheckpoint(const ckpt::CheckpointImage &image)
+{
+    if (image.configFingerprint() != config_.fingerprint()) {
+        fatal("oracle restore: checkpoint was taken under a different "
+              "board configuration (fingerprint 0x", std::hex,
+              image.configFingerprint(), " vs this board's 0x",
+              config_.fingerprint(), std::dec, ")");
+    }
+    if (image.has(ckpt::secInjector)) {
+        fatal("oracle restore: the checkpoint was taken with a fault "
+              "injector attached; the oracle models the fault-free "
+              "board only");
+    }
+
+    // Board meta section. Counter values are skipped, not restored:
+    // from-checkpoint diffs compare deltas over the resumed stream.
+    ckpt::Source meta = image.open(ckpt::secBoard);
+    const std::uint64_t node_count = meta.u64();
+    if (node_count != nodes_.size()) {
+        fatal("oracle restore: checkpoint holds ", node_count,
+              " nodes but this configuration has ", nodes_.size());
+    }
+    const std::uint64_t global_counters = meta.u64();
+    for (std::uint64_t i = 0; i < global_counters; ++i)
+        meta.u64();
+    if (meta.u8() != 0) {
+        fatal("oracle restore: the checkpoint holds an in-flight retry "
+              "tenure; checkpoint at a quiescent feed point to diff "
+              "from it");
+    }
+    meta.u8();  // retry latch: meaningless without a pending tenure
+    meta.u64(); // health cycle (oracle configs have health disabled)
+    meta.u32(); // next trace id (the oracle does not assign ids)
+    meta.expectEnd();
+
+    // Transaction buffer: FIFO contents plus the credit-pacing state.
+    ckpt::Source buf = image.open(ckpt::secBuffer);
+    const std::uint64_t inflight = buf.u64();
+    if (inflight > capacity_) {
+        fatal("oracle restore: ", inflight,
+              " in-flight entries exceed this buffer's capacity of ",
+              capacity_);
+    }
+    std::deque<bus::BusTransaction> fifo;
+    for (std::uint64_t i = 0; i < inflight; ++i)
+        fifo.push_back(bus::decodeTransaction(buf));
+    const std::uint64_t last_earn = buf.u64();
+    const std::uint64_t stall_until = buf.u64();
+    const std::uint64_t loss_slots = buf.u64();
+    const std::uint64_t loss_until = buf.u64();
+    if (stall_until != 0 || loss_slots != 0 || loss_until != 0) {
+        fatal("oracle restore: the checkpointed buffer carries "
+              "stall/slot-loss fault state the oracle does not model");
+    }
+    const std::uint64_t credits = buf.u64();
+    const std::uint64_t high_water = buf.u64();
+    buf.u64(); // rejected total (the oracle counts retries_posted)
+    const std::uint64_t retired = buf.u64();
+    buf.expectEnd();
+
+    // Node sections: decode each directory into staging first so a
+    // malformed later section cannot leave the oracle half-restored.
+    struct StagedNode
+    {
+        std::vector<std::uint64_t> frames;
+        std::vector<std::uint8_t> plru;
+        std::vector<std::array<std::uint64_t, 4>> rngWords;
+    };
+    std::vector<StagedNode> staged(nodes_.size());
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        const Node &node = nodes_[i];
+        ckpt::Source src = image.open(
+            ckpt::secNodeBase + static_cast<std::uint32_t>(i));
+        src.u64(); // geometry signature: the fingerprint gate above
+                   // already pins the full configuration
+        const std::uint64_t node_counters = src.u64();
+        for (std::uint64_t c = 0; c < node_counters; ++c)
+            src.u64();
+        const std::uint64_t corrupted = src.u64();
+        if (corrupted != 0) {
+            fatal("oracle restore: node ", i, " carries ", corrupted,
+                  " parity-corrupted lines; the oracle models the "
+                  "fault-free board only");
+        }
+        const std::uint64_t sets = node.setMask + 1;
+        const std::uint64_t stride = 2ull * node.assoc;
+        const std::uint64_t words = src.u64();
+        if (words != sets * stride) {
+            fatal("oracle restore: node ", i, " directory holds ",
+                  words, " words but this geometry needs ",
+                  sets * stride);
+        }
+        StagedNode &st = staged[i];
+        st.frames.resize(words);
+        for (std::uint64_t w = 0; w < words; ++w)
+            st.frames[w] = src.u64();
+        // The production TagStore sizes these arrays by policy: PLRU
+        // bits exist only under TreePLRU, per-set RNG streams only
+        // under Random. Mirror that exactly.
+        const std::uint64_t want_plru =
+            node.cfg.cache.policy ==
+                    cache::ReplacementPolicy::TreePLRU
+                ? sets
+                : 0;
+        const std::uint64_t plru_count = src.u64();
+        if (plru_count != want_plru) {
+            fatal("oracle restore: node ", i, " holds ", plru_count,
+                  " PLRU entries but this geometry expects ",
+                  want_plru);
+        }
+        st.plru.resize(plru_count);
+        if (plru_count > 0)
+            src.raw(st.plru.data(), plru_count);
+        const std::uint64_t want_rng =
+            node.cfg.cache.policy == cache::ReplacementPolicy::Random
+                ? sets
+                : 0;
+        const std::uint64_t rng_count = src.u64();
+        if (rng_count != want_rng) {
+            fatal("oracle restore: node ", i, " holds ", rng_count,
+                  " per-set RNG streams but this geometry expects ",
+                  want_rng);
+        }
+        st.rngWords.resize(rng_count);
+        for (std::uint64_t s = 0; s < rng_count; ++s) {
+            for (std::uint64_t w = 0; w < 4; ++w)
+                st.rngWords[s][w] = src.u64();
+        }
+        src.expectEnd();
+    }
+
+    // Everything decoded; commit. Only sets that differ from a
+    // freshly-built one are materialized, preserving the lazy map.
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        Node &node = nodes_[i];
+        const StagedNode &st = staged[i];
+        const std::uint64_t sets = node.setMask + 1;
+        const std::uint64_t stride = 2ull * node.assoc;
+        node.sets.clear();
+        node.tick = 0;
+        for (std::uint64_t s = 0; s < sets; ++s) {
+            const std::uint64_t *block = &st.frames[s * stride];
+            bool touched = !st.plru.empty() && st.plru[s] != 0;
+            for (std::uint64_t w = 0; w < stride && !touched; ++w)
+                touched = block[w] != 0;
+            const Rng pristine(node.seedBase +
+                               s * 0x9E3779B97F4A7C15ull);
+            if (!touched && (st.rngWords.empty() ||
+                             st.rngWords[s] == pristine.state()))
+                continue;
+            Set &set = node.sets[s];
+            set.ways.resize(node.assoc);
+            for (unsigned w = 0; w < node.assoc; ++w) {
+                // Packed tag|state word: (line << 8) | state; stale
+                // line/stamp bits of invalid frames restore too, so
+                // future recency math matches the production board.
+                Frame &frame = set.ways[w];
+                frame.line = block[w] >> 8;
+                frame.state = static_cast<std::uint8_t>(block[w] & 0xff);
+                frame.stamp = block[node.assoc + w];
+                if (frame.stamp > node.tick)
+                    node.tick = frame.stamp;
+            }
+            set.plruBits = st.plru.empty() ? 0 : st.plru[s];
+            // A materialized set must match what setFor() would build:
+            // restore the checkpointed RNG stream under Random, the
+            // pristine per-set seed otherwise.
+            if (!st.rngWords.empty())
+                set.rng.setState(st.rngWords[s]);
+            else
+                set.rng = pristine;
+        }
+    }
+
+    fifo_ = std::move(fifo);
+    lastEarnCycle_ = last_earn;
+    credits_ = credits;
+    highWater_ = static_cast<std::size_t>(high_water);
+    retired_ = retired;
+    retirements_.clear();
 }
 
 std::uint64_t &

@@ -46,6 +46,11 @@
 #include "common/types.hh"
 #include "ies/boardconfig.hh"
 
+namespace memories::ckpt
+{
+class CheckpointImage;
+} // namespace memories::ckpt
+
 namespace memories::oracle
 {
 
@@ -93,6 +98,26 @@ class RefBoard
     explicit RefBoard(const ies::BoardConfig &config,
                       std::uint64_t seed = 1,
                       RefMutation mutation = RefMutation::None);
+
+    /**
+     * Resume from an IESCKPT checkpoint: decode the directory, buffer
+     * and pacing sections of @p image (by their documented layout,
+     * docs/FORMATS.md section 7 — the oracle deliberately re-parses
+     * rather than reusing the production loadState) and rebuild this
+     * board's sets, FIFO and credit state to match the checkpointed
+     * production board exactly.
+     *
+     * Counter values are intentionally NOT restored: a from-checkpoint
+     * diff clears the production counters after its restore and
+     * compares the deltas accumulated over the resumed stream, so both
+     * sides start from zero.
+     *
+     * fatal()s when the checkpoint cannot be diffed against: config
+     * fingerprint mismatch, a fault-injector section, parity-corrupted
+     * lines, buffer stall/slot-loss fault state, or an in-flight retry
+     * tenure (checkpoint at a quiescent feed point).
+     */
+    void restoreFromCheckpoint(const ckpt::CheckpointImage &image);
 
     /**
      * Feed one committed tenure, exactly like

@@ -145,6 +145,9 @@ TEST_F(CheckpointTest, WarmRestoreSkipsColdStart)
     bus::Bus6xx restored_bus;
     MemoriesBoard restored(makeUniformBoard(1, 8, smallCache()));
     restored.loadState(path_);
+    // The IESCKPT restore brings the warmup counters back too; clear
+    // them so the miss ratio below covers the measured window only.
+    restored.clearCounters();
     restored.plugInto(restored_bus);
 
     traffic(cold, cold_bus);

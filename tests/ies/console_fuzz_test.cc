@@ -40,6 +40,13 @@ TEST(ConsoleFuzzTest, GarbageCommandsNeverEscape)
         "dump-trace",
         "save-state",
         "load-state /definitely/not/there",
+        "ckpt",
+        "ckpt save",
+        "ckpt save /no/such/dir/state.ckpt",
+        "ckpt load /definitely/not/there.ckpt",
+        "ckpt info /definitely/not/there.ckpt",
+        "ckpt info",
+        "ckpt frobnicate state.ckpt",
         "script",
         "export-csv",
         "\t\tnode\t0",
@@ -72,7 +79,8 @@ TEST(ConsoleFuzzTest, RandomTokenSoupIsHandled)
     const char *words[] = {"node",  "0",      "cache", "2MB",   "4",
                            "128B",  "cpus",   "init",  "stats", "LRU",
                            "->",    "*",      "0x10",  "-5",    "reset",
-                           "fault", "health", "arm",   "load",  "on"};
+                           "fault", "health", "arm",   "load",  "on",
+                           "ckpt",  "info"};
     for (int i = 0; i < 500; ++i) {
         std::string cmd;
         const auto len = 1 + rng.nextBounded(6);
