@@ -12,6 +12,10 @@
  *   --json=FILE     also write machine-readable results to FILE
  *                   (benches that support it; CI uploads these as
  *                   artifacts so throughput is trackable over time)
+ *   --profile=DIR   attach an IESPROF profiler to the profiled
+ *                   sections and write flamegraph/chrome-trace
+ *                   artifacts into DIR (benches that support it); the
+ *                   per-stage breakdown also lands in the JSON file
  *
  * The harnesses print the same rows/series the paper's tables and
  * figures report, alongside the paper's published values where they
@@ -38,6 +42,7 @@ struct BenchArgs
     double scale = 1.0;
     std::string telemetryDir; //!< empty = no telemetry emission
     std::string jsonPath;     //!< empty = no JSON results file
+    std::string profileDir;   //!< empty = no self-profiling
 
     static BenchArgs
     parse(int argc, char **argv)
@@ -52,6 +57,8 @@ struct BenchArgs
                 args.telemetryDir = argv[i] + 12;
             else if (std::strncmp(argv[i], "--json=", 7) == 0)
                 args.jsonPath = argv[i] + 7;
+            else if (std::strncmp(argv[i], "--profile=", 10) == 0)
+                args.profileDir = argv[i] + 10;
             else
                 std::fprintf(stderr, "ignoring unknown option %s\n",
                              argv[i]);
@@ -117,10 +124,16 @@ buildSha()
  * BENCH_<name>.json files CI uploads): bench name, the commit they
  * measure, a one-line config description, and events/sec per section.
  */
+/**
+ * @param extraJson Optional extra top-level members, rendered verbatim
+ *        after the sections array (e.g. "\"profile\": {...}"); pass ""
+ *        for the plain schema.
+ */
 inline void
 writeJsonResults(const std::string &path, const std::string &bench,
                  const std::string &config,
-                 const std::vector<BenchResult> &results)
+                 const std::vector<BenchResult> &results,
+                 const std::string &extraJson = "")
 {
     std::FILE *f = std::fopen(path.c_str(), "w");
     if (f == nullptr) {
@@ -141,7 +154,10 @@ writeJsonResults(const std::string &path, const std::string &bench,
                      r.eventsPerSec(),
                      i + 1 < results.size() ? "," : "");
     }
-    std::fprintf(f, "  ]\n}\n");
+    std::fprintf(f, "  ]%s\n", extraJson.empty() ? "" : ",");
+    if (!extraJson.empty())
+        std::fprintf(f, "  %s\n", extraJson.c_str());
+    std::fprintf(f, "}\n");
     std::fclose(f);
 }
 

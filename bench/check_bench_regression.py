@@ -12,9 +12,26 @@ The gate fails when a measured speedup falls more than --tolerance
 (default 10%) below its baseline value. Speedups *above* baseline only
 print a note — update the baseline deliberately, not from CI noise.
 
+The baseline may also carry "overhead_gates": ratio *ceilings* between
+two sections of the same run, used to bound the cost of the IESPROF
+profiler (numerator = instrumented section, denominator = its plain
+twin, max_ratio = the ceiling, checked without extra tolerance since
+the ceiling already embeds the allowance). An overhead gate whose
+sections are absent (the bench ran without --profile) is skipped with
+a note rather than failed.
+
+When the results file carries a "profile" object (bench ran with
+--profile), the per-stage attribution is sanity-checked: the direct
+children of feed_batch must sum to within 10% of feed_batch itself —
+wildly unattributed time means a hook site went missing.
+
+With --history FILE, also prints the ns/ref trajectory of the batch@1
+section from bench/BENCH_history.jsonl (one JSON object per line,
+appended per CI run by append_bench_history.py).
+
 Usage:
     check_bench_regression.py BENCH_throughput.json [--baseline FILE]
-                              [--tolerance 0.10]
+                              [--tolerance 0.10] [--history FILE]
 """
 
 import argparse
@@ -22,12 +39,124 @@ import json
 import sys
 
 
-def section_ns_per_ref(doc, label):
-    for section in doc["sections"]:
+def load_json(path, what):
+    """Load a JSON file, exiting with a clear message (not a
+    traceback) when it is missing, unreadable, or malformed."""
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except FileNotFoundError:
+        raise SystemExit(f"error: {what} file {path!r} not found — "
+                         "did the bench run and write its JSON "
+                         "artifact?")
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"error: {what} file {path!r} is not valid "
+                         f"JSON ({exc}) — truncated bench run?")
+    except OSError as exc:
+        raise SystemExit(f"error: cannot read {what} file {path!r}: "
+                         f"{exc}")
+
+
+def section_ns_per_ref(doc, label, required=True):
+    for section in doc.get("sections", []):
         if section["label"] == label:
+            if section["events"] <= 0:
+                raise SystemExit(f"error: section {label!r} has zero "
+                                 "events — malformed results file")
             return section["seconds"] / section["events"] * 1e9
-    raise SystemExit(f"section {label!r} missing from {doc['bench']} "
-                     "results — did a bench label change?")
+    if required:
+        raise SystemExit(f"section {label!r} missing from "
+                         f"{doc.get('bench', '?')} results — did a "
+                         "bench label change?")
+    return None
+
+
+def check_speedup_gates(results, baseline, tolerance):
+    failures = []
+    for gate in baseline.get("speedup_gates", []):
+        slow = section_ns_per_ref(results, gate["numerator"])
+        fast = section_ns_per_ref(results, gate["denominator"])
+        measured = slow / fast
+        floor = gate["min_speedup"] * (1.0 - tolerance)
+        verdict = "OK" if measured >= floor else "FAIL"
+        print(f"[{verdict}] {gate['name']}: {slow:.1f} ns/ref vs "
+              f"{fast:.1f} ns/ref = {measured:.2f}x "
+              f"(baseline {gate['min_speedup']:.2f}x, floor "
+              f"{floor:.2f}x)")
+        if measured < floor:
+            failures.append(gate["name"])
+        elif measured > gate["min_speedup"] * (1.0 + tolerance):
+            print(f"  note: {gate['name']} beats baseline by >"
+                  f"{tolerance:.0%} — consider raising it")
+    return failures
+
+
+def check_overhead_gates(results, baseline):
+    failures = []
+    for gate in baseline.get("overhead_gates", []):
+        num = section_ns_per_ref(results, gate["numerator"],
+                                 required=False)
+        den = section_ns_per_ref(results, gate["denominator"],
+                                 required=False)
+        if num is None or den is None:
+            print(f"[SKIP] {gate['name']}: profiled sections absent "
+                  "(bench ran without --profile)")
+            continue
+        measured = num / den
+        verdict = "OK" if measured <= gate["max_ratio"] else "FAIL"
+        print(f"[{verdict}] {gate['name']}: {num:.1f} ns/ref vs "
+              f"{den:.1f} ns/ref = {measured:.3f}x "
+              f"(ceiling {gate['max_ratio']:.2f}x)")
+        if measured > gate["max_ratio"]:
+            failures.append(gate["name"])
+    return failures
+
+
+def check_profile_attribution(results):
+    """feed_batch's direct children must account for ~all of it."""
+    profile = results.get("profile")
+    if not profile:
+        return []
+    stages = {s["stage"]: s["ns"] for s in profile.get("stages", [])}
+    total = stages.get("feed_batch", 0)
+    if total <= 0:
+        print("[SKIP] profile attribution: no feed_batch time "
+              "recorded")
+        return []
+    children = ("batch_admission", "shard_dispatch", "counter_merge",
+                "journal_replay")
+    attributed = sum(stages.get(name, 0) for name in children)
+    share = attributed / total
+    verdict = "OK" if 0.90 <= share <= 1.10 else "FAIL"
+    print(f"[{verdict}] profile attribution: stages cover "
+          f"{share:.1%} of feed_batch "
+          f"({attributed} of {total} ns)")
+    return [] if verdict == "OK" else ["profile attribution"]
+
+
+def print_history(path, label="feed batch @1 shard"):
+    try:
+        with open(path) as f:
+            lines = [line.strip() for line in f if line.strip()]
+    except OSError as exc:
+        print(f"note: cannot read history {path!r}: {exc}")
+        return
+    if not lines:
+        print(f"note: history {path!r} is empty")
+        return
+    print(f"\nbench trajectory ({label!r}, {len(lines)} runs):")
+    for lineno, line in enumerate(lines, 1):
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            print(f"  line {lineno}: <malformed, skipped>")
+            continue
+        ns = entry.get("ns_per_ref", {}).get(label)
+        sha = entry.get("git_sha", "?")[:12]
+        if ns is None:
+            print(f"  {sha}  <section absent>")
+        else:
+            print(f"  {sha}  {ns:8.1f} ns/ref")
 
 
 def main():
@@ -36,29 +165,21 @@ def main():
     parser.add_argument("--baseline",
                         default="bench/BENCH_throughput.baseline.json")
     parser.add_argument("--tolerance", type=float, default=0.10)
+    parser.add_argument("--history", default=None,
+                        help="BENCH_history.jsonl to print the "
+                        "ns/ref trajectory from")
     args = parser.parse_args()
 
-    with open(args.results) as f:
-        results = json.load(f)
-    with open(args.baseline) as f:
-        baseline = json.load(f)
+    results = load_json(args.results, "results")
+    baseline = load_json(args.baseline, "baseline")
 
     failures = []
-    for gate in baseline["speedup_gates"]:
-        slow = section_ns_per_ref(results, gate["numerator"])
-        fast = section_ns_per_ref(results, gate["denominator"])
-        measured = slow / fast
-        floor = gate["min_speedup"] * (1.0 - args.tolerance)
-        verdict = "OK" if measured >= floor else "FAIL"
-        print(f"[{verdict}] {gate['name']}: {slow:.1f} ns/ref vs "
-              f"{fast:.1f} ns/ref = {measured:.2f}x "
-              f"(baseline {gate['min_speedup']:.2f}x, floor "
-              f"{floor:.2f}x)")
-        if measured < floor:
-            failures.append(gate["name"])
-        elif measured > gate["min_speedup"] * (1.0 + args.tolerance):
-            print(f"  note: {gate['name']} beats baseline by >"
-                  f"{args.tolerance:.0%} — consider raising it")
+    failures += check_speedup_gates(results, baseline, args.tolerance)
+    failures += check_overhead_gates(results, baseline)
+    failures += check_profile_attribution(results)
+
+    if args.history:
+        print_history(args.history)
 
     if failures:
         print(f"\nbench regression gate FAILED: {', '.join(failures)}")

@@ -48,6 +48,7 @@ main(int argc, char **argv)
     }
 
     std::vector<bench::BenchResult> results;
+    std::string profile_json; // "\"profile\": {...}" when --profile ran
     auto report = [&results](const char *label, double seconds,
                              double count) {
         std::printf("%-34s %8.1f M/s  %6.1f ns/ref\n", label,
@@ -140,6 +141,80 @@ main(int argc, char **argv)
                           shards == 1 ? "" : "s");
             report(label, clock.seconds(),
                    static_cast<double>(trace.size()));
+        }
+        if (!args.profileDir.empty()) {
+            // The same ladder rungs again with an IESPROF profiler
+            // attached: the (profiled) rows vs their plain twins above
+            // are the measured-overhead gate (<5%, enforced by
+            // check_bench_regression.py), and the @1 stage breakdown
+            // becomes the "profile" object in the JSON artifact.
+            std::filesystem::create_directories(args.profileDir);
+            for (std::size_t shards :
+                 {std::size_t{1}, std::size_t{4}}) {
+                ies::MemoriesBoard board(config);
+                profile::Profiler prof;
+                board.attachProfiler(prof);
+                if (shards > 1)
+                    board.enableSharding(shards);
+                constexpr std::size_t chunk = 4096;
+                bench::Stopwatch clock;
+                for (std::size_t at = 0; at < trace.size();
+                     at += chunk) {
+                    const std::size_t len =
+                        std::min(chunk, trace.size() - at);
+                    board.feedBatch(&trace[at], len);
+                }
+                board.drainAll();
+                char label[64];
+                std::snprintf(label, sizeof(label),
+                              "feed batch @%zu shard%s (profiled)",
+                              shards, shards == 1 ? "" : "s");
+                report(label, clock.seconds(),
+                       static_cast<double>(trace.size()));
+                const std::string folded =
+                    args.profileDir +
+                    (shards == 1 ? "/microbench_profile.folded"
+                                 : "/microbench_profile_shard4."
+                                   "folded");
+                profile::writeFoldedFile(prof, folded);
+                std::printf("  flamegraph stacks -> %s\n",
+                            folded.c_str());
+                if (shards == 1) {
+                    profile_json =
+                        "\"profile\": " +
+                        profile::profileJson(
+                            prof, static_cast<std::uint64_t>(
+                                      trace.size()));
+                    std::printf("%s", prof.describe().c_str());
+                }
+            }
+            // A short recorder+profiler run for the merged timeline:
+            // emulated spans (pids 0/1+) and emulator stage/shard
+            // spans (pid 99) in one chrome://tracing file.
+            {
+                ies::MemoriesBoard board(config);
+                trace::FlightRecorder recorder(std::size_t{1} << 16);
+                board.attachFlightRecorder(recorder, 0);
+                profile::Profiler prof;
+                board.attachProfiler(prof);
+                board.enableSharding(4);
+                constexpr std::size_t chunk = 4096;
+                const std::size_t merged_refs =
+                    std::min<std::size_t>(trace.size(), 64 * chunk);
+                for (std::size_t at = 0; at < merged_refs;
+                     at += chunk) {
+                    const std::size_t len =
+                        std::min(chunk, merged_refs - at);
+                    board.feedBatch(&trace[at], len);
+                }
+                board.drainAll();
+                const std::string merged =
+                    args.profileDir + "/microbench_profile.chrome.json";
+                profile::writeMergedChromeTraceFile(
+                    recorder.snapshot(), prof, merged, &recorder);
+                std::printf("  merged chrome trace -> %s\n",
+                            merged.c_str());
+            }
         }
     }
     {
@@ -239,7 +314,7 @@ main(int argc, char **argv)
                       "%llu refs, 64MiB/4-way/128B LRU board, 8 CPUs",
                       static_cast<unsigned long long>(n));
         bench::writeJsonResults(args.jsonPath, "microbench_throughput",
-                                config, results);
+                                config, results, profile_json);
         std::printf("\nJSON results -> %s\n", args.jsonPath.c_str());
     }
 

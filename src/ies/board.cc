@@ -1,5 +1,6 @@
 #include "ies/board.hh"
 
+#include <algorithm>
 #include <cstdio>
 #include <sstream>
 
@@ -8,6 +9,7 @@
 #include "common/logging.hh"
 #include "common/stats.hh"
 #include "fault/injector.hh"
+#include "profile/profiler.hh"
 
 namespace memories::ies
 {
@@ -151,6 +153,25 @@ MemoriesBoard::detachFaultInjector()
 }
 
 void
+MemoriesBoard::attachProfiler(profile::Profiler &profiler)
+{
+    prof_ = &profiler;
+    prof_->bindShards(shardCount_);
+}
+
+void
+MemoriesBoard::detachProfiler()
+{
+    prof_ = nullptr;
+}
+
+double
+MemoriesBoard::shardSkew() const
+{
+    return profile::occupancySkew(shardItems_);
+}
+
+void
 MemoriesBoard::resyncFrom(const MemoriesBoard &healthy)
 {
     if (&healthy == this)
@@ -191,9 +212,19 @@ MemoriesBoard::drainDue(Cycle now)
 {
     if (batching_) {
         // Batch path: pull everything due in one credit-earning pass
-        // and queue it per shard instead of emulating inline.
+        // and queue it per shard instead of emulating inline. This is
+        // the only per-tenure-frequency profiler hook, so it is
+        // sampled (1 in 2^6 timed) instead of paying a clock pair
+        // every call.
         const std::size_t before = retireSlab_.size();
-        buffer_.drainInto(now, retireSlab_);
+        if (prof_) {
+            const std::uint64_t t0 =
+                prof_->sampledBegin(profile::Stage::CreditPacing);
+            buffer_.drainInto(now, retireSlab_);
+            prof_->sampledEnd(profile::Stage::CreditPacing, t0);
+        } else {
+            buffer_.drainInto(now, retireSlab_);
+        }
         if (journaling_)
             retireEvents_.resize(retireSlab_.size());
         for (std::size_t k = before; k < retireSlab_.size(); ++k)
@@ -590,7 +621,20 @@ void
 MemoriesBoard::dispatchBuckets()
 {
     if (shardCount_ == 1) {
-        runSlabTail();
+        const std::uint64_t items = static_cast<std::uint64_t>(
+            retireSlab_.size() - slabEmulated_);
+        shardItems_[0] += items;
+        if (prof_ && items > 0) {
+            const std::uint64_t disp_t0 = profile::Profiler::nowNs();
+            prof_->noteDispatch(disp_t0);
+            prof_->noteShardItems(0, items);
+            const std::uint64_t t0 = prof_->shardBegin(0);
+            runSlabTail();
+            prof_->shardEnd(0, t0);
+            prof_->recordStage(profile::Stage::ShardDispatch, disp_t0);
+        } else {
+            runSlabTail();
+        }
         return;
     }
     bool any = false;
@@ -603,12 +647,30 @@ MemoriesBoard::dispatchBuckets()
     slabEmulated_ = retireSlab_.size();
     if (!any)
         return;
-    pool_->runAll([this](std::size_t shard) { runShardBucket(shard); });
+    for (std::size_t s = 0; s < shardCount_; ++s)
+        shardItems_[s] += buckets_[s].size();
+    if (prof_) {
+        const std::uint64_t disp_t0 = profile::Profiler::nowNs();
+        prof_->noteDispatch(disp_t0);
+        for (std::size_t s = 0; s < shardCount_; ++s)
+            prof_->noteShardItems(s, buckets_[s].size());
+        pool_->runAll([this](std::size_t shard) {
+            const std::uint64_t t0 = prof_->shardBegin(shard);
+            runShardBucket(shard);
+            prof_->shardEnd(shard, t0);
+        });
+        prof_->recordStage(profile::Stage::ShardDispatch, disp_t0);
+    } else {
+        pool_->runAll(
+            [this](std::size_t shard) { runShardBucket(shard); });
+    }
     for (auto &bucket : buckets_)
         bucket.clear();
     // Fold the per-shard counter deltas into the node banks. Counter40
     // adds commute modulo 2^40, so folding at every join yields the
     // same bytes as one fold at the end — and as the serial path.
+    profile::ScopedStage merge_scope(prof_,
+                                     profile::Stage::CounterMerge);
     for (std::size_t s = 0; s < shardCount_; ++s)
         for (std::size_t n = 0; n < nodes_.size(); ++n)
             nodes_[n]->absorbShardCounters(shardCounters_[s][n]);
@@ -654,6 +716,7 @@ MemoriesBoard::rebuildSerialSinks()
 void
 MemoriesBoard::rebuildShardScratch()
 {
+    shardItems_.assign(shardCount_, 0);
     buckets_.assign(shardCount_, {});
     shardCounters_.clear();
     shardSinks_.clear();
@@ -721,6 +784,8 @@ MemoriesBoard::enableSharding(std::size_t shards)
     pool_ = shardCount_ > 1 ? std::make_unique<ShardPool>(shardCount_)
                             : nullptr;
     rebuildShardScratch();
+    if (prof_)
+        prof_->bindShards(shardCount_);
     return shardCount_;
 }
 
@@ -732,12 +797,19 @@ MemoriesBoard::disableSharding()
     shardShift_ = 0;
     shardMask_ = 0;
     rebuildShardScratch();
+    if (prof_)
+        prof_->bindShards(shardCount_);
 }
 
 std::size_t
 MemoriesBoard::feedBatch(const bus::BusTransaction *txns,
                          std::size_t count, bool *accepted)
 {
+    const std::uint64_t prof_t0 =
+        prof_ ? profile::Profiler::nowNs() : 0;
+    if (prof_)
+        prof_->beginBatch(count > 0 ? txns[0].cycle : 0);
+
     batching_ = true;
     journaling_ = recorder_ != nullptr;
     inlineEmulation_ = anyNodeCorruption();
@@ -763,11 +835,15 @@ MemoriesBoard::feedBatch(const bus::BusTransaction *txns,
                     raiseAnomaly(kind, cycle, id);
                 });
         }
-        for (std::size_t i = 0; i < count; ++i) {
-            const bool ok = feedCommitted(txns[i]);
-            if (accepted)
-                accepted[i] = ok;
-            ok_count += ok;
+        {
+            profile::ScopedStage admission_scope(
+                prof_, profile::Stage::BatchAdmission);
+            for (std::size_t i = 0; i < count; ++i) {
+                const bool ok = feedCommitted(txns[i]);
+                if (accepted)
+                    accepted[i] = ok;
+                ok_count += ok;
+            }
         }
         if (journaling_ && injector_)
             injector_->setEventSinks({}, {});
@@ -776,6 +852,8 @@ MemoriesBoard::feedBatch(const bus::BusTransaction *txns,
         // per-tenure hooks of feedCommitted are all no-ops, so tally
         // the global counters in locals and fold them once (bump-by-1
         // k times and add(k) agree modulo 2^40).
+        profile::ScopedStage admission_scope(
+            prof_, profile::Stage::BatchAdmission);
         std::uint64_t n_tenures = 0, n_reads = 0, n_writes = 0;
         std::uint64_t n_wb = 0, n_filtered = 0, n_committed = 0;
         std::uint64_t n_retries = 0, n_lost = 0;
@@ -822,12 +900,17 @@ MemoriesBoard::feedBatch(const bus::BusTransaction *txns,
     dispatchBuckets();
     batching_ = false;
     if (journaling_) {
+        profile::ScopedStage replay_scope(
+            prof_, profile::Stage::JournalReplay);
         replayJournal();
         journaling_ = false;
     }
     retireSlab_.clear();
     retireEvents_.clear();
     journal_.clear();
+    if (prof_)
+        prof_->endBatch(count > 0 ? txns[count - 1].cycle : 0,
+                        prof_t0);
     return ok_count;
 }
 
@@ -871,6 +954,7 @@ MemoriesBoard::clearCounters()
     global_.clearAll();
     for (auto &node : nodes_)
         node->clearCounters();
+    std::fill(shardItems_.begin(), shardItems_.end(), 0);
 }
 
 void

@@ -40,6 +40,11 @@ class CheckpointWriter;
 class CheckpointImage;
 } // namespace memories::ckpt
 
+namespace memories::profile
+{
+class Profiler;
+} // namespace memories::profile
+
 namespace memories::ies
 {
 
@@ -268,6 +273,41 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
     /** Currently attached injector (nullptr when detached). */
     fault::FaultInjector *faultInjector() const { return injector_; }
 
+    /**
+     * Attach an IESPROF profiler: the batch hot path then attributes
+     * its wall-clock to pipeline stages and per-shard worker slabs
+     * (src/profile/profiler.hh). The profiler only observes the
+     * emulator — tests/profile/prof_equiv_test.cc proves every
+     * emulated byte (counters, directories, retirement order,
+     * chrome-trace bytes) identical attached vs detached. One
+     * profiler serves one board; the caller keeps ownership. Costs
+     * one null check per hook site when detached, like the recorder
+     * and injector.
+     */
+    void attachProfiler(profile::Profiler &profiler);
+
+    /** Stop profiling (the profiler keeps its accumulated data). */
+    void detachProfiler();
+
+    /** Currently attached profiler (nullptr when detached). */
+    profile::Profiler *profiler() const { return prof_; }
+
+    /**
+     * Always-on retirement-emulation occupancy per shard (index i =
+     * retirements emulated by shard i since the sharding layout last
+     * changed or counters were cleared; single element when sharding
+     * is off). Costs one add
+     * per shard per batch — kept on even without a profiler so
+     * FleetReport/BoardReport can surface load imbalance.
+     */
+    const std::vector<std::uint64_t> &shardOccupancy() const
+    {
+        return shardItems_;
+    }
+
+    /** Max/mean skew over shardOccupancy() (1.0 = balanced). */
+    double shardSkew() const;
+
     /** Where this board sits on the degradation ladder. */
     fault::HealthState healthState() const { return health_.state(); }
 
@@ -437,6 +477,7 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
     std::uint8_t boardId_ = trace::lifecycleNoOwner;
 
     fault::FaultInjector *injector_ = nullptr;
+    profile::Profiler *prof_ = nullptr;
     fault::HealthMonitor health_;
     unsigned healthLineShift_ = 0; //!< line shift for degraded sampling
     /** Stamp for health-transition events (last tenure seen). */
@@ -479,6 +520,8 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
     std::vector<std::vector<std::vector<Counter40>>> shardCounters_;
     /** [shard][node] worker sinks (deferred slot set per retirement). */
     std::vector<std::vector<EmuSink>> shardSinks_;
+    /** Always-on per-shard retirement counts (see shardOccupancy()). */
+    std::vector<std::uint64_t> shardItems_;
 };
 
 /**

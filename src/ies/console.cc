@@ -9,6 +9,8 @@
 #include "common/logging.hh"
 #include "common/units.hh"
 #include "ies/analysis.hh"
+#include "profile/profexport.hh"
+#include "profile/profiler.hh"
 #include "telemetry/exporter.hh"
 #include "trace/chrometrace.hh"
 #include "trace/tracefile.hh"
@@ -171,6 +173,7 @@ Console::~Console()
 {
     stopMonitor();
     stopTrace();
+    stopProf();
     disarmFaults();
     if (board_)
         board_->unplug(bus_);
@@ -207,6 +210,16 @@ Console::stopTrace()
     if (board_ && board_->flightRecorder() == recorder_.get())
         board_->detachFlightRecorder();
     recorder_.reset();
+}
+
+void
+Console::stopProf()
+{
+    if (!profiler_)
+        return;
+    if (board_ && board_->profiler() == profiler_.get())
+        board_->detachProfiler();
+    profiler_.reset();
 }
 
 NodeConfig &
@@ -499,6 +512,8 @@ Console::handle(const std::vector<std::string> &tokens)
     }
     if (cmd == "trace")
         return handleTrace(tokens);
+    if (cmd == "prof")
+        return handleProf(tokens);
     if (cmd == "fault")
         return handleFault(tokens);
     if (cmd == "health")
@@ -534,6 +549,7 @@ Console::handle(const std::vector<std::string> &tokens)
     if (cmd == "shutdown") {
         auto &board = require_board();
         stopMonitor();  // its sampler reads this board's counters
+        stopProf();     // the profiler is attached to this board
         disarmFaults(); // the injector is attached to this board
         board.unplug(bus_);
         board_.reset();
@@ -541,7 +557,7 @@ Console::handle(const std::vector<std::string> &tokens)
     }
     if (cmd == "help") {
         return "commands: node buffer throughput capture init stats "
-               "counters monitor trace fault health clear reset "
+               "counters monitor trace prof fault health clear reset "
                "dump-trace ckpt save-state load-state shutdown";
     }
     fatal("unknown command '", cmd, "'");
@@ -657,6 +673,70 @@ Console::handleTrace(const std::vector<std::string> &tokens)
                " on every anomaly";
     }
     fatal("unknown trace subcommand '", sub, "'");
+}
+
+std::string
+Console::handleProf(const std::vector<std::string> &tokens)
+{
+    auto require_profiler = [&]() -> profile::Profiler & {
+        if (!profiler_)
+            fatal("no profiler; use: prof start [spans]");
+        return *profiler_;
+    };
+
+    if (tokens.size() == 1)
+        return require_profiler().describe();
+    const std::string &sub = tokens[1];
+
+    if (sub == "start") {
+        if (tokens.size() > 3)
+            fatal("usage: prof start [spans]");
+        if (profiler_)
+            fatal("profiler already running; 'prof stop' first");
+        if (!board_)
+            fatal("no board; run init first");
+        std::size_t capacity = std::size_t{1} << 16;
+        if (tokens.size() == 3)
+            capacity = parseNumber(tokens[2]);
+        profiler_ = std::make_unique<profile::Profiler>(capacity);
+        board_->attachProfiler(*profiler_);
+        return "profiler attached (" + std::to_string(capacity) +
+               " spans)";
+    }
+    if (sub == "stop") {
+        require_profiler();
+        stopProf();
+        return "profiler detached";
+    }
+    if (sub == "show") {
+        if (tokens.size() != 2)
+            fatal("usage: prof show");
+        return require_profiler().describe();
+    }
+    if (sub == "dump") {
+        if (tokens.size() != 3)
+            fatal("usage: prof dump <path>");
+        auto &prof = require_profiler();
+        profile::writeFoldedFile(prof, tokens[2]);
+        return "wrote folded flamegraph stacks to " + tokens[2];
+    }
+    if (sub == "chrome") {
+        if (tokens.size() != 3)
+            fatal("usage: prof chrome <path>");
+        auto &prof = require_profiler();
+        // Merge the profiler track with whatever the flight recorder
+        // holds; without one the file carries the profiler track alone.
+        std::vector<trace::LifecycleEvent> events;
+        if (recorder_)
+            events = recorder_->snapshot();
+        profile::writeMergedChromeTraceFile(events, prof, tokens[2],
+                                            recorder_.get());
+        return "wrote " + std::to_string(events.size()) +
+               " lifecycle events + " +
+               std::to_string(prof.snapshot().spansRecorded) +
+               " profiler spans as Chrome trace JSON to " + tokens[2];
+    }
+    fatal("unknown prof subcommand '", sub, "'");
 }
 
 std::string

@@ -34,6 +34,12 @@
  *   trace chrome <path>      -- write retained events as Chrome JSON
  *   trace autodump <path>    -- dump automatically on every anomaly
  *   trace stop               -- detach and discard the recorder
+ *   prof start [spans]       -- attach an IESPROF profiler (span ring)
+ *   prof [show]              -- stage/shard attribution report
+ *   prof dump <path>         -- write folded-stack flamegraph lines
+ *   prof chrome <path>       -- write emulated trace + profiler spans
+ *                               merged as Chrome JSON (pid 99)
+ *   prof stop                -- detach and discard the profiler
  *   fault load <path>        -- load a fault plan (see fault/faultplan.hh)
  *   fault arm [seed]         -- build the injector and attach it
  *   fault status             -- plan and per-kind injection counts
@@ -94,15 +100,20 @@ class Console
     /** The live fault injector (nullptr unless `fault arm` ran). */
     fault::FaultInjector *faultInjector() { return injector_.get(); }
 
+    /** The live profiler (nullptr unless `prof start` ran). */
+    profile::Profiler *profiler() { return profiler_.get(); }
+
   private:
     std::string handle(const std::vector<std::string> &tokens);
     std::string handleTrace(const std::vector<std::string> &tokens);
+    std::string handleProf(const std::vector<std::string> &tokens);
     std::string handleFault(const std::vector<std::string> &tokens);
     std::string handleHealth(const std::vector<std::string> &tokens);
     NodeConfig &nodeFor(std::size_t index);
 
     void stopMonitor();
     void stopTrace();
+    void stopProf();
     void disarmFaults();
 
     bus::Bus6xx &bus_;
@@ -110,6 +121,7 @@ class Console
     std::unique_ptr<MemoriesBoard> board_;
     std::unique_ptr<ConsoleMonitor> monitor_;
     std::unique_ptr<trace::FlightRecorder> recorder_;
+    std::unique_ptr<profile::Profiler> profiler_;
     fault::FaultPlan plan_;
     bool planLoaded_ = false;
     std::unique_ptr<fault::FaultInjector> injector_;

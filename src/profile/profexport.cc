@@ -1,0 +1,240 @@
+#include "profile/profexport.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "trace/chrometrace.hh"
+
+namespace memories::profile
+{
+
+namespace
+{
+
+/** Shard rows render at tid 16+shard, past the stage rows. */
+constexpr unsigned shardTidBase = 16;
+
+std::string
+fixed(double v, int places)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", places, v);
+    return buf;
+}
+
+/** Root-to-frame folded path ("feed_batch;shard_dispatch;..."). */
+std::string
+stackPath(Stage s)
+{
+    std::string path = stageName(s);
+    while (s != Stage::FeedBatch) {
+        s = stageParent(s);
+        path = std::string(stageName(s)) + ";" + path;
+    }
+    return path;
+}
+
+std::uint64_t
+childrenEstNs(const ProfReport &report, Stage parent)
+{
+    std::uint64_t sum = 0;
+    for (std::size_t i = 0; i < numStages; ++i) {
+        const Stage s = static_cast<Stage>(i);
+        if (s != parent && stageParent(s) == parent)
+            sum += report.stage(s).estNs();
+    }
+    return sum;
+}
+
+std::string
+profMetadataEvent(long long tid, const char *what,
+                  const std::string &name)
+{
+    std::ostringstream os;
+    os << "{\"ph\":\"M\",\"pid\":" << profilerPid << ",\"tid\":" << tid
+       << ",\"name\":\"" << what << "\",\"args\":{\"name\":\"" << name
+       << "\"}}";
+    return os.str();
+}
+
+std::string
+profSpanEvent(const ProfSpan &span)
+{
+    const bool shard_row = span.stage == Stage::ShardEmulation;
+    const unsigned tid =
+        shard_row ? shardTidBase + span.shard
+                  : static_cast<unsigned>(span.stage);
+    const Cycle dur =
+        span.endCycle > span.beginCycle
+            ? span.endCycle - span.beginCycle
+            : Cycle{1};
+    std::ostringstream os;
+    os << "{\"ph\":\"X\",\"pid\":" << profilerPid << ",\"tid\":" << tid
+       << ",\"ts\":" << span.beginCycle << ",\"dur\":" << dur
+       << ",\"name\":\"" << stageName(span.stage)
+       << "\",\"args\":{\"wall_ns\":" << span.wallNs
+       << ",\"batch\":" << span.batch;
+    if (shard_row)
+        os << ",\"items\":" << span.items;
+    if (span.stage == Stage::CreditPacing)
+        os << ",\"sampled\":true";
+    os << "}}";
+    return os.str();
+}
+
+} // namespace
+
+std::string
+foldedStacks(const Profiler &profiler)
+{
+    const ProfReport report = profiler.snapshot();
+    std::ostringstream os;
+    for (std::size_t i = 0; i < numStages; ++i) {
+        const Stage s = static_cast<Stage>(i);
+        if (s == Stage::ShardEmulation)
+            continue; // expanded per shard below
+        const std::uint64_t est = report.stage(s).estNs();
+        if (est == 0)
+            continue;
+        const std::uint64_t children = childrenEstNs(report, s);
+        const std::uint64_t self = est > children ? est - children : 0;
+        if (self > 0)
+            os << stackPath(s) << " " << self << "\n";
+    }
+    const std::string emu_path = stackPath(Stage::ShardEmulation);
+    for (std::size_t sh = 0; sh < report.shards.size(); ++sh) {
+        const std::uint64_t busy = report.shards[sh].busyNs;
+        if (busy > 0)
+            os << emu_path << ";shard_" << sh << " " << busy << "\n";
+    }
+    return os.str();
+}
+
+void
+writeFoldedFile(const Profiler &profiler, const std::string &path)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot create folded-stack file '", path, "'");
+    os << foldedStacks(profiler);
+    if (!os)
+        fatal("failed writing folded-stack file '", path, "'");
+}
+
+std::string
+mergedChromeTrace(const std::vector<trace::LifecycleEvent> &events,
+                  const Profiler &profiler,
+                  const trace::FlightRecorder *labels)
+{
+    std::string base = trace::chromeTraceToString(events, labels);
+
+    // The plain export always ends with exactly "\n]}\n"; splice the
+    // profiler track in before it so the emulated bytes are untouched
+    // and the merged output is a strict prefix extension.
+    static const std::string suffix = "\n]}\n";
+    if (base.size() < suffix.size() ||
+        base.compare(base.size() - suffix.size(), suffix.size(),
+                     suffix) != 0)
+        fatal("chrome trace export did not end with the expected ",
+              "closing bracket");
+    std::string out =
+        base.substr(0, base.size() - suffix.size());
+
+    const std::vector<ProfSpan> spans = profiler.spans();
+    std::ostringstream os;
+    bool any = !events.empty();
+    auto emit = [&](const std::string &body) {
+        if (any)
+            os << ",\n";
+        os << body;
+        any = true;
+    };
+
+    emit(profMetadataEvent(-1, "process_name", "IESPROF (emulator)"));
+    emit(profMetadataEvent(-1, "process_sort_index",
+                           std::to_string(profilerPid)));
+    bool stage_row[numStages] = {};
+    std::vector<bool> shard_row;
+    for (const ProfSpan &span : spans) {
+        if (span.stage == Stage::ShardEmulation) {
+            if (span.shard >= shard_row.size())
+                shard_row.resize(span.shard + 1, false);
+            shard_row[span.shard] = true;
+        } else {
+            stage_row[static_cast<std::size_t>(span.stage)] = true;
+        }
+    }
+    for (std::size_t i = 0; i < numStages; ++i)
+        if (stage_row[i])
+            emit(profMetadataEvent(
+                static_cast<long long>(i), "thread_name",
+                stageName(static_cast<Stage>(i))));
+    for (std::size_t sh = 0; sh < shard_row.size(); ++sh)
+        if (shard_row[sh])
+            emit(profMetadataEvent(
+                static_cast<long long>(shardTidBase + sh),
+                "thread_name", "shard " + std::to_string(sh)));
+    for (const ProfSpan &span : spans)
+        emit(profSpanEvent(span));
+
+    out += os.str();
+    out += suffix;
+    return out;
+}
+
+void
+writeMergedChromeTraceFile(
+    const std::vector<trace::LifecycleEvent> &events,
+    const Profiler &profiler, const std::string &path,
+    const trace::FlightRecorder *labels)
+{
+    std::ofstream os(path, std::ios::binary);
+    if (!os)
+        fatal("cannot create merged chrome trace file '", path, "'");
+    os << mergedChromeTrace(events, profiler, labels);
+    if (!os)
+        fatal("failed writing merged chrome trace file '", path, "'");
+}
+
+std::string
+profileJson(const Profiler &profiler, std::uint64_t refs)
+{
+    const ProfReport report = profiler.snapshot();
+    std::ostringstream os;
+    os << "{\"refs\":" << refs << ",\"batches\":" << report.batches
+       << ",\"stages\":[";
+    bool first = true;
+    for (std::size_t i = 0; i < numStages; ++i) {
+        const Stage s = static_cast<Stage>(i);
+        const StageStats &st = report.stage(s);
+        if (st.calls == 0 && st.ns == 0)
+            continue;
+        if (!first)
+            os << ",";
+        first = false;
+        const std::uint64_t est = st.estNs();
+        const double per_ref =
+            refs > 0 ? static_cast<double>(est) /
+                           static_cast<double>(refs)
+                     : 0.0;
+        os << "{\"stage\":\"" << stageName(s)
+           << "\",\"calls\":" << st.calls << ",\"ns\":" << est
+           << ",\"ns_per_ref\":" << fixed(per_ref, 3) << "}";
+    }
+    os << "],\"shards\":[";
+    for (std::size_t sh = 0; sh < report.shards.size(); ++sh) {
+        const ShardStats &stats = report.shards[sh];
+        if (sh > 0)
+            os << ",";
+        os << "{\"shard\":" << sh << ",\"busy_ns\":" << stats.busyNs
+           << ",\"items\":" << stats.items
+           << ",\"queue_wait_ns\":" << stats.queueWaitNs << "}";
+    }
+    os << "],\"imbalance\":" << fixed(report.imbalance(), 3) << "}";
+    return os.str();
+}
+
+} // namespace memories::profile

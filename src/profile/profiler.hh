@@ -1,0 +1,416 @@
+/**
+ * @file
+ * IESPROF: the emulator profiling itself.
+ *
+ * Every other observability layer in this codebase watches the
+ * *emulated* machine — counters count target-cache events, the flight
+ * recorder records tenure lifecycles, telemetry windows are bus-cycle
+ * aligned. This subsystem watches the *emulator*: where the wall-clock
+ * nanoseconds of MemoriesBoard::feedBatch actually go, attributed to
+ * the pipeline stages of the batch hot path (batch admission, credit
+ * pacing, shard dispatch, per-shard emulation, counter merge, deferred
+ * event replay) and to the ShardPool workers (busy time, items,
+ * queue wait, imbalance).
+ *
+ * Design rules, in the order they matter:
+ *
+ *  1. Non-perturbing. The profiler only ever *reads* the clock and
+ *     *writes* its own slabs; it cannot change a single emulated byte.
+ *     tests/profile/prof_equiv_test.cc proves attached-vs-detached
+ *     byte equivalence the same way the sharding tier does.
+ *  2. Zero-cost when detached. Board hot paths guard every hook with
+ *     one `if (prof_)` on a pointer that is null in the common case —
+ *     the same single-predictable-branch contract the flight recorder,
+ *     sampler, and fault injector already honor.
+ *  3. Cheap when attached. Batch-frequency stages pay one steady_clock
+ *     pair per batch. The only per-tenure-frequency stage (credit
+ *     pacing inside drainDue) is *sampled*: every call is counted, one
+ *     in 2^6 is timed, and the estimate scales by calls/timed on read.
+ *     Measured overhead stays under 5% of the ~56 ns/ref batch path
+ *     (docs/PROFILING.md records the methodology).
+ *  4. Race-free collection. Stage cells are written only by the
+ *     coordinating thread; each shard cell is written only by the
+ *     worker that owns that shard (or the coordinator in threadless
+ *     mode). The ShardPool fork/join is mutex+condvar synchronized, so
+ *     coordinator writes before the fork happen-before worker reads,
+ *     and worker writes happen-before the post-join read-side merge.
+ *     Fields are relaxed atomics anyway so a same-thread telemetry
+ *     Sampler may read gauges between batches without UB.
+ *
+ * Exports: a text report (describe()), folded-stack flamegraph lines
+ * and Chrome-trace merge in profile/profexport.hh, and Sampler gauges
+ * via attachTelemetry() (Prometheus/JSONL/CSV for free).
+ */
+
+#ifndef MEMORIES_PROFILE_PROFILER_HH
+#define MEMORIES_PROFILE_PROFILER_HH
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+
+namespace memories::telemetry
+{
+class Sampler;
+} // namespace memories::telemetry
+
+namespace memories::profile
+{
+
+/**
+ * The pipeline stages of MemoriesBoard::feedBatch, in flamegraph
+ * nesting order. FeedBatch is the root; BatchAdmission, ShardDispatch,
+ * CounterMerge and JournalReplay are its children on the coordinating
+ * thread; CreditPacing nests under admission; ShardEmulation is the
+ * workers' busy time under dispatch (its total is the *sum* across
+ * workers, so with real cores it can exceed the dispatch wall time).
+ */
+enum class Stage : std::uint8_t
+{
+    FeedBatch = 0,
+    BatchAdmission,
+    CreditPacing,
+    ShardDispatch,
+    ShardEmulation,
+    CounterMerge,
+    JournalReplay,
+    NumStages,
+};
+
+constexpr std::size_t numStages =
+    static_cast<std::size_t>(Stage::NumStages);
+
+/** Stable machine-readable stage name ("batch_admission", ...). */
+const char *stageName(Stage stage);
+
+/** Flamegraph parent (FeedBatch is its own parent — the root). */
+Stage stageParent(Stage stage);
+
+/** Read-side view of one stage's accumulated attribution. */
+struct StageStats
+{
+    std::uint64_t calls = 0; //!< scoped bouts entered
+    std::uint64_t timed = 0; //!< bouts that paid a clock pair
+    std::uint64_t ns = 0;    //!< wall ns accumulated over timed bouts
+
+    /** Estimated total ns: measured ns scaled up for sampled stages. */
+    std::uint64_t
+    estNs() const
+    {
+        if (timed == 0)
+            return 0;
+        if (timed == calls)
+            return ns;
+        return static_cast<std::uint64_t>(
+            static_cast<double>(ns) * static_cast<double>(calls) /
+            static_cast<double>(timed));
+    }
+};
+
+/** Read-side view of one shard's worker metrics. */
+struct ShardStats
+{
+    std::uint64_t busyNs = 0;      //!< wall ns inside runShardBucket
+    std::uint64_t items = 0;       //!< retirements emulated
+    std::uint64_t dispatches = 0;  //!< fork/join epochs participated in
+    std::uint64_t queueWaitNs = 0; //!< fork-to-first-instruction delay
+};
+
+/**
+ * One emulator span on the merged Chrome-trace timeline. Timestamps
+ * are *bus cycles* (the batch's admitted cycle range) so profiler
+ * spans line up with the emulated spans the same batch produced; the
+ * wall-clock cost is carried in wallNs and rendered into the span's
+ * args.
+ */
+struct ProfSpan
+{
+    Stage stage = Stage::FeedBatch;
+    std::uint32_t shard = 0; //!< meaningful for ShardEmulation only
+    Cycle beginCycle = 0;
+    Cycle endCycle = 0;
+    std::uint64_t wallNs = 0;
+    std::uint64_t items = 0; //!< retirements (ShardEmulation spans)
+    std::uint64_t batch = 0; //!< feedBatch ordinal, 1-based
+};
+
+/** Merged-on-read snapshot of everything the profiler collected. */
+struct ProfReport
+{
+    std::vector<StageStats> stages; //!< indexed by Stage
+    std::vector<ShardStats> shards;
+    std::uint64_t batches = 0;
+    std::uint64_t spansRecorded = 0;
+    std::uint64_t spansDropped = 0;
+
+    const StageStats &
+    stage(Stage s) const
+    {
+        return stages[static_cast<std::size_t>(s)];
+    }
+
+    /**
+     * Max/mean shard-occupancy skew: 1.0 is perfectly balanced, N
+     * means the busiest shard carried N times the average load.
+     * Busy-time based when timings exist, item-count based otherwise
+     * (so the always-on board occupancy counts can reuse the same
+     * definition), 1.0 when there is nothing to compare.
+     */
+    double imbalance() const;
+};
+
+/** Max/mean skew over raw per-shard occupancy counts (see above). */
+double occupancySkew(const std::vector<std::uint64_t> &items);
+
+/** The collector. One profiler serves one board; see class comment. */
+class Profiler
+{
+  public:
+    /** @param span_capacity Bounded span ring size; recording stops
+     *        (dropped spans are counted) when the ring fills. */
+    explicit Profiler(std::size_t span_capacity = std::size_t{1} << 16);
+    ~Profiler();
+
+    Profiler(const Profiler &) = delete;
+    Profiler &operator=(const Profiler &) = delete;
+
+    /**
+     * (Re)size the per-shard cells for @p shards workers. Called by
+     * MemoriesBoard::attachProfiler and again on enableSharding /
+     * disableSharding. Resets shard metrics; stage totals survive.
+     * Never call while a batch is in flight.
+     */
+    void bindShards(std::size_t shards);
+
+    std::size_t shardCount() const { return shardCount_; }
+
+    /** Zero every cell and the span ring. */
+    void reset();
+
+    /** Monotonic wall clock, ns. */
+    static std::uint64_t
+    nowNs()
+    {
+        return static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now().time_since_epoch())
+                .count());
+    }
+
+    // --- Hot-path hooks (coordinator thread unless noted). The board
+    // calls none of these when detached; each is a handful of relaxed
+    // atomic ops plus at most one clock read.
+
+    /** Open batch @p first_cycle..: resets per-batch accumulators. */
+    void beginBatch(Cycle first_cycle);
+
+    /**
+     * Close the batch: record the FeedBatch root time (clock pair
+     * started at @p root_t0) and push this batch's stage/shard spans
+     * onto the ring, stamped with the admitted cycle range.
+     */
+    void endBatch(Cycle last_cycle, std::uint64_t root_t0);
+
+    /** Record a fully-timed stage bout started at @p t0 = nowNs(). */
+    void
+    recordStage(Stage s, std::uint64_t t0)
+    {
+        addStage(s, nowNs() - t0);
+    }
+
+    /** Count a sampled-stage bout; returns nowNs() for the 1-in-2^6
+     *  bouts that should be timed, 0 for the rest. The untimed path
+     *  is one plain increment and a mask test — no clock read and no
+     *  store to the shared stage cells, because this runs once per
+     *  tenure and is the only hook whose frequency scales with the
+     *  reference stream instead of the batch count. */
+    std::uint64_t
+    sampledBegin(Stage)
+    {
+        const std::uint64_t n = sampleSeq_++;
+        if ((n & sampleMask) != 0)
+            return 0;
+        return nowNs();
+    }
+
+    /** Close a sampled bout (@p t0 from sampledBegin; 0 is a no-op).
+     *  Credits the whole sampling stride's call count at once, so the
+     *  cell's calls stays ~the true bout count (granularity 2^6) and
+     *  estNs() keeps its calls/timed scale factor. */
+    void
+    sampledEnd(Stage s, std::uint64_t t0)
+    {
+        if (t0 == 0)
+            return;
+        StageCell &c = stageCells_[static_cast<std::size_t>(s)];
+        const std::uint64_t d = nowNs() - t0;
+        bump(c.calls, sampleMask + 1);
+        bump(c.timed, 1);
+        bump(c.ns, d);
+        bump(c.batchNs, d);
+    }
+
+    /** Coordinator, just before the fork: stamp the dispatch epoch so
+     *  workers can measure their wake-up latency against it. */
+    void noteDispatch(std::uint64_t fork_t0) { forkStamp_ = fork_t0; }
+
+    /** Coordinator, before the fork: @p items queued for @p shard. */
+    void
+    noteShardItems(std::size_t shard, std::uint64_t items)
+    {
+        bump(shardCells_[shard].items, items);
+        bump(shardCells_[shard].batchItems, items);
+    }
+
+    /** Worker (or coordinator in threadless mode), first instruction
+     *  of the shard body: records queue wait, returns the busy t0. */
+    std::uint64_t
+    shardBegin(std::size_t shard)
+    {
+        const std::uint64_t t0 = nowNs();
+        ShardCell &c = shardCells_[shard];
+        if (t0 > forkStamp_)
+            bump(c.queueWaitNs, t0 - forkStamp_);
+        return t0;
+    }
+
+    /** Worker, last instruction of the shard body. */
+    void
+    shardEnd(std::size_t shard, std::uint64_t t0)
+    {
+        ShardCell &c = shardCells_[shard];
+        const std::uint64_t d = nowNs() - t0;
+        bump(c.busyNs, d);
+        bump(c.batchBusyNs, d);
+        bump(c.dispatches, 1);
+    }
+
+    // --- Read side. Call from the coordinating thread between
+    // batches (the same single-owner contract as
+    // MemoriesBoard::attachTelemetry).
+
+    /** Merge every slab into one report. */
+    ProfReport snapshot() const;
+
+    /** Spans recorded so far, in batch order. */
+    std::vector<ProfSpan> spans() const;
+
+    /** Aligned text report: stage table, shard table, imbalance. */
+    std::string describe() const;
+
+    /**
+     * Register stage/shard observables with a telemetry sampler:
+     * "<prefix>.stage.<name>.ns" and ".calls" as windowed counters per
+     * stage, "<prefix>.shard<i>.busy_ns"/".items"/".queue_wait_ns" per
+     * shard, and a "<prefix>.shard.imbalance" gauge — which is how the
+     * profiler reaches the Prometheus/JSONL/CSV exporters. Values read
+     * through `this`; keep the profiler alive and its shard binding
+     * stable while the sampler runs.
+     */
+    void attachTelemetry(telemetry::Sampler &sampler,
+                         const std::string &prefix = "prof");
+
+    /** Timed 1-in-2^6 bouts for sampled (per-tenure) stages; public
+     *  so tests and docs can state the estimator's scale factor. */
+    static constexpr std::uint64_t sampleMask = (1u << 6) - 1;
+
+  private:
+
+    /** Single-writer accumulators; relaxed atomics so the read side
+     *  may observe them between batches without UB. */
+    struct alignas(64) StageCell
+    {
+        std::atomic<std::uint64_t> calls{0};
+        std::atomic<std::uint64_t> timed{0};
+        std::atomic<std::uint64_t> ns{0};
+        std::atomic<std::uint64_t> batchNs{0};
+    };
+
+    struct alignas(64) ShardCell
+    {
+        std::atomic<std::uint64_t> busyNs{0};
+        std::atomic<std::uint64_t> items{0};
+        std::atomic<std::uint64_t> dispatches{0};
+        std::atomic<std::uint64_t> queueWaitNs{0};
+        std::atomic<std::uint64_t> batchBusyNs{0};
+        std::atomic<std::uint64_t> batchItems{0};
+    };
+
+    /** Single-writer add: plain load+store, never a locked RMW. */
+    static void
+    bump(std::atomic<std::uint64_t> &cell, std::uint64_t d)
+    {
+        cell.store(cell.load(std::memory_order_relaxed) + d,
+                   std::memory_order_relaxed);
+    }
+
+    void
+    addStage(Stage s, std::uint64_t d)
+    {
+        StageCell &c = stageCells_[static_cast<std::size_t>(s)];
+        bump(c.calls, 1);
+        bump(c.timed, 1);
+        bump(c.ns, d);
+        bump(c.batchNs, d);
+    }
+
+    void pushSpan(Stage s, std::uint32_t shard, Cycle begin, Cycle end,
+                  std::uint64_t wall_ns);
+
+    StageCell stageCells_[numStages];
+    std::unique_ptr<ShardCell[]> shardCells_;
+    std::size_t shardCount_ = 1;
+
+    /** Coordinator's fork stamp for queue-wait measurement. The pool's
+     *  mutex hand-off orders this write before worker reads. */
+    std::uint64_t forkStamp_ = 0;
+
+    /** Coordinator-only sequence for sampledBegin's 1-in-2^6 choice
+     *  (shared by all sampled stages; only CreditPacing uses it). */
+    std::uint64_t sampleSeq_ = 0;
+
+    std::uint64_t batches_ = 0;
+    Cycle batchBeginCycle_ = 0;
+
+    std::vector<ProfSpan> ring_;
+    std::size_t spanCapacity_;
+    std::uint64_t spansDropped_ = 0;
+};
+
+/**
+ * RAII stage scope for block-structured sites: times the enclosed
+ * block iff @p profiler is non-null (one predictable branch when
+ * detached, matching the board's other attach points).
+ */
+class ScopedStage
+{
+  public:
+    ScopedStage(Profiler *profiler, Stage stage)
+        : profiler_(profiler), stage_(stage),
+          t0_(profiler ? Profiler::nowNs() : 0)
+    {
+    }
+
+    ~ScopedStage()
+    {
+        if (profiler_)
+            profiler_->recordStage(stage_, t0_);
+    }
+
+    ScopedStage(const ScopedStage &) = delete;
+    ScopedStage &operator=(const ScopedStage &) = delete;
+
+  private:
+    Profiler *profiler_;
+    Stage stage_;
+    std::uint64_t t0_;
+};
+
+} // namespace memories::profile
+
+#endif // MEMORIES_PROFILE_PROFILER_HH

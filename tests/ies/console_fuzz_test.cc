@@ -66,6 +66,17 @@ TEST(ConsoleFuzzTest, GarbageCommandsNeverEscape)
         "health sampling-shift -1",
         "health quarantine-storms 0 0",
         "health mystery-knob 7",
+        "prof",
+        "prof start",
+        "prof start not-a-count",
+        "prof start 0",
+        "prof show extra-token",
+        "prof dump",
+        "prof dump /no/such/dir/stacks.folded",
+        "prof chrome",
+        "prof chrome /no/such/dir/trace.json",
+        "prof stop stop stop",
+        "prof frobnicate",
     };
     for (const char *cmd : garbage)
         EXPECT_NO_THROW(console.execute(cmd)) << "command: " << cmd;
@@ -80,7 +91,7 @@ TEST(ConsoleFuzzTest, RandomTokenSoupIsHandled)
                            "128B",  "cpus",   "init",  "stats", "LRU",
                            "->",    "*",      "0x10",  "-5",    "reset",
                            "fault", "health", "arm",   "load",  "on",
-                           "ckpt",  "info"};
+                           "ckpt",  "info",   "prof",  "start", "dump"};
     for (int i = 0; i < 500; ++i) {
         std::string cmd;
         const auto len = 1 + rng.nextBounded(6);

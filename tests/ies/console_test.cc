@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <vector>
 
 #include "trace/tracefile.hh"
 
@@ -408,6 +409,61 @@ TEST(ConsoleTest, HealthCommandFamilyStagesPolicyBeforeInit)
               std::string::npos);
     EXPECT_NE(console.execute("health degrade-window 9").find("error:"),
               std::string::npos);
+}
+
+TEST(ConsoleTest, ProfCommandFamilyDrivesProfiler)
+{
+    bus::Bus6xx bus;
+    Console console(bus);
+    // Before init, start must refuse and read-outs must explain.
+    EXPECT_NE(console.execute("prof start").find("error:"),
+              std::string::npos);
+    EXPECT_NE(console.execute("prof").find("error:"),
+              std::string::npos);
+
+    console.execute("node 0 cache 2MB 4 128B");
+    console.execute("node 0 cpus 0,1");
+    console.execute("init");
+
+    EXPECT_EQ(console.profiler(), nullptr);
+    EXPECT_NE(console.execute("prof start 4096")
+                  .find("profiler attached (4096 spans)"),
+              std::string::npos);
+    ASSERT_NE(console.profiler(), nullptr);
+    EXPECT_NE(console.execute("prof start").find("error:"),
+              std::string::npos);
+
+    // Drive traffic through the batch path so the hooks fire; spread
+    // the cycles out so the paced buffer actually dispatches work.
+    std::vector<bus::BusTransaction> txns;
+    for (std::uint64_t i = 0; i < 64; ++i) {
+        auto t = readTxn(0x1000 + i * 128, i % 2);
+        t.cycle = i * 100;
+        txns.push_back(t);
+    }
+    console.board()->feedBatch(txns);
+    console.board()->drainAll();
+
+    const auto show = console.execute("prof show");
+    EXPECT_NE(show.find("feed_batch"), std::string::npos) << show;
+    EXPECT_NE(show.find("shard 0:"), std::string::npos) << show;
+
+    const std::string folded = ::testing::TempDir() + "console.folded";
+    EXPECT_NE(console.execute("prof dump " + folded)
+                  .find("wrote folded flamegraph stacks"),
+              std::string::npos);
+    const std::string chrome = ::testing::TempDir() + "console.chrome";
+    const auto reply = console.execute("prof chrome " + chrome);
+    EXPECT_NE(reply.find("profiler spans as Chrome trace JSON"),
+              std::string::npos)
+        << reply;
+    std::remove(folded.c_str());
+    std::remove(chrome.c_str());
+
+    EXPECT_NE(console.execute("prof stop").find("profiler detached"),
+              std::string::npos);
+    EXPECT_EQ(console.profiler(), nullptr);
+    EXPECT_EQ(console.board()->profiler(), nullptr);
 }
 
 } // namespace
