@@ -19,6 +19,7 @@ Usage:
 
 import argparse
 import json
+import os
 import sys
 
 
@@ -72,14 +73,26 @@ def main():
         }
         entry["imbalance"] = profile.get("imbalance")
 
+    # An absent or empty history is the normal first-run state, not an
+    # error: create it (and its directory) and say so.
+    first_run = (not os.path.exists(args.history) or
+                 os.path.getsize(args.history) == 0)
     try:
+        parent = os.path.dirname(args.history)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
         with open(args.history, "a") as f:
             f.write(json.dumps(entry, sort_keys=True) + "\n")
     except OSError as exc:
         raise SystemExit(f"error: cannot append to {args.history!r}: "
                          f"{exc}")
-    print(f"appended {entry['git_sha'][:12]} "
-          f"({len(entry['ns_per_ref'])} sections) to {args.history}")
+    if first_run:
+        print(f"no history yet — started {args.history} with "
+              f"{entry['git_sha'][:12]}")
+    else:
+        print(f"appended {entry['git_sha'][:12]} "
+              f"({len(entry['ns_per_ref'])} sections) to "
+              f"{args.history}")
     return 0
 
 

@@ -138,11 +138,18 @@ def print_history(path, label="feed batch @1 shard"):
     try:
         with open(path) as f:
             lines = [line.strip() for line in f if line.strip()]
+    except FileNotFoundError:
+        print(f"\nbench trajectory: no history yet ({path!r} does "
+              "not exist — append_bench_history.py creates it on "
+              "the first recorded run)")
+        return
     except OSError as exc:
         print(f"note: cannot read history {path!r}: {exc}")
         return
     if not lines:
-        print(f"note: history {path!r} is empty")
+        print(f"\nbench trajectory: no history yet ({path!r} is "
+              "empty — append_bench_history.py adds one line per "
+              "recorded run)")
         return
     print(f"\nbench trajectory ({label!r}, {len(lines)} runs):")
     for lineno, line in enumerate(lines, 1):

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Console integration for IESCAMP: the `campaign` command family.
+ *
+ * The campaign engine sits *above* the board (it owns fleets of
+ * boards), so the console cannot link it directly without a
+ * dependency cycle. Instead the campaign library plugs itself into
+ * any console via ies::Console::registerCommand:
+ *
+ *   campaign start <dir> <seeds> <txns> [every]
+ *                        -- create a campaign over the full config
+ *                           lattice x seeds [1..seeds] and run it to
+ *                           completion (synchronously)
+ *   campaign resume <dir>
+ *                        -- continue a killed or failed campaign
+ *   campaign status <dir>
+ *                        -- durable per-unit status from the manifest
+ *
+ * Commands operate on a campaign directory, not on the console's own
+ * board; they are safe to run before `init`.
+ */
+
+#ifndef MEMORIES_CAMPAIGN_CONSOLE_HH
+#define MEMORIES_CAMPAIGN_CONSOLE_HH
+
+#include "ies/console.hh"
+
+namespace memories::campaign
+{
+
+/** Register the `campaign` command family on @p console. */
+void registerConsoleCommands(ies::Console &console);
+
+} // namespace memories::campaign
+
+#endif // MEMORIES_CAMPAIGN_CONSOLE_HH

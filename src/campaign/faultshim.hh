@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Scripted, deterministic disk faults for campaign drills.
+ *
+ * ckpt::DiskFaultShim decides per atomicWriteFile() call what to
+ * inject; this file provides the standard scripted implementation the
+ * campaign_runner CLI and the CI resilience job use. A script is a
+ * list of (operation index, fault) pairs over the process-global
+ * sequence of atomic writes — "the 7th durable write short-writes at
+ * byte 128, the 12th hits ENOSPC" — so a drill is reproducible from
+ * its spec string alone:
+ *
+ *   spec     := entry (',' entry)*
+ *   entry    := kind '@' op [':' at]
+ *   kind     := shortwrite | enospc | tornrename | bitflip | crash
+ *
+ * `op` is the 0-based index of the targeted atomicWriteFile() call;
+ * `at` is the byte offset (shortwrite) or bit index (bitflip),
+ * default 0. `crash` kills the process on the spot with _Exit(137) —
+ * the same observable effect as kill -9 between two durable
+ * operations, with no destructor or stream-flush cleanup.
+ */
+
+#ifndef MEMORIES_CAMPAIGN_FAULTSHIM_HH
+#define MEMORIES_CAMPAIGN_FAULTSHIM_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "checkpoint/io.hh"
+
+namespace memories::campaign
+{
+
+/** One scripted injection at one global atomic-write index. */
+struct ScriptedFault
+{
+    /** 0-based index of the atomicWriteFile() call to hit. */
+    std::uint64_t op = 0;
+    /** What to inject (ignored when crash is set). */
+    ckpt::DiskFault fault;
+    /** Kill the process (_Exit(137)) instead of injecting. */
+    bool crash = false;
+};
+
+/** Parse a fault spec string (see file comment); fatal() on junk. */
+std::vector<ScriptedFault> parseFaultSpec(const std::string &spec);
+
+/** DiskFaultShim that replays a script over the global write index. */
+class ScriptedDiskFaults final : public ckpt::DiskFaultShim
+{
+  public:
+    explicit ScriptedDiskFaults(std::vector<ScriptedFault> script)
+        : script_(std::move(script))
+    {
+    }
+
+    ckpt::DiskFault onAtomicWrite(const std::string &path) override;
+
+    /** Atomic writes observed so far. */
+    std::uint64_t opsSeen() const { return ops_; }
+
+    /** Script entries that have fired. */
+    std::uint64_t injected() const { return injected_; }
+
+  private:
+    std::vector<ScriptedFault> script_;
+    std::uint64_t ops_ = 0;
+    std::uint64_t injected_ = 0;
+};
+
+} // namespace memories::campaign
+
+#endif // MEMORIES_CAMPAIGN_FAULTSHIM_HH

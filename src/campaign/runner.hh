@@ -1,0 +1,151 @@
+/**
+ * @file
+ * IESCAMP: the crash-tolerant campaign runner.
+ *
+ * A campaign is a long multi-configuration emulation run — the
+ * software analogue of leaving the MemorIES board plugged into a live
+ * server for a weekend. The runner executes a CampaignPlan on
+ * ExperimentFleet waves and journals every transition through the
+ * durable manifest (manifest.hh), so the process can be killed at any
+ * instruction and `resume()` continues from the last durable segment
+ * with bit-identical final artifacts.
+ *
+ * Execution model
+ * ---------------
+ * Eligible units are grouped into *waves* keyed (seed, txns,
+ * position): every unit of a wave consumes the same generated stream,
+ * so one published stream feeds a fleet of boards (the PR 1 fan-out).
+ * Each wave advances in *segments* of plan.checkpointEvery
+ * transactions; at every segment boundary the fleet is drained, each
+ * board is checkpointed to a position-versioned IESCKPT file, and the
+ * manifest is atomically rewritten with the new positions. Segment
+ * boundaries are pure plan state, so an uninterrupted run and a
+ * killed-and-resumed run retire work in exactly the same order — the
+ * kill-and-resume tests assert the resulting artifacts byte-identical.
+ *
+ * Failure policy
+ * --------------
+ * A unit attempt fails on its own when its board is quarantined by the
+ * health ladder, its flight recorder overflows, a durable write of its
+ * checkpoint or result is refused (injected disk faults included), or
+ * the wave watchdog deadline expires. Failed units are rescheduled
+ * with bounded exponential backoff (fault::backoffUnits — the PR 4
+ * arithmetic) measured in wave rounds, and quarantined for good once
+ * plan.maxAttempts attempts have failed. Being interrupted by a crash
+ * is *not* a failure: resume() refunds the attempt and retries
+ * immediately, so kill-storms never quarantine healthy units.
+ *
+ * Corruption, by contrast, always fails the campaign closed: a
+ * checkpoint or result file whose bytes no longer match the hash in
+ * the manifest raises FatalError instead of being retried, because
+ * retrying cannot make a disk honest.
+ */
+
+#ifndef MEMORIES_CAMPAIGN_RUNNER_HH
+#define MEMORIES_CAMPAIGN_RUNNER_HH
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "campaign/manifest.hh"
+#include "campaign/plan.hh"
+#include "oracle/diff.hh"
+
+namespace memories::campaign
+{
+
+/** Host-side knobs of one runner invocation (not durable state). */
+struct RunnerOptions
+{
+    /** Fleet worker threads; 0 = use the plan's value. */
+    std::size_t fleetWorkers = 0;
+    /**
+     * Watchdog: wall-clock budget per wave attempt, in milliseconds.
+     * 0 disables. Checked at segment boundaries, so a wedged segment
+     * is bounded by one segment of work, not one reference.
+     */
+    std::uint64_t attemptDeadlineMs = 0;
+    /** Progress narration stream (nullptr = silent). */
+    std::ostream *log = nullptr;
+};
+
+/** Unit-state census of a campaign. */
+struct CampaignTotals
+{
+    std::size_t done = 0;
+    std::size_t pending = 0;
+    std::size_t running = 0;
+    std::size_t failed = 0;
+    std::size_t quarantined = 0;
+
+    /** No runnable work remains (quarantined units are parked). */
+    bool complete() const
+    {
+        return pending == 0 && running == 0 && failed == 0;
+    }
+
+    /** Every unit ran to Done. */
+    bool allDone() const { return complete() && quarantined == 0; }
+
+    /** One-line census ("12 done, 2 quarantined, ..."). */
+    std::string describe() const;
+};
+
+/**
+ * Drives a campaign directory to completion. The runner owns no
+ * durable state: everything it needs to continue lives in the
+ * manifest, so a new process with the same configs can always pick up
+ * where a dead one stopped.
+ */
+class CampaignRunner
+{
+  public:
+    /**
+     * @param configs The config registry units resolve against
+     *        (typically oracle::latticeConfigs()).
+     * @param dir Campaign directory (must exist).
+     */
+    CampaignRunner(std::vector<oracle::LatticeConfig> configs,
+                   std::string dir, RunnerOptions opts = {});
+
+    /**
+     * Create the manifest for @p plan (fatal() when one already
+     * exists) and run the campaign to completion.
+     */
+    CampaignTotals start(const CampaignPlan &plan);
+
+    /**
+     * Open the existing manifest (fail-closed validation) and continue
+     * the campaign: interrupted attempts are retried, Done units are
+     * verified against their recorded result hashes and never re-run.
+     */
+    CampaignTotals resume();
+
+    /** Census of @p manifest's units. */
+    static CampaignTotals totals(const Manifest &manifest);
+
+    /** Human status of the campaign at @p dir (console/CLI). */
+    static std::string status(const std::string &dir);
+
+  private:
+    const ies::BoardConfig &configFor(const UnitSpec &unit) const;
+    CampaignTotals run(Manifest &manifest);
+    void runWave(Manifest &manifest,
+                 const std::vector<std::size_t> &wave);
+
+    std::vector<oracle::LatticeConfig> configs_;
+    std::string dir_;
+    RunnerOptions opts_;
+
+    /** Backoff schedule: earliest wave round each unit may rerun in.
+     *  Host-side only — after a crash everything retries at round 0,
+     *  which can only make a retry *earlier*, never lose one. */
+    std::vector<std::uint64_t> nextRound_;
+    std::uint64_t round_ = 0;
+};
+
+} // namespace memories::campaign
+
+#endif // MEMORIES_CAMPAIGN_RUNNER_HH

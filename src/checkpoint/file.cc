@@ -1,7 +1,8 @@
 #include "checkpoint/file.hh"
 
-#include <cstdio>
 #include <sstream>
+
+#include "checkpoint/io.hh"
 
 namespace memories::ckpt
 {
@@ -75,14 +76,12 @@ void
 CheckpointWriter::writeFile(const std::string &path,
                             std::uint64_t config_fingerprint) const
 {
+    // Durable and atomic (temp file + fsync + rename): a failed or
+    // interrupted save never clobbers or truncates an existing
+    // checkpoint at @p path — crash recovery depends on the last
+    // published checkpoint staying byte-identical.
     const std::vector<std::uint8_t> blob = bytes(config_fingerprint);
-    std::FILE *f = std::fopen(path.c_str(), "wb");
-    if (!f)
-        fatal("cannot create checkpoint file '", path, "'");
-    const bool ok =
-        std::fwrite(blob.data(), 1, blob.size(), f) == blob.size();
-    if (std::fclose(f) != 0 || !ok)
-        fatal("failed writing checkpoint file '", path, "'");
+    atomicWriteFile(path, blob.data(), blob.size());
 }
 
 CheckpointImage
@@ -154,19 +153,8 @@ CheckpointImage::fromBytes(std::vector<std::uint8_t> data,
 CheckpointImage
 CheckpointImage::fromFile(const std::string &path)
 {
-    std::FILE *f = std::fopen(path.c_str(), "rb");
-    if (!f)
-        fatal("cannot open checkpoint file '", path, "'");
-    std::vector<std::uint8_t> data;
-    std::uint8_t buf[1 << 16];
-    std::size_t got;
-    while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0)
-        data.insert(data.end(), buf, buf + got);
-    const bool read_error = std::ferror(f) != 0;
-    std::fclose(f);
-    if (read_error)
-        fatal("failed reading checkpoint file '", path, "'");
-    return fromBytes(std::move(data), "checkpoint '" + path + "'");
+    return fromBytes(readFileBytes(path, "checkpoint file"),
+                     "checkpoint '" + path + "'");
 }
 
 bool

@@ -73,7 +73,12 @@ class CheckpointWriter
     std::vector<std::uint8_t> bytes(std::uint64_t config_fingerprint)
         const;
 
-    /** Render and write to @p path; fatal() on I/O failure. */
+    /**
+     * Render and durably write to @p path via io.hh's atomic
+     * temp-file + fsync + rename primitive: fatal() on I/O failure,
+     * and a failed save never clobbers or truncates an existing
+     * checkpoint at @p path.
+     */
     void writeFile(const std::string &path,
                    std::uint64_t config_fingerprint) const;
 

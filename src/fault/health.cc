@@ -82,8 +82,7 @@ HealthMonitor::onOverflow()
         moveTo(HealthState::Quarantined);
         return OverflowAction::Shed;
     }
-    shedRemaining_ = std::uint64_t{1}
-                     << std::min(storms_, policy_.backoffLimit);
+    shedRemaining_ = backoffUnits(storms_, policy_.backoffLimit);
     return OverflowAction::Retry;
 }
 

@@ -69,6 +69,18 @@ enum class HealthState : std::uint8_t
 /** Mnemonic for a health state ("healthy", ...). */
 std::string_view healthStateName(HealthState state);
 
+/**
+ * The bounded exponential-backoff step shared by the retry-storm
+ * watchdog and the campaign scheduler: after @p attempt consecutive
+ * failures, hold off for 2^min(attempt, limit) units of work (shed
+ * tenures here, skipped scheduling rounds in src/campaign).
+ */
+inline std::uint64_t
+backoffUnits(unsigned attempt, unsigned limit)
+{
+    return std::uint64_t{1} << (attempt < limit ? attempt : limit);
+}
+
 /** The watchdog's verdict when the transaction buffer is full. */
 enum class OverflowAction : std::uint8_t
 {

@@ -232,6 +232,15 @@ Console::nodeFor(std::size_t index)
     return staged_.nodes[index];
 }
 
+void
+Console::registerCommand(const std::string &name,
+                         CommandHandler handler)
+{
+    if (name.empty() || !handler)
+        fatal("registerCommand needs a name and a handler");
+    extensions_[name] = std::move(handler);
+}
+
 std::string
 Console::execute(const std::string &command_line)
 {
@@ -556,10 +565,17 @@ Console::handle(const std::vector<std::string> &tokens)
         return "board detached";
     }
     if (cmd == "help") {
-        return "commands: node buffer throughput capture init stats "
-               "counters monitor trace prof fault health clear reset "
-               "dump-trace ckpt save-state load-state shutdown";
+        std::string text =
+            "commands: node buffer throughput capture init stats "
+            "counters monitor trace prof fault health clear reset "
+            "dump-trace ckpt save-state load-state shutdown";
+        for (const auto &[name, handler] : extensions_)
+            text += " " + name;
+        return text;
     }
+    const auto ext = extensions_.find(cmd);
+    if (ext != extensions_.end())
+        return ext->second(*this, tokens);
     fatal("unknown command '", cmd, "'");
 }
 

@@ -53,6 +53,10 @@
  *   script <path>            -- execute commands from a file
  *   shutdown                 -- unplug from the bus
  *
+ * Libraries layered above the board can register further command
+ * families with registerCommand(); campaign::registerConsoleCommands
+ * adds `campaign start|resume|status` (see src/campaign/console.hh).
+ *
  * Configuration commands are only legal before init; fatal() errors
  * come back as "error: ..." strings, like a console status line.
  */
@@ -60,6 +64,8 @@
 #ifndef MEMORIES_IES_CONSOLE_HH
 #define MEMORIES_IES_CONSOLE_HH
 
+#include <functional>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -103,6 +109,25 @@ class Console
     /** The live profiler (nullptr unless `prof start` ran). */
     profile::Profiler *profiler() { return profiler_.get(); }
 
+    /**
+     * Handler for an extension command family. Invoked with the full
+     * token list (tokens[0] is the family name); fatal() inside a
+     * handler comes back as "error: ..." text like any built-in.
+     */
+    using CommandHandler = std::function<std::string(
+        Console &, const std::vector<std::string> &)>;
+
+    /**
+     * Register @p handler for top-level command @p name. Libraries
+     * that sit *above* the board (the IESCAMP campaign engine) plug
+     * their command families in here instead of the console linking
+     * them — the console stays the bottom of the dependency stack.
+     * Re-registering a name replaces the old handler; built-in
+     * commands cannot be shadowed (they are matched first).
+     */
+    void registerCommand(const std::string &name,
+                         CommandHandler handler);
+
   private:
     std::string handle(const std::vector<std::string> &tokens);
     std::string handleTrace(const std::vector<std::string> &tokens);
@@ -125,6 +150,7 @@ class Console
     fault::FaultPlan plan_;
     bool planLoaded_ = false;
     std::unique_ptr<fault::FaultInjector> injector_;
+    std::map<std::string, CommandHandler> extensions_;
 };
 
 } // namespace memories::ies

@@ -22,8 +22,14 @@
 #include "bus/transaction.hh"
 #include "cache/config.hh"
 #include "cache/tagstore.hh"
+#include "campaign/console.hh"
+#include "campaign/faultshim.hh"
+#include "campaign/manifest.hh"
+#include "campaign/plan.hh"
+#include "campaign/runner.hh"
 #include "checkpoint/codec.hh"
 #include "checkpoint/file.hh"
+#include "checkpoint/io.hh"
 #include "common/bitops.hh"
 #include "common/counters.hh"
 #include "common/logging.hh"

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include "campaign/console.hh"
 #include "common/random.hh"
 
 namespace memories::ies
@@ -19,6 +20,7 @@ TEST(ConsoleFuzzTest, GarbageCommandsNeverEscape)
 {
     bus::Bus6xx bus;
     Console console(bus);
+    campaign::registerConsoleCommands(console);
 
     const char *garbage[] = {
         "",
@@ -77,6 +79,13 @@ TEST(ConsoleFuzzTest, GarbageCommandsNeverEscape)
         "prof chrome /no/such/dir/trace.json",
         "prof stop stop stop",
         "prof frobnicate",
+        "campaign",
+        "campaign start",
+        "campaign start somedir notanumber 500",
+        "campaign resume /definitely/not/there",
+        "campaign status /definitely/not/there",
+        "campaign status",
+        "campaign frobnicate x",
     };
     for (const char *cmd : garbage)
         EXPECT_NO_THROW(console.execute(cmd)) << "command: " << cmd;
