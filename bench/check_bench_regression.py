@@ -134,6 +134,62 @@ def check_profile_attribution(results):
     return [] if verdict == "OK" else ["profile attribution"]
 
 
+def check_service_gates(results, baseline):
+    """Gates for the IESSERV load harness (BENCH_service.json).
+
+    All within-run ratios, like the speedup gates: sessions sustained
+    (the daemon must hold every requested tenant), p99-vs-p50 ingest
+    latency (tail blowup = convoying/starvation in the daemon), and
+    fleet-vs-solo aggregate throughput (concurrency must not collapse
+    the ingest path below a single session's rate)."""
+    gates = baseline.get("service_gates")
+    if not gates:
+        return []
+    service = results.get("service")
+    if not service:
+        raise SystemExit("error: baseline has service_gates but the "
+                         "results file carries no \"service\" object "
+                         "— did loadtest write this file?")
+    failures = []
+
+    sustained = service.get("sessions_sustained", 0)
+    want = gates.get("min_sessions_sustained", 0)
+    verdict = "OK" if sustained >= want else "FAIL"
+    print(f"[{verdict}] sessions sustained: {sustained} "
+          f"(require >= {want})")
+    if sustained < want:
+        failures.append("sessions sustained")
+
+    p50 = service.get("p50_us", 0)
+    p99 = service.get("p99_us", 0)
+    ceiling = gates.get("max_p99_over_p50")
+    if ceiling is not None:
+        if p50 <= 0:
+            raise SystemExit("error: p50_us is zero — no feed "
+                             "requests were timed")
+        ratio = p99 / p50
+        verdict = "OK" if ratio <= ceiling else "FAIL"
+        print(f"[{verdict}] ingest latency tail: p99 {p99:.1f} us vs "
+              f"p50 {p50:.1f} us = {ratio:.1f}x "
+              f"(ceiling {ceiling:.0f}x)")
+        if ratio > ceiling:
+            failures.append("ingest latency tail")
+
+    floor = gates.get("min_fleet_over_solo_throughput")
+    if floor is not None:
+        solo_ns = section_ns_per_ref(results, "ingest solo")
+        fleet_ns = section_ns_per_ref(results, "ingest fleet")
+        scaling = solo_ns / fleet_ns
+        verdict = "OK" if scaling >= floor else "FAIL"
+        print(f"[{verdict}] fleet throughput: {scaling:.2f}x the solo "
+              f"session ({fleet_ns:.1f} vs {solo_ns:.1f} ns/ref, "
+              f"floor {floor:.2f}x)")
+        if scaling < floor:
+            failures.append("fleet throughput")
+
+    return failures
+
+
 def print_history(path, label="feed batch @1 shard"):
     try:
         with open(path) as f:
@@ -184,6 +240,7 @@ def main():
     failures += check_speedup_gates(results, baseline, args.tolerance)
     failures += check_overhead_gates(results, baseline)
     failures += check_profile_attribution(results)
+    failures += check_service_gates(results, baseline)
 
     if args.history:
         print_history(args.history)

@@ -4,13 +4,22 @@
  * configure nodes over the command interface, initialize the board,
  * let the host run, extract statistics, capture and dump a trace.
  *
+ * The console here carries the SAME command registry the IESSERV
+ * daemon serves over its socket: the stream-ingest families (feed /
+ * drain / stream / fleet) and the campaign family are plugged in
+ * through Console::registerCommand, so interactive, campaign, and
+ * service sessions share one grammar (`help` lists all of it — the
+ * service console test asserts exactly that).
+ *
  * Usage: console_session [refs_millions]
  */
 
 #include <cstdio>
 #include <cstdlib>
 
+#include "campaign/console.hh"
 #include "memories/memories.hh"
+#include "service/stream.hh"
 
 int
 main(int argc, char **argv)
@@ -28,7 +37,15 @@ main(int argc, char **argv)
     host::HostMachine machine(host::s7aConfig(), wl);
 
     ies::Console console(machine.bus());
+    // One shared registry: the exact extension families an IESSERV
+    // daemon session would register (service::Session does the same
+    // calls), so every command below is also speakable on the wire.
+    service::StreamIngest ingest;
+    ingest.registerCommands(console);
+    campaign::registerConsoleCommands(console);
+
     const char *session[] = {
+        "help",
         "node 0 cache 64MB 4 128B LRU",
         "node 0 cpus 0,1,2,3",
         "node 0 protocol MESI",
@@ -53,6 +70,21 @@ main(int argc, char **argv)
     const std::string trace_path = "/tmp/memories_console_trace.ies";
     std::printf("> dump-trace %s\n%s\n", trace_path.c_str(),
                 console.execute("dump-trace " + trace_path).c_str());
+
+    // The service grammar, interactively: add a same-config twin board
+    // (the health ladder's resync donor in a daemon session) and
+    // replay the captured trace through the ingest path the daemon
+    // uses for uploads.
+    const std::string serviceCmds[] = {
+        "fleet add twin0 7",
+        "stream replay " + trace_path,
+        "stream status",
+        "fleet list",
+        "drain",
+    };
+    for (const std::string &cmd : serviceCmds)
+        std::printf("> %s\n%s\n", cmd.c_str(),
+                    console.execute(cmd).c_str());
 
     // Replay the captured trace through the detailed C simulator —
     // the validation loop the authors used for the board design.

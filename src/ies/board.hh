@@ -163,6 +163,18 @@ class MemoriesBoard : public bus::BusSnooper, public bus::BusObserver
     /** Tenures the SDRAM side has retired (oracle diffing). */
     std::uint64_t bufferRetired() const { return buffer_.retired(); }
 
+    /**
+     * Mutation-free admission probe: how many references stamped at
+     * bus cycle @p now the transaction buffer could still absorb
+     * without posting a retry, counting entries that would retire by
+     * then. The IESSERV admission controller meters per-session feed
+     * credits with this (docs/SERVICE.md).
+     */
+    std::size_t bufferAdmissibleAt(Cycle now) const
+    {
+        return buffer_.admissibleAt(now);
+    }
+
     /** Trace-capture buffer, when the mode is enabled. */
     trace::CaptureBuffer *captureBuffer()
     {

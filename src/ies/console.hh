@@ -109,6 +109,9 @@ class Console
     /** The live profiler (nullptr unless `prof start` ran). */
     profile::Profiler *profiler() { return profiler_.get(); }
 
+    /** True while a `monitor start` telemetry session is live. */
+    bool monitoring() const { return monitor_ != nullptr; }
+
     /**
      * Handler for an extension command family. Invoked with the full
      * token list (tokens[0] is the family name); fatal() inside a

@@ -1,5 +1,7 @@
 #include "ies/txnbuffer.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace memories::ies
@@ -53,6 +55,29 @@ TransactionBuffer::earn(Cycle now)
     const std::uint64_t cap = static_cast<std::uint64_t>(capacity_) * 100;
     if (credits_ > cap)
         credits_ = cap;
+}
+
+std::size_t
+TransactionBuffer::admissibleAt(Cycle now) const
+{
+    // Virtual earn(now): identical span/stall/cap arithmetic, no
+    // mutation, so the probe is pure and repeatable.
+    std::uint64_t credits = credits_;
+    if (now > lastEarnCycle_) {
+        Cycle from = lastEarnCycle_;
+        if (from < stallUntil_)
+            from = now < stallUntil_ ? now : stallUntil_;
+        if (now > from)
+            credits += (now - from) * throughputPercent_;
+        const std::uint64_t cap = static_cast<std::uint64_t>(capacity_) * 100;
+        if (credits > cap)
+            credits = cap;
+    }
+    const std::size_t retirable =
+        static_cast<std::size_t>(std::min<std::uint64_t>(count_, credits / 100));
+    const std::size_t held = count_ - retirable;
+    const std::size_t cap = effectiveCapacity(now);
+    return held >= cap ? 0 : cap - held;
 }
 
 bus::BusTransaction

@@ -95,6 +95,18 @@ class TransactionBuffer
         slotLossUntil_ = until;
     }
 
+    /**
+     * Mutation-free admission probe: how many further tenures arriving
+     * at bus cycle @p now this buffer could accept without a rejection
+     * — the free slots left once every entry retirable by @p now has
+     * drained. Mirrors the earn()/drain() arithmetic (stall windows,
+     * slot-loss capacity, the banked-credit cap) without touching any
+     * state, so a caller can meter admission *before* offering work:
+     * the IESSERV service layer prices its per-session feed credits
+     * with this (docs/SERVICE.md).
+     */
+    std::size_t admissibleAt(Cycle now) const;
+
     /** Capacity minus any slot-loss fault active at bus cycle @p now. */
     std::size_t effectiveCapacity(Cycle now) const
     {

@@ -1,0 +1,164 @@
+#include "service/client.hh"
+
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include "trace/record.hh"
+
+namespace memories::service
+{
+
+ServiceClient::~ServiceClient()
+{
+    close();
+}
+
+bool
+ServiceClient::connect(const std::string &socket_path, int retry_ms)
+{
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    if (socket_path.size() >= sizeof addr.sun_path)
+        return false;
+    std::memcpy(addr.sun_path, socket_path.c_str(),
+                socket_path.size() + 1);
+
+    const auto deadline = std::chrono::steady_clock::now() +
+                          std::chrono::milliseconds(retry_ms);
+    for (;;) {
+        const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+        if (fd < 0)
+            return false;
+        if (::connect(fd, reinterpret_cast<const sockaddr *>(&addr),
+                      sizeof addr) == 0) {
+            channel_ = std::make_unique<LineChannel>(fd);
+            break;
+        }
+        ::close(fd);
+        if (std::chrono::steady_clock::now() >= deadline)
+            return false;
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    }
+    const auto greeting = channel_->readReply();
+    if (!greeting || !greeting->ok) {
+        channel_.reset();
+        return false;
+    }
+    greeting_ = greeting->text();
+    prevCycle_ = 0;
+    return true;
+}
+
+Reply
+ServiceClient::exec(const std::string &line)
+{
+    Reply failed;
+    failed.ok = false;
+    if (!channel_) {
+        failed.lines = {"transport: not connected"};
+        return failed;
+    }
+    if (!channel_->writeAll(line + "\n")) {
+        channel_.reset();
+        failed.lines = {"transport: connection lost (write)"};
+        return failed;
+    }
+    auto reply = channel_->readReply();
+    if (!reply) {
+        channel_.reset();
+        failed.lines = {"transport: connection lost (read)"};
+        return failed;
+    }
+    return *reply;
+}
+
+FeedTotals
+ServiceClient::feedAll(const std::vector<bus::BusTransaction> &txns,
+                       std::size_t batch,
+                       std::vector<double> *latencies_us)
+{
+    FeedTotals totals;
+    totals.offered = txns.size();
+    if (batch == 0)
+        batch = 1;
+
+    // Pre-pack the whole stream once: a back-pressured tail is re-sent
+    // verbatim, so the hex tokens must not depend on how the stream
+    // ends up being windowed.
+    std::vector<std::string> hex;
+    hex.reserve(txns.size());
+    Cycle prev = prevCycle_;
+    for (const auto &txn : txns) {
+        hex.push_back(encodeRecordHex(
+            trace::BusRecord::pack(txn, prev).raw));
+        prev = txn.cycle;
+    }
+
+    std::size_t next = 0;
+    int zeroProgress = 0;
+    while (next < hex.size() && channel_) {
+        const std::size_t n = std::min(batch, hex.size() - next);
+        std::string line = "feed";
+        for (std::size_t i = 0; i < n; ++i) {
+            line += ' ';
+            line += hex[next + i];
+        }
+        const auto sent = std::chrono::steady_clock::now();
+        const Reply reply = exec(line);
+        if (latencies_us)
+            latencies_us->push_back(
+                std::chrono::duration<double, std::micro>(
+                    std::chrono::steady_clock::now() - sent)
+                    .count());
+        ++totals.feedLines;
+        if (!reply.ok || reply.lines.empty())
+            break;
+        unsigned long long fed = 0, accepted = 0, of = 0;
+        if (std::sscanf(reply.lines[0].c_str(),
+                        "fed %llu accepted %llu of %llu", &fed,
+                        &accepted, &of) != 3 ||
+            fed > n)
+            break;
+        totals.accepted += accepted;
+        if (fed == 0) {
+            ++totals.resends;
+            // A paced session earns admission as the stream's cycles
+            // advance, so retrying the same head eventually lands —
+            // unless the stream itself cannot fit (same-cycle burst
+            // beyond capacity), which this valve catches.
+            if (++zeroProgress > 10000)
+                break;
+            continue;
+        }
+        zeroProgress = 0;
+        next += fed;
+    }
+    if (next > 0)
+        prevCycle_ = txns[next - 1].cycle;
+    return totals;
+}
+
+void
+ServiceClient::close()
+{
+    if (!channel_)
+        return;
+    channel_->writeAll("quit\n"); // best-effort goodbye
+    channel_.reset();
+}
+
+void
+ServiceClient::drop()
+{
+    channel_.reset();
+}
+
+} // namespace memories::service

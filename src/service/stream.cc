@@ -1,0 +1,332 @@
+#include "service/stream.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "common/logging.hh"
+#include "service/wire.hh"
+#include "trace/record.hh"
+#include "trace/tracefile.hh"
+
+namespace memories::service
+{
+
+namespace
+{
+
+std::uint64_t
+parseCount(const std::string &token, const char *what)
+{
+    if (token.empty() ||
+        token.find_first_not_of("0123456789") != std::string::npos)
+        fatal("bad ", what, " '", token, "'");
+    return std::stoull(token);
+}
+
+ies::MemoriesBoard &
+requireBoard(ies::Console &console, const char *family)
+{
+    if (!console.initialized())
+        fatal(family, " requires an initialized board; run init first");
+    return *console.board();
+}
+
+} // namespace
+
+std::size_t
+StreamIngest::addTwin(const ies::BoardConfig &config, std::uint64_t seed,
+                      const std::string &label)
+{
+    const std::size_t index = fleet_.addExperiment(config, seed, label);
+    fleetSeeds_.push_back(seed);
+    return index;
+}
+
+StreamIngest::State
+StreamIngest::state() const
+{
+    State s;
+    s.prevCycle = prevCycle_;
+    s.paced = paced_;
+    s.refsOffered = refsOffered_;
+    s.refsAttempted = refsAttempted_;
+    s.refsAccepted = refsAccepted_;
+    s.backpressure = backpressure_;
+    s.overflowDrops = overflowDrops_;
+    s.feedLines = feedLines_;
+    s.resyncs = resyncs_;
+    return s;
+}
+
+void
+StreamIngest::restore(const State &state)
+{
+    prevCycle_ = state.prevCycle;
+    paced_ = state.paced;
+    refsOffered_ = state.refsOffered;
+    refsAttempted_ = state.refsAttempted;
+    refsAccepted_ = state.refsAccepted;
+    backpressure_ = state.backpressure;
+    overflowDrops_ = state.overflowDrops;
+    feedLines_ = state.feedLines;
+    resyncs_ = state.resyncs;
+}
+
+std::size_t
+StreamIngest::feedAttempted(ies::Console &console,
+                            const std::vector<bus::BusTransaction> &txns,
+                            std::string &notes)
+{
+    ies::MemoriesBoard &board = *console.board();
+    const std::size_t accepted = board.feedBatch(txns);
+    // Twin boards see the identical attempted sequence (the session's
+    // fan-out); their own buffers decide what they keep.
+    for (std::size_t i = 0; i < fleet_.numExperiments(); ++i)
+        fleet_.board(i).feedBatch(txns);
+
+    refsAttempted_ += txns.size();
+    refsAccepted_ += accepted;
+    overflowDrops_ += txns.size() - accepted;
+    prevCycle_ = txns.back().cycle;
+
+    // Health ladder: a quarantined board is pulled back from the first
+    // healthy same-fingerprint twin; with no twin the session is done.
+    if (board.healthState() == fault::HealthState::Quarantined) {
+        const std::uint64_t want = board.config().fingerprint();
+        for (std::size_t i = 0; i < fleet_.numExperiments(); ++i) {
+            ies::MemoriesBoard &twin = fleet_.board(i);
+            if (twin.healthState() == fault::HealthState::Healthy &&
+                twin.config().fingerprint() == want) {
+                board.resyncFrom(twin);
+                ++resyncs_;
+                notes += "\nresynced from twin " + std::to_string(i) +
+                         " '" + fleet_.label(i) + "'";
+                return accepted;
+            }
+        }
+        evictRequested_ = true;
+        fatal("quarantined: no healthy twin to resync from; "
+              "session must be evicted");
+    }
+    return accepted;
+}
+
+std::string
+StreamIngest::handleFeed(ies::Console &console,
+                         const std::vector<std::string> &tokens)
+{
+    ies::MemoriesBoard &board = requireBoard(console, "feed");
+    if (tokens.size() < 2)
+        fatal("usage: feed <hex16> [<hex16> ...]");
+    const std::size_t n = tokens.size() - 1;
+    if (n > maxBatch_)
+        fatal("feed of ", n, " records exceeds the session batch limit ",
+              maxBatch_);
+
+    // Decode every record first (reject the whole line on any bad
+    // token) and unpack with the session's cycle chain.
+    std::vector<bus::BusTransaction> txns;
+    txns.reserve(n);
+    Cycle prev = prevCycle_;
+    for (std::size_t i = 1; i < tokens.size(); ++i) {
+        const auto raw = decodeRecordHex(tokens[i]);
+        if (!raw)
+            fatal("bad record token '", tokens[i],
+                  "' (want 16 lower-case hex digits)");
+        const bus::BusTransaction txn =
+            trace::BusRecord(*raw).unpack(prev);
+        prev = txn.cycle;
+        txns.push_back(txn);
+    }
+
+    ++feedLines_;
+    refsOffered_ += n;
+
+    // Admission: paced mode admits only what the credit-paced buffer
+    // could absorb at the head record's cycle; raw mode attempts the
+    // whole line exactly once (overflow drops and all).
+    std::size_t attempted = n;
+    if (paced_) {
+        attempted = std::min(
+            attempted, board.bufferAdmissibleAt(txns.front().cycle));
+    }
+    if (attempted == 0) {
+        ++backpressure_;
+        return "fed 0 accepted 0 of " + std::to_string(n);
+    }
+
+    txns.resize(attempted);
+    std::string notes;
+    const std::size_t accepted = feedAttempted(console, txns, notes);
+    return "fed " + std::to_string(attempted) + " accepted " +
+           std::to_string(accepted) + " of " + std::to_string(n) + notes;
+}
+
+std::string
+StreamIngest::handleDrain(ies::Console &console)
+{
+    ies::MemoriesBoard &board = requireBoard(console, "drain");
+    board.drainAll();
+    for (std::size_t i = 0; i < fleet_.numExperiments(); ++i)
+        fleet_.board(i).drainAll();
+    return "drained buffer " + std::to_string(board.bufferSize()) +
+           " retired " + std::to_string(board.bufferRetired());
+}
+
+std::string
+StreamIngest::replayFile(ies::Console &console, const std::string &path)
+{
+    requireBoard(console, "stream replay");
+    trace::TraceReader reader(path);
+    std::uint64_t replayed = 0;
+    std::uint64_t accepted = 0;
+    std::vector<bus::BusTransaction> chunk;
+    chunk.reserve(maxBatch_);
+    bus::BusTransaction txn;
+    bool more = reader.next(txn);
+    std::string notes;
+    while (more) {
+        chunk.clear();
+        while (chunk.size() < maxBatch_ && more) {
+            chunk.push_back(txn);
+            more = reader.next(txn);
+        }
+        // A captured trace is already paced by its recorded
+        // inter-arrival deltas, so replay always attempts each record
+        // exactly once (raw semantics) — there is no client to
+        // back-pressure.
+        refsOffered_ += chunk.size();
+        ++feedLines_;
+        replayed += chunk.size();
+        accepted += feedAttempted(console, chunk, notes);
+    }
+    std::string reply = "replayed " + std::to_string(replayed) +
+                        " accepted " + std::to_string(accepted) +
+                        " dropped " + std::to_string(replayed - accepted);
+    return reply + notes;
+}
+
+std::string
+StreamIngest::handleStream(ies::Console &console,
+                           const std::vector<std::string> &tokens)
+{
+    if (tokens.size() == 1 || tokens[1] == "status") {
+        std::ostringstream os;
+        os << "pace " << (paced_ ? "on" : "off") << "\n"
+           << "prev-cycle " << prevCycle_ << "\n"
+           << "offered " << refsOffered_ << " attempted " << refsAttempted_
+           << " accepted " << refsAccepted_ << "\n"
+           << "backpressure " << backpressure_ << " overflow-drops "
+           << overflowDrops_ << " feed-lines " << feedLines_
+           << " resyncs " << resyncs_;
+        return os.str();
+    }
+    const std::string &sub = tokens[1];
+    if (sub == "pace") {
+        if (tokens.size() != 3 ||
+            (tokens[2] != "on" && tokens[2] != "off"))
+            fatal("usage: stream pace on|off");
+        paced_ = tokens[2] == "on";
+        return std::string("pace ") + (paced_ ? "on" : "off");
+    }
+    if (sub == "reset") {
+        prevCycle_ = 0;
+        refsOffered_ = refsAttempted_ = refsAccepted_ = 0;
+        backpressure_ = overflowDrops_ = feedLines_ = resyncs_ = 0;
+        return "stream reset";
+    }
+    if (sub == "replay") {
+        if (tokens.size() != 3)
+            fatal("usage: stream replay <path>");
+        return replayFile(console, tokens[2]);
+    }
+    fatal("usage: stream [status|pace on|off|reset|replay <path>]");
+}
+
+std::string
+StreamIngest::handleFleet(ies::Console &console,
+                          const std::vector<std::string> &tokens)
+{
+    if (tokens.size() == 1 || tokens[1] == "list" ||
+        tokens[1] == "status") {
+        if (fleet_.numExperiments() == 0)
+            return "fleet empty";
+        std::ostringstream os;
+        for (std::size_t i = 0; i < fleet_.numExperiments(); ++i) {
+            if (i)
+                os << "\n";
+            os << i << " '" << fleet_.label(i) << "' seed "
+               << fleetSeeds_[i] << " health "
+               << fault::healthStateName(fleet_.board(i).healthState());
+        }
+        return os.str();
+    }
+    const std::string &sub = tokens[1];
+    if (sub == "add") {
+        ies::MemoriesBoard &board = requireBoard(console, "fleet add");
+        if (tokens.size() > 4)
+            fatal("usage: fleet add [label] [seed]");
+        const std::string label =
+            tokens.size() >= 3 ? tokens[2]
+                               : "twin" +
+                                     std::to_string(fleet_.numExperiments());
+        const std::uint64_t seed =
+            tokens.size() == 4 ? parseCount(tokens[3], "seed") : 1;
+        const std::size_t index = addTwin(board.config(), seed, label);
+        return "fleet board " + std::to_string(index) + " '" + label +
+               "' added";
+    }
+    if (sub == "counters" || sub == "stats") {
+        if (tokens.size() != 3)
+            fatal("usage: fleet ", sub, " <index>");
+        const std::size_t i =
+            static_cast<std::size_t>(parseCount(tokens[2], "fleet index"));
+        if (i >= fleet_.numExperiments())
+            fatal("fleet index ", i, " out of range (",
+                  fleet_.numExperiments(), " boards)");
+        return fleet_.board(i).dumpStats();
+    }
+    if (sub == "resync") {
+        ies::MemoriesBoard &board = requireBoard(console, "fleet resync");
+        const std::uint64_t want = board.config().fingerprint();
+        for (std::size_t i = 0; i < fleet_.numExperiments(); ++i) {
+            ies::MemoriesBoard &twin = fleet_.board(i);
+            if (twin.healthState() == fault::HealthState::Healthy &&
+                twin.config().fingerprint() == want) {
+                board.resyncFrom(twin);
+                ++resyncs_;
+                return "resynced from twin " + std::to_string(i) + " '" +
+                       fleet_.label(i) + "'";
+            }
+        }
+        fatal("no healthy same-fingerprint twin to resync from");
+    }
+    fatal("usage: fleet [add [label] [seed]|list|counters <i>|resync]");
+}
+
+void
+StreamIngest::registerCommands(ies::Console &console)
+{
+    console.registerCommand(
+        "feed", [this](ies::Console &c,
+                       const std::vector<std::string> &tokens) {
+            return handleFeed(c, tokens);
+        });
+    console.registerCommand(
+        "drain",
+        [this](ies::Console &c, const std::vector<std::string> &) {
+            return handleDrain(c);
+        });
+    console.registerCommand(
+        "stream", [this](ies::Console &c,
+                         const std::vector<std::string> &tokens) {
+            return handleStream(c, tokens);
+        });
+    console.registerCommand(
+        "fleet", [this](ies::Console &c,
+                        const std::vector<std::string> &tokens) {
+            return handleFleet(c, tokens);
+        });
+}
+
+} // namespace memories::service

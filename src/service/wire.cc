@@ -1,0 +1,169 @@
+#include "service/wire.hh"
+
+#include <cerrno>
+#include <cstdio>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace memories::service
+{
+
+std::string
+Reply::text() const
+{
+    std::string out;
+    for (std::size_t i = 0; i < lines.size(); ++i) {
+        if (i)
+            out += '\n';
+        out += lines[i];
+    }
+    return out;
+}
+
+std::string
+renderReply(bool ok, const std::string &body)
+{
+    // Count body lines; an empty body is a zero-line frame.
+    std::size_t n = 0;
+    if (!body.empty()) {
+        n = 1;
+        for (char c : body)
+            n += c == '\n';
+        if (body.back() == '\n')
+            --n; // trailing newline does not open a new line
+    }
+    std::string out = ok ? "ok " : "err ";
+    out += std::to_string(n);
+    out += '\n';
+    out += body;
+    if (!body.empty() && body.back() != '\n')
+        out += '\n';
+    return out;
+}
+
+std::string
+encodeRecordHex(std::uint64_t raw)
+{
+    char buf[17];
+    std::snprintf(buf, sizeof buf, "%016llx",
+                  static_cast<unsigned long long>(raw));
+    return std::string(buf, 16);
+}
+
+std::optional<std::uint64_t>
+decodeRecordHex(const std::string &token)
+{
+    if (token.size() != 16)
+        return std::nullopt;
+    std::uint64_t raw = 0;
+    for (char c : token) {
+        std::uint64_t digit;
+        if (c >= '0' && c <= '9')
+            digit = static_cast<std::uint64_t>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            digit = static_cast<std::uint64_t>(c - 'a') + 10;
+        else
+            return std::nullopt;
+        raw = (raw << 4) | digit;
+    }
+    return raw;
+}
+
+LineChannel::~LineChannel()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+}
+
+bool
+LineChannel::readLine(std::string &line)
+{
+    for (;;) {
+        const std::size_t nl = buf_.find('\n');
+        if (nl != std::string::npos) {
+            line.assign(buf_, 0, nl);
+            buf_.erase(0, nl + 1);
+            return true;
+        }
+        if (buf_.size() > maxLineBytes)
+            return false; // unterminated monster line
+        char chunk[4096];
+        ssize_t got;
+        do {
+            got = ::read(fd_, chunk, sizeof chunk);
+        } while (got < 0 && errno == EINTR);
+        if (got <= 0)
+            return false;
+        buf_.append(chunk, static_cast<std::size_t>(got));
+    }
+}
+
+bool
+LineChannel::writeAll(const std::string &data)
+{
+    std::size_t off = 0;
+    while (off < data.size()) {
+        ssize_t put;
+        do {
+            // MSG_NOSIGNAL: a vanished peer must surface as EPIPE,
+            // not kill the daemon with SIGPIPE.
+            put = ::send(fd_, data.data() + off, data.size() - off,
+                         MSG_NOSIGNAL);
+        } while (put < 0 && errno == EINTR);
+        if (put <= 0)
+            return false;
+        off += static_cast<std::size_t>(put);
+    }
+    return true;
+}
+
+std::optional<Reply>
+LineChannel::readReply()
+{
+    std::string head;
+    if (!readLine(head))
+        return std::nullopt;
+    Reply reply;
+    std::size_t off;
+    if (head.rfind("ok ", 0) == 0) {
+        reply.ok = true;
+        off = 3;
+    } else if (head.rfind("err ", 0) == 0) {
+        reply.ok = false;
+        off = 4;
+    } else {
+        return std::nullopt;
+    }
+    const std::string count = head.substr(off);
+    if (count.empty() ||
+        count.find_first_not_of("0123456789") != std::string::npos)
+        return std::nullopt;
+    unsigned long long n = std::stoull(count);
+    if (n > maxLineBytes)
+        return std::nullopt;
+    reply.lines.reserve(n);
+    for (unsigned long long i = 0; i < n; ++i) {
+        std::string line;
+        if (!readLine(line))
+            return std::nullopt;
+        reply.lines.push_back(std::move(line));
+    }
+    return reply;
+}
+
+void
+LineChannel::shutdownBoth()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RDWR);
+}
+
+void
+LineChannel::shutdownRead()
+{
+    if (fd_ >= 0)
+        ::shutdown(fd_, SHUT_RD);
+}
+
+} // namespace memories::service

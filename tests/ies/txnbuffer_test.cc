@@ -125,6 +125,64 @@ TEST(TxnBufferTest, BoardDefaultsSustainTypicalUtilization)
     EXPECT_LT(buf.highWater(), 16u);
 }
 
+TEST(TxnBufferTest, AdmissibleAtIsPure)
+{
+    TransactionBuffer buf(8, 42);
+    for (int i = 0; i < 6; ++i)
+        buf.push(txnAt(0));
+    const std::size_t first = buf.admissibleAt(500);
+    for (int i = 0; i < 10; ++i)
+        EXPECT_EQ(buf.admissibleAt(500), first); // probing never mutates
+    EXPECT_EQ(buf.size(), 6u);
+    EXPECT_EQ(buf.retired(), 0u);
+}
+
+TEST(TxnBufferTest, AdmissibleMatchesDrainThenPush)
+{
+    // The probe must predict exactly how many same-cycle pushes a
+    // drain(now)-then-push sequence would accept.
+    for (Cycle now : {0ull, 3ull, 10ull, 250ull, 1'000'000ull}) {
+        TransactionBuffer probe(8, 42);
+        TransactionBuffer real(8, 42);
+        for (int i = 0; i < 8; ++i) {
+            probe.push(txnAt(0));
+            real.push(txnAt(0));
+        }
+        const std::size_t predicted = probe.admissibleAt(now);
+        while (real.drain(now)) {
+        }
+        std::size_t accepted = 0;
+        while (real.push(txnAt(now)))
+            ++accepted;
+        EXPECT_EQ(predicted, accepted) << "now=" << now;
+    }
+}
+
+TEST(TxnBufferTest, AdmissibleHonoursStallAndSlotLoss)
+{
+    // A retirement stall suppresses the earned span; a slot-loss fault
+    // shrinks the capacity the probe reports against.
+    TransactionBuffer buf(8, 100);
+    for (int i = 0; i < 8; ++i)
+        buf.push(txnAt(0));
+    buf.injectStall(1'000);
+    EXPECT_EQ(buf.admissibleAt(500), 0u); // no credits earned inside stall
+    EXPECT_EQ(buf.admissibleAt(1'004), 4u);
+    buf.injectSlotLoss(6, 2'000);
+    // By cycle 1008 all 8 are retirable but only 2 slots exist.
+    EXPECT_EQ(buf.admissibleAt(1'008), 2u);
+    EXPECT_EQ(buf.admissibleAt(2'000), 8u); // fault expired
+}
+
+TEST(TxnBufferTest, AdmissibleCapsBankedCredits)
+{
+    // A long idle stretch banks at most capacity*100 credits; the probe
+    // must apply the same cap instead of promising unbounded drain.
+    TransactionBuffer buf(4, 50);
+    buf.push(txnAt(0));
+    EXPECT_EQ(buf.admissibleAt(1'000'000), 4u); // never above capacity
+}
+
 TEST(TxnBufferTest, SustainedOverloadEventuallyRejects)
 {
     // Above 42% sustained arrival the buffer must fill and reject.

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Concurrent-clients determinism: N clients hammer one daemon at
+ * once, each streaming its own seeded workload into its own session.
+ * Whatever the thread interleaving, every session's final board must
+ * be byte-identical to that workload's solo golden run — sessions
+ * share a daemon but not state. CI runs this binary directly in the
+ * ThreadSanitizer legs (see .github/workflows/ci.yml), so the
+ * daemon's slot table, telemetry, and counters are raced on purpose.
+ */
+
+#include <gtest/gtest.h>
+
+#include "servicetest.hh"
+
+#include <thread>
+
+namespace memories::service
+{
+namespace
+{
+
+using namespace testing;
+
+constexpr std::size_t kClients = 8;
+
+TEST(ServiceConcurrentTest, EightClientsMatchTheirSoloGoldenRuns)
+{
+    // Two board shapes across the tenants, so sessions with different
+    // configs (not just different streams) share the daemon.
+    std::vector<std::vector<std::string>> scripts(kClients,
+                                                  configScript());
+    for (std::size_t i = 1; i < kClients; i += 2)
+        scripts[i][4] = "buffer 32";
+
+    std::vector<std::vector<bus::BusTransaction>> streams;
+    std::vector<RunSignature> goldens;
+    std::uint64_t total_refs = 0;
+    for (std::size_t i = 0; i < kClients; ++i) {
+        streams.push_back(stream(/*seed=*/41 + i, /*count=*/6'000));
+        goldens.push_back(
+            goldenRun(scripts[i], canonical(streams[i])));
+        total_refs += streams[i].size();
+    }
+
+    TestDaemon daemon(/*max_sessions=*/kClients,
+                      /*window_requests=*/32);
+    std::vector<RunSignature> results(kClients);
+    std::vector<std::string> failures(kClients);
+
+    std::vector<std::thread> clients;
+    for (std::size_t i = 0; i < kClients; ++i) {
+        clients.emplace_back([&, i] {
+            ServiceClient client;
+            if (!client.connect(daemon.socket())) {
+                failures[i] = "connect failed";
+                return;
+            }
+            for (const auto &line : scripts[i]) {
+                const auto reply = client.exec(line);
+                if (!reply.ok) {
+                    failures[i] = "config: " + reply.text();
+                    return;
+                }
+            }
+            // Small batches maximize cross-session interleaving.
+            const auto totals = client.feedAll(streams[i],
+                                               /*batch=*/97);
+            if (totals.accepted != totals.offered) {
+                failures[i] = "accepted " +
+                              std::to_string(totals.accepted) +
+                              " of " +
+                              std::to_string(totals.offered);
+                return;
+            }
+            if (!client.exec("drain").ok) {
+                failures[i] = "drain failed";
+                return;
+            }
+            results[i] = sessionSignature(client);
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+
+    for (std::size_t i = 0; i < kClients; ++i) {
+        ASSERT_EQ(failures[i], "") << "client " << i;
+        results[i].expectEqual(goldens[i],
+                               "client " + std::to_string(i));
+    }
+
+    EXPECT_EQ(daemon.get().sessionsOpened(), kClients);
+    EXPECT_EQ(daemon.get().refsAccepted(), total_refs);
+    EXPECT_EQ(daemon.get().sessionsEvicted(), 0u);
+}
+
+TEST(ServiceConcurrentTest, SessionLimitRejectsTheOverflowClient)
+{
+    TestDaemon daemon(/*max_sessions=*/2);
+    ServiceClient a, b;
+    ASSERT_TRUE(a.connect(daemon.socket()));
+    ASSERT_TRUE(b.connect(daemon.socket()));
+
+    // The third tenant is refused with a framed error, not ignored.
+    ServiceClient c;
+    EXPECT_FALSE(c.connect(daemon.socket(), /*retry_ms=*/200));
+    EXPECT_TRUE(waitFor(
+        [&] { return daemon.get().sessionsRejected() >= 1; }));
+
+    // A slot frees up when a tenant leaves; the next connect works.
+    a.close();
+    EXPECT_TRUE(waitFor(
+        [&] { return daemon.get().sessionsActive() == 1; }));
+    ServiceClient d;
+    EXPECT_TRUE(d.connect(daemon.socket()));
+    EXPECT_TRUE(d.exec("session status").ok);
+}
+
+} // namespace
+} // namespace memories::service

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * One grammar everywhere: every extension family a service session
+ * registers (stream ingest, campaign, session lifecycle, daemon
+ * control) must appear in `help`, in-process and over the wire, so
+ * interactive, campaign, and service consoles cannot drift apart.
+ */
+
+#include <gtest/gtest.h>
+
+#include "servicetest.hh"
+
+#include "service/session.hh"
+
+namespace memories::service
+{
+namespace
+{
+
+using namespace testing;
+
+void
+expectFamilies(const std::string &help,
+               const std::vector<std::string> &families,
+               const std::string &what)
+{
+    for (const auto &family : families)
+        EXPECT_NE(help.find(family), std::string::npos)
+            << what << ": family '" << family
+            << "' missing from help: " << help;
+}
+
+TEST(ServiceConsoleTest, SessionHelpListsAllRegisteredFamilies)
+{
+    SessionOptions options;
+    options.stateDir = uniquePath("iesserv-console-state");
+    Session session(options, "t0");
+    const auto help = session.execute("help");
+    // Built-ins first (the console's own grammar)...
+    expectFamilies(help, {"node", "buffer", "throughput", "init",
+                          "stats", "counters", "save-state"},
+                   "builtins");
+    // ...then every family Session plugs in via registerCommand.
+    expectFamilies(help,
+                   {"campaign", "drain", "feed", "fleet", "session",
+                    "stream"},
+                   "session extensions");
+}
+
+TEST(ServiceConsoleTest, WireHelpAddsTheServerFamily)
+{
+    TestDaemon daemon;
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(daemon.socket()));
+    EXPECT_NE(client.greeting().find("iesserv ready session"),
+              std::string::npos)
+        << client.greeting();
+
+    const auto help = client.exec("help");
+    ASSERT_TRUE(help.ok);
+    // The daemon serves the session grammar PLUS its own control
+    // family; nothing a session registered may be shadowed or lost.
+    expectFamilies(help.text(),
+                   {"campaign", "drain", "feed", "fleet", "server",
+                    "session", "stream"},
+                   "wire");
+}
+
+TEST(ServiceConsoleTest, BuiltinsCannotBeShadowedOverTheWire)
+{
+    TestDaemon daemon;
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(daemon.socket()));
+    // `init` before any node config is a builtin-path error, proving
+    // the request went to the builtin, not to any extension.
+    const auto reply = client.exec("init");
+    EXPECT_FALSE(reply.ok);
+    EXPECT_NE(reply.text().find("error:"), std::string::npos);
+}
+
+TEST(ServiceConsoleTest, ServerStatusAndMetricsRespond)
+{
+    TestDaemon daemon;
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(daemon.socket()));
+
+    const auto status = client.exec("server status");
+    ASSERT_TRUE(status.ok) << status.text();
+    EXPECT_NE(status.text().find("sessions"), std::string::npos);
+
+    // Metrics need a closed telemetry window; issue enough requests.
+    for (int i = 0; i < 20; ++i)
+        client.exec("session status");
+    const auto metrics = client.exec("server metrics");
+    ASSERT_TRUE(metrics.ok) << metrics.text();
+    EXPECT_NE(metrics.text().find("serv.sessions.opened"),
+              std::string::npos)
+        << metrics.text();
+}
+
+} // namespace
+} // namespace memories::service

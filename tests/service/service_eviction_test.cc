@@ -1,0 +1,276 @@
+/**
+ * @file
+ * Eviction tier: sessions die every way a tenant can die — abrupt
+ * socket drop, SIGKILLed client process, operator `server evict`, and
+ * the health ladder's quarantine-without-donor — and in every case
+ * the daemon reclaims the boards, concurrent sessions stay
+ * byte-exact, and a checkpointed session still resumes identically
+ * after reconnecting. The quarantine-with-donor path must instead
+ * resync in place and keep serving.
+ */
+
+#include <gtest/gtest.h>
+
+#include "servicetest.hh"
+
+#include <csignal>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include "trace/record.hh"
+
+namespace memories::service
+{
+namespace
+{
+
+using namespace testing;
+
+TEST(ServiceEvictionTest, SocketDropReclaimsBoardsAndPeersStayExact)
+{
+    const auto survivor_stream = stream(/*seed=*/31, /*count=*/12'000);
+    const auto golden =
+        goldenRun(configScript(), canonical(survivor_stream));
+
+    TestDaemon daemon;
+
+    // Session C: feed half, checkpoint-suspend. It must survive the
+    // chaos below and resume byte-identically.
+    const std::vector<bus::BusTransaction> c_first(
+        survivor_stream.begin(), survivor_stream.begin() + 6'000);
+    const std::vector<bus::BusTransaction> c_second(
+        survivor_stream.begin() + 6'000, survivor_stream.end());
+    {
+        ServiceClient c;
+        ASSERT_TRUE(c.connect(daemon.socket()));
+        configureSession(c, configScript());
+        ASSERT_TRUE(c.exec("session name keeper").ok);
+        ASSERT_EQ(c.feedAll(c_first, 256).accepted, c_first.size());
+        ASSERT_TRUE(c.exec("session suspend").ok);
+    }
+
+    // Session A dies mid-stream: no quit, the fd just vanishes.
+    ServiceClient a;
+    ASSERT_TRUE(a.connect(daemon.socket()));
+    configureSession(a, configScript());
+    a.feedAll(stream(/*seed=*/32, /*count=*/2'000), 256);
+    a.drop();
+
+    // Session B runs its whole stream to completion regardless.
+    ServiceClient b;
+    ASSERT_TRUE(b.connect(daemon.socket()));
+    configureSession(b, configScript());
+    ASSERT_EQ(b.feedAll(survivor_stream, 256).accepted,
+              survivor_stream.size());
+    ASSERT_TRUE(b.exec("drain").ok);
+    sessionSignature(b).expectEqual(golden, "survivor B");
+    b.close();
+
+    // The daemon noticed the drop and reclaimed A's slot.
+    EXPECT_TRUE(waitFor(
+        [&] { return daemon.get().sessionsActive() == 0; }))
+        << "dropped session never reclaimed; active="
+        << daemon.get().sessionsActive();
+    EXPECT_EQ(daemon.get().sessionsOpened(), 3u);
+
+    // The checkpointed session resumes identically after reconnect.
+    ServiceClient c;
+    ASSERT_TRUE(c.connect(daemon.socket()));
+    ASSERT_TRUE(c.exec("session resume keeper").ok);
+    c.setChainCycle(c_first.back().cycle);
+    ASSERT_EQ(c.feedAll(c_second, 256).accepted, c_second.size());
+    ASSERT_TRUE(c.exec("drain").ok);
+    sessionSignature(c).expectEqual(golden, "resumed keeper");
+}
+
+TEST(ServiceEvictionTest, SigkilledClientIsReclaimedAndDaemonServesOn)
+{
+    // Generated before fork so the child only packs and sends.
+    const auto victim_stream = stream(/*seed=*/33, /*count=*/200'000);
+
+    TestDaemon daemon;
+    const pid_t pid = ::fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+        // Child: never return into gtest (_exit skips destructors,
+        // exactly like a real client machine going away).
+        ServiceClient victim;
+        if (!victim.connect(daemon.socket()))
+            ::_exit(2);
+        for (const auto &line : configScript())
+            if (!victim.exec(line).ok)
+                ::_exit(3);
+        victim.feedAll(victim_stream, /*batch=*/64);
+        ::_exit(0);
+    }
+
+    // Wait until the child is provably mid-stream, then kill -9 it.
+    ASSERT_TRUE(waitFor([&] { return daemon.get().refsAccepted() > 0; }))
+        << "child never started feeding";
+    ::kill(pid, SIGKILL);
+    int status = 0;
+    ASSERT_EQ(::waitpid(pid, &status, 0), pid);
+    ASSERT_TRUE(WIFSIGNALED(status))
+        << "child finished the stream before the kill landed";
+
+    EXPECT_TRUE(waitFor(
+        [&] { return daemon.get().sessionsActive() == 0; }))
+        << "killed session never reclaimed";
+
+    // The daemon is unharmed: a fresh session works end to end.
+    const auto raw = stream(/*seed=*/34, /*count=*/4'000);
+    const auto golden = goldenRun(configScript(), canonical(raw));
+    ServiceClient after;
+    ASSERT_TRUE(after.connect(daemon.socket()));
+    configureSession(after, configScript());
+    ASSERT_EQ(after.feedAll(raw, 256).accepted, raw.size());
+    ASSERT_TRUE(after.exec("drain").ok);
+    sessionSignature(after).expectEqual(golden, "post-kill session");
+}
+
+TEST(ServiceEvictionTest, ServerEvictDisconnectsVictimAndFreesSlot)
+{
+    TestDaemon daemon;
+
+    ServiceClient victim;
+    ASSERT_TRUE(victim.connect(daemon.socket()));
+    configureSession(victim, configScript());
+    ASSERT_TRUE(victim.exec("session name victim").ok);
+    victim.feedAll(stream(/*seed=*/35, /*count=*/2'000), 256);
+
+    ServiceClient admin;
+    ASSERT_TRUE(admin.connect(daemon.socket()));
+    const auto reply = admin.exec("server evict victim");
+    ASSERT_TRUE(reply.ok) << reply.text();
+    EXPECT_NE(reply.text().find("evicting session 'victim'"),
+              std::string::npos)
+        << reply.text();
+
+    EXPECT_TRUE(waitFor(
+        [&] { return daemon.get().sessionsEvicted() == 1; }));
+    EXPECT_TRUE(waitFor(
+        [&] { return daemon.get().sessionsActive() == 1; }));
+    // The victim's connection is gone.
+    EXPECT_FALSE(victim.exec("session status").ok);
+    // Evicting an unknown session is an error, not a crash.
+    EXPECT_FALSE(admin.exec("server evict nobody-here").ok);
+    EXPECT_TRUE(admin.exec("server status").ok);
+}
+
+/**
+ * The quarantine recipe from the board-fault tier: a 4-entry buffer
+ * with the health machine armed so two overflow storms quarantine the
+ * board. Raw mode (pace off) lets the overflows actually happen.
+ */
+std::vector<std::string>
+quarantineScript()
+{
+    return {
+        "node 0 cache 2MB 4 128B LRU",
+        "node 0 cpus 0,1,2,3",
+        "buffer 4",
+        "throughput 42",
+        "health on",
+        "health degrade-window 100",
+        "health backoff-limit 1",
+        "health quarantine-storms 2",
+        "init",
+    };
+}
+
+/** One same-cycle record at an even line index (never sampled out). */
+std::string
+overflowFeedLine(std::uint64_t index, Cycle &prev)
+{
+    bus::BusTransaction txn;
+    txn.addr = index * 256;
+    txn.cycle = 0;
+    txn.op = bus::BusOp::Read;
+    txn.cpu = 0;
+    std::string line = "feed ";
+    line += encodeRecordHex(trace::BusRecord::pack(txn, prev).raw);
+    prev = txn.cycle;
+    return line;
+}
+
+TEST(ServiceEvictionTest, QuarantineWithHealthyTwinResyncsInPlace)
+{
+    TestDaemon daemon;
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(daemon.socket()));
+    configureSession(client, quarantineScript());
+    ASSERT_TRUE(client.exec("stream pace off").ok);
+
+    Cycle prev = 0;
+    std::uint64_t index = 0;
+    // Fill the buffer, then storm once: the board degrades.
+    for (int i = 0; i < 5; ++i)
+        ASSERT_TRUE(client.exec(overflowFeedLine(index++, prev)).ok);
+
+    // A donor twin added NOW starts with an empty buffer, so the
+    // remaining overflows hurt only the main board.
+    ASSERT_TRUE(client.exec("fleet add donor 1").ok);
+
+    // Two sheds, then storm two: quarantine — and the ladder resyncs
+    // from the healthy twin instead of evicting.
+    std::string last;
+    for (int i = 0; i < 3; ++i) {
+        const auto reply = client.exec(overflowFeedLine(index++, prev));
+        ASSERT_TRUE(reply.ok) << reply.text();
+        last = reply.text();
+    }
+    EXPECT_NE(last.find("resynced from twin 0 'donor'"),
+              std::string::npos)
+        << last;
+
+    const auto status = client.exec("stream status");
+    ASSERT_TRUE(status.ok);
+    EXPECT_NE(status.text().find("resyncs 1"), std::string::npos)
+        << status.text();
+    // Back on the ladder's Healthy rung; the session keeps serving.
+    const auto health = client.exec("health status");
+    ASSERT_TRUE(health.ok);
+    EXPECT_NE(health.text().find("healthy"), std::string::npos)
+        << health.text();
+    EXPECT_EQ(daemon.get().sessionsEvicted(), 0u);
+}
+
+TEST(ServiceEvictionTest, QuarantineWithoutTwinEvictsTheSession)
+{
+    TestDaemon daemon;
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(daemon.socket()));
+    configureSession(client, quarantineScript());
+    ASSERT_TRUE(client.exec("stream pace off").ok);
+
+    Cycle prev = 0;
+    std::uint64_t index = 0;
+    // Storm to quarantine with no donor: the feed that tips the board
+    // over comes back as an error naming the eviction.
+    std::string last;
+    bool evicted_reply = false;
+    for (int i = 0; i < 12 && !evicted_reply; ++i) {
+        const auto reply = client.exec(overflowFeedLine(index++, prev));
+        last = reply.text();
+        evicted_reply = !reply.ok;
+    }
+    ASSERT_TRUE(evicted_reply) << "board never quarantined: " << last;
+    EXPECT_NE(last.find("quarantined"), std::string::npos) << last;
+    EXPECT_NE(last.find("evicted"), std::string::npos) << last;
+
+    // The daemon closed the session and counted the eviction.
+    EXPECT_TRUE(waitFor(
+        [&] { return daemon.get().sessionsEvicted() == 1; }));
+    EXPECT_TRUE(waitFor(
+        [&] { return daemon.get().sessionsActive() == 0; }));
+    EXPECT_FALSE(client.exec("stats").ok);
+
+    // Other tenants are untouched: a new session still works.
+    ServiceClient after;
+    ASSERT_TRUE(after.connect(daemon.socket()));
+    configureSession(after, configScript());
+    EXPECT_TRUE(after.exec("stats").ok);
+}
+
+} // namespace
+} // namespace memories::service

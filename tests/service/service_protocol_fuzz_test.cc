@@ -1,0 +1,156 @@
+/**
+ * @file
+ * Wire-protocol fuzz: the console fuzz corpus (and seeded token soup
+ * spiked with the service families) fired at a live daemon over a
+ * real socket. Every request must come back as a correctly framed
+ * reply on a still-usable connection; oversize lines may cost the
+ * offender its connection but never the daemon; and after all of it a
+ * clean configure-feed-drain session still works.
+ */
+
+#include <gtest/gtest.h>
+
+#include "servicetest.hh"
+
+#include "common/random.hh"
+
+namespace memories::service
+{
+namespace
+{
+
+using namespace testing;
+
+TEST(ServiceProtocolFuzzTest, GarbageRequestsAlwaysGetFramedReplies)
+{
+    TestDaemon daemon;
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(daemon.socket()));
+
+    // The console fuzz corpus, plus service-grammar abuse the
+    // in-process tier cannot express (feed framing, session/server
+    // misuse, hex garbage).
+    const std::string garbage[] = {
+        "",
+        "   ",
+        "node",
+        "node x cache",
+        "node 0 cache huge 4 128B",
+        "node 99999999 cache 2MB 4 128B",
+        "node 0 cpus",
+        "node 0 cpus ,,,",
+        "buffer",
+        "buffer -1",
+        "throughput 0",
+        "capture",
+        "init init init",
+        "stats now please",
+        "dump-trace",
+        "save-state",
+        "load-state /definitely/not/there",
+        "ckpt",
+        "ckpt save",
+        "ckpt frobnicate state.ckpt",
+        "script",
+        "\t\tnode\t0",
+        "unknown-command with args",
+        "fault arm not-a-seed",
+        "health mystery-knob 7",
+        "prof start not-a-count",
+        "campaign start somedir notanumber 500",
+        // Service-family abuse.
+        "feed",
+        "feed zzzz",
+        "feed 0123",
+        "feed 0123456789abcdeg",
+        "feed 0123456789ABCDEF", // upper case is rejected
+        "feed 0123456789abcdef extra-garbage",
+        "drain now",
+        "stream",
+        "stream pace sideways",
+        "stream replay /definitely/not/there.ies",
+        "stream frobnicate",
+        "fleet add a b c d",
+        "fleet counters 99",
+        "fleet resync",
+        "session",
+        "session name",
+        "session name ../escape",
+        "session name " + std::string(100, 'x'),
+        "session suspend", // no board yet: fails, stays connected
+        "session resume",
+        "session resume /definitely/not/there",
+        "session frobnicate",
+        "server evict",
+        "server evict nobody",
+        "server frobnicate",
+    };
+    for (const auto &cmd : garbage) {
+        const Reply reply = client.exec(cmd);
+        ASSERT_TRUE(client.connected())
+            << "connection died on: " << cmd;
+        // Framed err or ok — a transport failure would have reported
+        // a "transport:" line and dropped the connection above.
+        if (!reply.ok) {
+            EXPECT_FALSE(reply.lines.empty()) << "cmd: " << cmd;
+        }
+    }
+    EXPECT_TRUE(client.exec("session status").ok);
+}
+
+TEST(ServiceProtocolFuzzTest, RandomTokenSoupOverTheSocket)
+{
+    TestDaemon daemon;
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(daemon.socket()));
+
+    Rng rng(77);
+    const char *words[] = {
+        "node",   "0",       "cache",  "2MB",    "4",
+        "128B",   "cpus",    "init",   "stats",  "LRU",
+        "->",     "*",       "0x10",   "-5",     "reset",
+        "fault",  "health",  "arm",    "load",   "on",
+        "ckpt",   "info",    "prof",   "start",  "dump",
+        "feed",   "drain",   "stream", "fleet",  "session",
+        "server", "suspend", "resume", "evict",  "pace",
+        "status", "add",     "off",    "replay", "0123456789abcdef",
+    };
+    for (int i = 0; i < 400; ++i) {
+        std::string cmd;
+        const auto len = 1 + rng.nextBounded(6);
+        for (std::uint64_t w = 0; w < len; ++w) {
+            cmd += words[rng.nextBounded(std::size(words))];
+            cmd += ' ';
+        }
+        client.exec(cmd);
+        ASSERT_TRUE(client.connected())
+            << "connection died on: " << cmd;
+    }
+    // The daemon survived and the session is still coherent.
+    EXPECT_TRUE(client.exec("server status").ok);
+}
+
+TEST(ServiceProtocolFuzzTest, OversizeLineCostsTheConnectionNotTheDaemon)
+{
+    TestDaemon daemon;
+    ServiceClient hog;
+    ASSERT_TRUE(hog.connect(daemon.socket()));
+
+    // Over the 1 MiB line bound: the daemon refuses to buffer it and
+    // hangs up on the offender.
+    const std::string huge = "feed " + std::string(2 * maxLineBytes, 'a');
+    const Reply reply = hog.exec(huge);
+    EXPECT_FALSE(reply.ok);
+
+    EXPECT_TRUE(waitFor(
+        [&] { return daemon.get().sessionsActive() == 0; }));
+
+    // Everyone else is fine.
+    ServiceClient after;
+    ASSERT_TRUE(after.connect(daemon.socket()));
+    configureSession(after, configScript());
+    EXPECT_TRUE(after.exec("stats").ok);
+}
+
+} // namespace
+} // namespace memories::service
