@@ -248,6 +248,12 @@ Console::execute(const std::string &command_line)
         return handle(tokenize(command_line));
     } catch (const FatalError &err) {
         return std::string("error: ") + err.what();
+    } catch (const std::exception &err) {
+        // A handler (builtin or registered extension) leaked a raw
+        // exception. The console is the wire surface of a long-running
+        // daemon, so convert it to an error reply instead of letting
+        // it unwind a serve thread into std::terminate.
+        return std::string("error: internal: ") + err.what();
     }
 }
 

@@ -1,5 +1,6 @@
 #include "service/session.hh"
 
+#include <cstdio>
 #include <sstream>
 
 #include "campaign/console.hh"
@@ -52,7 +53,11 @@ parseField(const std::string &line, const std::string &key)
     if (value.empty() ||
         value.find_first_not_of("0123456789") != std::string::npos)
         fatal("session manifest: bad ", key, " '", value, "'");
-    return std::stoull(value);
+    try {
+        return std::stoull(value);
+    } catch (const std::exception &) {
+        fatal("session manifest: ", key, " '", value, "' out of range");
+    }
 }
 
 } // namespace
@@ -99,11 +104,56 @@ Session::recordConfigLine(const std::string &line,
 std::string
 Session::execute(const std::string &line)
 {
+    const std::vector<std::string> tokens = tokenize(line);
+    // Expand `script` here, not in the console: the console runs the
+    // file's lines internally, which would bypass config recording
+    // and leave a scripted session unable to resume. Routing each
+    // line back through execute() records exactly the config lines a
+    // hand-typed session would.
+    if (!tokens.empty() && tokens[0] == "script")
+        return executeScript(tokens);
     const bool preInit = !console_->initialized();
     const std::string reply = console_->execute(line);
     if (preInit && reply.rfind("error:", 0) != 0)
-        recordConfigLine(line, tokenize(line));
+        recordConfigLine(line, tokens);
     return reply;
+}
+
+std::string
+Session::executeScript(const std::vector<std::string> &tokens)
+{
+    try {
+        if (tokens.size() != 2)
+            fatal("usage: script <path>");
+        std::FILE *f = std::fopen(tokens[1].c_str(), "rb");
+        if (!f)
+            fatal("cannot open script '", tokens[1], "'");
+        std::string text;
+        char buf[4096];
+        std::size_t got;
+        while ((got = std::fread(buf, 1, sizeof buf, f)) > 0)
+            text.append(buf, got);
+        std::fclose(f);
+
+        // Same surface behavior as the console's builtin: skip blank
+        // and '#' lines, echo each command, stop at the first error.
+        std::string output;
+        std::istringstream lines(text);
+        std::string line;
+        while (std::getline(lines, line)) {
+            if (line.empty() || line[0] == '#')
+                continue;
+            const std::string reply = execute(line);
+            output += "> " + line + "\n";
+            if (!reply.empty())
+                output += reply + "\n";
+            if (reply.rfind("error:", 0) == 0)
+                break;
+        }
+        return output;
+    } catch (const FatalError &err) {
+        return std::string("error: ") + err.what();
+    }
 }
 
 std::string
@@ -130,8 +180,8 @@ Session::handleSession(const std::vector<std::string> &tokens)
         if (tokens.size() != 3)
             fatal("usage: session name <name>");
         validateName(tokens[2]);
-        name_ = tokens[2];
-        return "session named '" + name_ + "'";
+        setName(tokens[2]);
+        return "session named '" + tokens[2] + "'";
     }
     if (sub == "suspend") {
         if (tokens.size() != 2)
@@ -258,7 +308,14 @@ Session::resume(const std::string &name)
         if (tokens[1].find_first_not_of("0123456789") != std::string::npos)
             fatal("session manifest ", path, ": bad twin seed '",
                   tokens[1], "'");
-        twinEntries.push_back({std::stoull(tokens[1]), tokens[2]});
+        std::uint64_t seed = 0;
+        try {
+            seed = std::stoull(tokens[1]);
+        } catch (const std::exception &) {
+            fatal("session manifest ", path, ": twin seed '", tokens[1],
+                  "' out of range");
+        }
+        twinEntries.push_back({seed, tokens[2]});
     }
     const std::uint64_t configLines =
         parseField(nextLine(), "config-lines");
@@ -290,7 +347,7 @@ Session::resume(const std::string &name)
             base + ".twin" + std::to_string(i) + ".ckpt");
     }
     ingest_.restore(s);
-    name_ = name;
+    setName(name);
     return "resumed '" + name + "' at cycle " +
            std::to_string(s.prevCycle) + " (" +
            std::to_string(s.refsAccepted) + " refs)";

@@ -34,6 +34,7 @@
 #define MEMORIES_SERVICE_SESSION_HH
 
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -70,7 +71,16 @@ class Session
      */
     std::string execute(const std::string &line);
 
-    const std::string &name() const { return name_; }
+    /**
+     * Returns a copy under the name lock: the daemon reads session
+     * names from other threads (`server evict <name>`) while the
+     * owning thread may be renaming concurrently.
+     */
+    std::string name() const
+    {
+        std::lock_guard<std::mutex> lock(nameMu_);
+        return name_;
+    }
     ies::Console &console() { return *console_; }
     StreamIngest &ingest() { return ingest_; }
 
@@ -88,10 +98,18 @@ class Session
     std::string handleSession(const std::vector<std::string> &tokens);
     std::string suspend();
     std::string resume(const std::string &name);
+    std::string executeScript(const std::vector<std::string> &tokens);
     void recordConfigLine(const std::string &line,
                           const std::vector<std::string> &tokens);
+    void setName(const std::string &name)
+    {
+        std::lock_guard<std::mutex> lock(nameMu_);
+        name_ = name;
+    }
 
     SessionOptions options_;
+    /** Guards name_ against the daemon's cross-thread evict lookup. */
+    mutable std::mutex nameMu_;
     std::string name_;
     std::unique_ptr<bus::Bus6xx> bus_;
     std::unique_ptr<ies::Console> console_;

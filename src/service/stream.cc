@@ -20,7 +20,11 @@ parseCount(const std::string &token, const char *what)
     if (token.empty() ||
         token.find_first_not_of("0123456789") != std::string::npos)
         fatal("bad ", what, " '", token, "'");
-    return std::stoull(token);
+    try {
+        return std::stoull(token);
+    } catch (const std::exception &) {
+        fatal(what, " '", token, "' is out of range");
+    }
 }
 
 ies::MemoriesBoard &

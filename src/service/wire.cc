@@ -139,7 +139,12 @@ LineChannel::readReply()
     if (count.empty() ||
         count.find_first_not_of("0123456789") != std::string::npos)
         return std::nullopt;
-    unsigned long long n = std::stoull(count);
+    unsigned long long n;
+    try {
+        n = std::stoull(count);
+    } catch (const std::exception &) {
+        return std::nullopt; // out-of-range count is garbage framing
+    }
     if (n > maxLineBytes)
         return std::nullopt;
     reply.lines.reserve(n);

@@ -94,6 +94,36 @@ TEST(ServiceConcurrentTest, EightClientsMatchTheirSoloGoldenRuns)
     EXPECT_EQ(daemon.get().sessionsEvicted(), 0u);
 }
 
+TEST(ServiceConcurrentTest, RenameDuringEvictLookupIsRaceFree)
+{
+    // `server evict <name>` walks every live session's name from the
+    // admin's serve thread while the other tenant renames itself —
+    // the name must be published under a lock (TSan regression).
+    TestDaemon daemon;
+    ServiceClient renamer, admin;
+    ASSERT_TRUE(renamer.connect(daemon.socket()));
+    ASSERT_TRUE(admin.connect(daemon.socket()));
+
+    std::thread t([&] {
+        for (int i = 0; i < 200; ++i)
+            if (!renamer.exec("session name r" + std::to_string(i)).ok)
+                break;
+    });
+    for (int i = 0; i < 200; ++i)
+        admin.exec("server evict no-such-session");
+    t.join();
+
+    EXPECT_TRUE(renamer.exec("session status").ok);
+    EXPECT_EQ(daemon.get().sessionsEvicted(), 0u);
+
+    // Renames are visible to the lookup: evicting the final name lands.
+    ASSERT_TRUE(renamer.exec("session name victim").ok);
+    const auto reply = admin.exec("server evict victim");
+    EXPECT_TRUE(reply.ok) << reply.text();
+    EXPECT_TRUE(waitFor(
+        [&] { return daemon.get().sessionsEvicted() == 1; }));
+}
+
 TEST(ServiceConcurrentTest, SessionLimitRejectsTheOverflowClient)
 {
     TestDaemon daemon(/*max_sessions=*/2);

@@ -140,6 +140,91 @@ TEST(ServiceLifecycleTest, SuspendResumeMatchesStraightThroughRun)
     }
 }
 
+TEST(ServiceLifecycleTest, ScriptConfiguredSessionSuspendsAndResumes)
+{
+    // Config delivered via `script <path>` must be captured line by
+    // line, so a scripted session suspends AND resumes — replay may
+    // not fall back to a default board (geometry mismatch).
+    const auto raw = stream(/*seed=*/16, /*count=*/8'000);
+    const auto golden = goldenRun(configScript(), canonical(raw));
+
+    const std::string scriptPath = uniquePath("iesserv-script") + ".ies";
+    {
+        std::ofstream out(scriptPath);
+        out << "# service config via script file\n";
+        for (const auto &line : configScript())
+            out << line << "\n";
+    }
+
+    const std::vector<bus::BusTransaction> first(raw.begin(),
+                                                 raw.begin() + 4'000);
+    const std::vector<bus::BusTransaction> second(raw.begin() + 4'000,
+                                                  raw.end());
+
+    TestDaemon daemon;
+    {
+        ServiceClient client;
+        ASSERT_TRUE(client.connect(daemon.socket()));
+        const auto scripted = client.exec("script " + scriptPath);
+        ASSERT_TRUE(scripted.ok) << scripted.text();
+        EXPECT_EQ(scripted.text().find("error:"), std::string::npos)
+            << scripted.text();
+        ASSERT_TRUE(client.exec("session name scripted").ok);
+        const auto totals = client.feedAll(first, /*batch=*/256);
+        ASSERT_EQ(totals.accepted, first.size());
+        const auto reply = client.exec("session suspend");
+        ASSERT_TRUE(reply.ok) << reply.text();
+    }
+    {
+        ServiceClient client;
+        ASSERT_TRUE(client.connect(daemon.socket()));
+        const auto reply = client.exec("session resume scripted");
+        ASSERT_TRUE(reply.ok) << reply.text();
+
+        client.setChainCycle(first.back().cycle);
+        const auto totals = client.feedAll(second, /*batch=*/256);
+        ASSERT_EQ(totals.accepted, second.size());
+        ASSERT_TRUE(client.exec("drain").ok);
+        sessionSignature(client).expectEqual(golden, "scripted resume");
+    }
+    std::remove(scriptPath.c_str());
+}
+
+TEST(ServiceLifecycleTest, TamperedManifestFailsClosedOnResume)
+{
+    // A manifest counter tampered to exceed uint64 must produce an
+    // "error:" reply on resume — the fail-closed promise — not an
+    // escaping std::out_of_range that kills the daemon.
+    TestDaemon daemon;
+    {
+        ServiceClient client;
+        ASSERT_TRUE(client.connect(daemon.socket()));
+        configureSession(client, configScript());
+        ASSERT_TRUE(client.exec("session name tamper").ok);
+        client.feedAll(stream(/*seed=*/17, /*count=*/1'000),
+                       /*batch=*/256);
+        ASSERT_TRUE(client.exec("session suspend").ok);
+    }
+    const auto path =
+        Session::manifestPath(daemon.options.stateDir, "tamper");
+    std::string manifest = readFileBytes(path);
+    const auto pos = manifest.find("offered ");
+    ASSERT_NE(pos, std::string::npos);
+    const auto eol = manifest.find('\n', pos);
+    manifest.replace(pos, eol - pos,
+                     "offered 99999999999999999999999");
+    std::ofstream(path, std::ios::binary) << manifest;
+
+    ServiceClient client;
+    ASSERT_TRUE(client.connect(daemon.socket()));
+    const auto reply = client.exec("session resume tamper");
+    EXPECT_FALSE(reply.ok);
+    EXPECT_NE(reply.text().find("out of range"), std::string::npos)
+        << reply.text();
+    // The daemon survived and the session is still usable.
+    EXPECT_TRUE(client.exec("session status").ok);
+}
+
 TEST(ServiceLifecycleTest, TwinFleetTracksTheMainBoard)
 {
     const auto raw = stream(/*seed=*/15, /*count=*/6'000);

@@ -12,6 +12,8 @@
 
 #include "servicetest.hh"
 
+#include <sys/socket.h>
+
 #include "common/random.hh"
 
 namespace memories::service
@@ -73,6 +75,14 @@ TEST(ServiceProtocolFuzzTest, GarbageRequestsAlwaysGetFramedReplies)
         "fleet add a b c d",
         "fleet counters 99",
         "fleet resync",
+        // Digits-only but > uint64: must come back as a framed error,
+        // never as a std::out_of_range escaping the serve thread.
+        "fleet counters 99999999999999999999999",
+        "fleet stats 99999999999999999999999",
+        "fleet add twin 99999999999999999999999",
+        "buffer 99999999999999999999999",
+        "throughput 99999999999999999999999",
+        "prof start 99999999999999999999999",
         "session",
         "session name",
         "session name ../escape",
@@ -128,6 +138,20 @@ TEST(ServiceProtocolFuzzTest, RandomTokenSoupOverTheSocket)
     }
     // The daemon survived and the session is still coherent.
     EXPECT_TRUE(client.exec("server status").ok);
+}
+
+TEST(ServiceProtocolFuzzTest, OutOfRangeReplyCountIsGarbageFraming)
+{
+    // A frame head whose count token is digits-only but > uint64 is
+    // garbage framing: readReply must return nullopt (its documented
+    // contract), not throw std::out_of_range at the caller.
+    int fds[2];
+    ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    LineChannel reader(fds[0]);
+    LineChannel writer(fds[1]);
+    ASSERT_TRUE(writer.writeAll("ok 99999999999999999999999\n"));
+    writer.shutdownBoth();
+    EXPECT_FALSE(reader.readReply().has_value());
 }
 
 TEST(ServiceProtocolFuzzTest, OversizeLineCostsTheConnectionNotTheDaemon)
